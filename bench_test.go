@@ -1,0 +1,108 @@
+package gzkp
+
+// Benchmark harness entry points: one testing.B benchmark per table/figure
+// of the paper's evaluation (§5), each delegating to internal/bench (the
+// same code cmd/gzkp-bench runs). Output goes to the benchmark log, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every experiment. Benchmarks run the experiment once per
+// iteration; the interesting output is the printed tables, not ns/op.
+
+import (
+	"io"
+	"math/big"
+	"os"
+	"testing"
+
+	"gzkp/internal/bench"
+)
+
+// benchOut returns the experiment sink: the real stdout for -v runs or a
+// discard writer when only timings are wanted (GZKP_BENCH_QUIET=1).
+func benchOut() io.Writer {
+	if os.Getenv("GZKP_BENCH_QUIET") == "1" {
+		return io.Discard
+	}
+	return os.Stdout
+}
+
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	e, err := bench.Find(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := bench.Options{Out: benchOut(), Quick: testing.Short()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B)      { runExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B)      { runExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B)      { runExperiment(b, "table4") }
+func BenchmarkTable5(b *testing.B)      { runExperiment(b, "table5") }
+func BenchmarkTable6(b *testing.B)      { runExperiment(b, "table6") }
+func BenchmarkFig6(b *testing.B)        { runExperiment(b, "fig6") }
+func BenchmarkFig8(b *testing.B)        { runExperiment(b, "fig8") }
+func BenchmarkTable7(b *testing.B)      { runExperiment(b, "table7") }
+func BenchmarkTable8(b *testing.B)      { runExperiment(b, "table8") }
+func BenchmarkFig9(b *testing.B)        { runExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)       { runExperiment(b, "fig10") }
+func BenchmarkShuffleCost(b *testing.B) { runExperiment(b, "shufflecost") }
+
+// BenchmarkProve measures end-to-end Groth16 proof generation through the
+// public API (quickstart-sized circuit), per prover plan.
+func BenchmarkProve(b *testing.B) {
+	cc, w := buildCubic(b, BN254)
+	pk, vk, err := Setup(cc, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []struct {
+		name string
+		opts ProverOptions
+	}{
+		{"gzkp", FastestProver()},
+		{"baseline", BaselineProver()},
+		{"reference-cpu", ReferenceProver()},
+	} {
+		b.Run(p.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				proof, _, err := pk.Prove(w, p.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					if err := vk.Verify(proof, []*big.Int{big.NewInt(35)}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVerify measures pairing-based verification.
+func BenchmarkVerify(b *testing.B) {
+	cc, w := buildCubic(b, BN254)
+	pk, vk, err := Setup(cc, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proof, _, err := pk.Prove(w, FastestProver())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub := []*big.Int{big.NewInt(35)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := vk.Verify(proof, pub); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Command gzkp-bench regenerates the tables and figures of the GZKP paper
+// (§5). Run with no flags to execute every experiment, or select one with
+// -experiment; -maxscale caps wall-clock measurement sizes and -quick runs
+// a fast smoke pass.
+//
+//	gzkp-bench -experiment table7 -maxscale 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gzkp/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment to run (empty = all); see -list")
+		maxScale   = flag.Int("maxscale", 0, "cap log2(N) for wall-clock measurements (0 = defaults)")
+		quick      = flag.Bool("quick", false, "fast smoke pass")
+		list       = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-12s %s\n", e.Name, e.Paper)
+		}
+		return
+	}
+	opts := bench.Options{Out: os.Stdout, MaxScale: *maxScale, Quick: *quick}
+	run := func(e bench.Experiment) {
+		fmt.Printf("\n#### %s — %s\n", e.Name, e.Paper)
+		if err := e.Run(opts); err != nil {
+			fmt.Fprintf(os.Stderr, "gzkp-bench: %s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+	}
+	if *experiment != "" {
+		e, err := bench.Find(*experiment)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gzkp-bench:", err)
+			os.Exit(2)
+		}
+		run(e)
+		return
+	}
+	for _, e := range bench.All() {
+		run(e)
+	}
+}

@@ -1,0 +1,88 @@
+// Command paramgen deterministically derives the MNT4753-sim parameters:
+// a synthetic 753-bit curve standing in for MNT4-753 (see DESIGN.md §1 —
+// the real MNT4-753 constants were not trusted from memory; the paper uses
+// the curve only to stress 753-bit limb widths).
+//
+// It searches, from fixed starting points, for:
+//   - r: the smallest 753-bit prime of the form c·2^31+1 at or above
+//     2^752 + 2^721 (two-adicity 31, so radix-2 NTT domains reach 2^31);
+//   - q: the smallest 753-bit prime ≡ 3 (mod 4) at or above 2^752 + 3;
+//   - b: the smallest positive integer making y² = x³ + 2x + b a
+//     non-singular curve with a rational point at small x (the generator).
+//
+// The output is pasted into internal/curve/params.go; internal/curve tests
+// re-verify primality, residuosity and the generator at test time, so the
+// committed constants cannot drift from this derivation.
+package main
+
+import (
+	"fmt"
+	"math/big"
+)
+
+func main() {
+	one := big.NewInt(1)
+
+	// r = c*2^31 + 1, c odd-ish scan; start so r has exactly 753 bits.
+	base := new(big.Int).Lsh(one, 752)
+	start := new(big.Int).Add(base, new(big.Int).Lsh(one, 721))
+	c := new(big.Int).Rsh(start, 31)
+	var r *big.Int
+	for i := 0; ; i++ {
+		cand := new(big.Int).Lsh(c, 31)
+		cand.Add(cand, one)
+		if cand.BitLen() == 753 && cand.ProbablyPrime(64) {
+			r = cand
+			fmt.Printf("// r found after %d candidates\n", i+1)
+			break
+		}
+		c.Add(c, one)
+	}
+	fmt.Printf("r753 = %#x\n\n", r)
+
+	// q ≡ 3 mod 4 prime.
+	q := new(big.Int).Add(base, big.NewInt(3))
+	for i := 0; ; i++ {
+		if q.Bit(0) == 1 && q.Bit(1) == 1 && q.ProbablyPrime(64) {
+			fmt.Printf("// q found after %d candidates\n", i+1)
+			break
+		}
+		q.Add(q, big.NewInt(4))
+	}
+	fmt.Printf("q753 = %#x\n\n", q)
+
+	// Curve y² = x³ + 2x + b over Fq: find smallest b >= 1 and smallest
+	// x >= 1 with x³+2x+b a quadratic residue; y via modular sqrt
+	// (q ≡ 3 mod 4 so y = rhs^((q+1)/4)).
+	a := big.NewInt(2)
+	exp := new(big.Int).Add(q, one)
+	exp.Rsh(exp, 2)
+	legendreExp := new(big.Int).Rsh(new(big.Int).Sub(q, one), 1)
+	for b := int64(1); ; b++ {
+		bb := big.NewInt(b)
+		// Non-singular: 4a³+27b² != 0 mod q (trivially true for small a,b).
+		for x := int64(1); x < 50; x++ {
+			xb := big.NewInt(x)
+			rhs := new(big.Int).Exp(xb, big.NewInt(3), q)
+			rhs.Add(rhs, new(big.Int).Mul(a, xb))
+			rhs.Add(rhs, bb)
+			rhs.Mod(rhs, q)
+			if rhs.Sign() == 0 {
+				continue
+			}
+			ls := new(big.Int).Exp(rhs, legendreExp, q)
+			if ls.Cmp(one) != 0 {
+				continue
+			}
+			y := new(big.Int).Exp(rhs, exp, q)
+			// verify
+			y2 := new(big.Int).Mul(y, y)
+			y2.Mod(y2, q)
+			if y2.Cmp(rhs) != 0 {
+				continue
+			}
+			fmt.Printf("a753 = 2\nb753 = %d\ngx753 = %d\ngy753 = %#x\n", b, x, y)
+			return
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module gzkp
+
+go 1.22

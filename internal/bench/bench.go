@@ -1,0 +1,175 @@
+// Package bench regenerates every table and figure of GZKP §5 (the
+// per-experiment index lives in DESIGN.md §3). Each experiment prints two
+// sections where applicable:
+//
+//   - "modeled": the gpusim V100/GTX1080Ti execution model priced at the
+//     paper's full scales (up to 2^26), which carries the shape claims;
+//   - "measured": wall-clock runs of the real Go implementations at capped
+//     scales (this substrate is a CPU, often a single core — absolute
+//     numbers are not comparable to the paper, ratios are indicative).
+//
+// The harness is used by cmd/gzkp-bench and by the root bench_test.go.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	Out io.Writer
+	// MaxScale caps log2(N) for wall-clock measurements (0 = per-
+	// experiment defaults chosen to finish in seconds on a laptop core).
+	MaxScale int
+	// Quick further shrinks measured work (used by `go test -short`).
+	Quick bool
+}
+
+func (o Options) out() io.Writer {
+	if o.Out == nil {
+		panic("bench: Options.Out is required")
+	}
+	return o.Out
+}
+
+// Experiment is a regenerable table or figure.
+type Experiment struct {
+	Name  string
+	Paper string // which table/figure of the paper it regenerates
+	Run   func(Options) error
+}
+
+// All lists every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table2", "Table 2: zkSNARK end-to-end, MNT4753-sim 753-bit", Table2},
+		{"table3", "Table 3: Zcash end-to-end, BLS12-381", Table3},
+		{"table4", "Table 4: Zcash on 4 devices", Table4},
+		{"table5", "Table 5: single NTT on V100", Table5},
+		{"table6", "Table 6: single NTT on GTX1080Ti", Table6},
+		{"fig6", "Figure 6: bucket-load distribution (sparse ū)", Fig6},
+		{"fig8", "Figure 8: NTT breakdown ladder (BLS12-381)", Fig8},
+		{"table7", "Table 7: single MSM on V100", Table7},
+		{"table8", "Table 8: single MSM on GTX1080Ti", Table8},
+		{"fig9", "Figure 9: MSM memory usage vs scale", Fig9},
+		{"fig10", "Figure 10: MSM breakdown ladder (BLS12-381)", Fig10},
+		{"shufflecost", "§2.2 claims: strided access & shuffle cost", ShuffleCost},
+	}
+}
+
+// Find returns the named experiment.
+func Find(name string) (Experiment, error) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	names := make([]string, 0)
+	for _, e := range All() {
+		names = append(names, e.Name)
+	}
+	sort.Strings(names)
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (have: %s)",
+		name, strings.Join(names, ", "))
+}
+
+// table is a fixed-width text-table printer.
+type table struct {
+	w      io.Writer
+	header []string
+	rows   [][]string
+}
+
+func newTable(w io.Writer, header ...string) *table {
+	return &table{w: w, header: header}
+}
+
+func (t *table) row(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) flush() {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(t.w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+func section(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n== %s ==\n", title)
+}
+
+// fmtDur renders seconds compactly.
+func fmtDur(sec float64) string {
+	switch {
+	case sec <= 0:
+		return "-"
+	case sec < 1e-3:
+		return fmt.Sprintf("%.1fµs", sec*1e6)
+	case sec < 1:
+		return fmt.Sprintf("%.2fms", sec*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", sec)
+	}
+}
+
+func fmtNS(ns int64) string { return fmtDur(float64(ns) / 1e9) }
+
+func fmtX(speedup float64) string {
+	if speedup <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f×", speedup)
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b <= 0:
+		return "-"
+	case b < 1<<20:
+		return fmt.Sprintf("%dKiB", b>>10)
+	case b < 1<<30:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	default:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	}
+}
+
+// measure runs fn once and returns seconds.
+func measure(fn func() error) (float64, error) {
+	t0 := time.Now()
+	err := fn()
+	return time.Since(t0).Seconds(), err
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,309 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"gzkp/internal/curve"
+	"gzkp/internal/gpusim"
+	"gzkp/internal/msm"
+	"gzkp/internal/workload"
+)
+
+// msmScalingTable prints one of Tables 7/8: single MSM (G1) across scales
+// and bit-widths, modeled at paper scale and measured at capped scale.
+func msmScalingTable(o Options, dev *gpusim.Device, paperName string) error {
+	w := o.out()
+	section(w, fmt.Sprintf("%s (modeled, %s): single MSM (G1), dense scalars", paperName, dev.Name))
+	tm := newTable(w, "Scale",
+		"753b MINA", "753b GZKP", "spd",
+		"381b BG", "381b GZKP", "spd",
+		"256b GZKP")
+	maxLog := 26
+	if o.Quick {
+		maxLog = 18
+	}
+	words := map[string]int{
+		"753": curve.Get(curve.MNT4753Sim).Fq.Limbs(),
+		"381": curve.Get(curve.BLS12381).Fq.Limbs(),
+		"256": curve.Get(curve.BN254).Fq.Limbs(),
+	}
+	bits := map[string]int{
+		"753": curve.Get(curve.MNT4753Sim).Fr.Bits(),
+		"381": curve.Get(curve.BLS12381).Fr.Bits(),
+		"256": curve.Get(curve.BN254).Fr.Bits(),
+	}
+	model := func(v msm.ModelVariantMSM, logn int, curveBits string, k int) (string, float64, error) {
+		st := msm.SyntheticDigitStats(1<<logn, k, bits[curveBits], 0, 5)
+		r, mr, err := msm.ModelTime(dev, v, st, words[curveBits], 0)
+		if err != nil {
+			return "", 0, err
+		}
+		if mr.OOM {
+			return "OOM", 0, nil
+		}
+		return fmtDur(r.Time), r.Time, nil
+	}
+	for logn := 14; logn <= maxLog; logn += 2 {
+		k := msm.AutoWindow(1 << logn)
+		mina, minaT, err := model(msm.ModelStraus, logn, "753", windowFor(msm.ModelStraus, logn))
+		if err != nil {
+			return err
+		}
+		gz753, gz753T, err := model(msm.ModelGZKPFull, logn, "753", k)
+		if err != nil {
+			return err
+		}
+		bg381, bg381T, err := model(msm.ModelBellperson, logn, "381", windowFor(msm.ModelBellperson, logn))
+		if err != nil {
+			return err
+		}
+		gz381, gz381T, err := model(msm.ModelGZKPFull, logn, "381", k)
+		if err != nil {
+			return err
+		}
+		gz256, _, err := model(msm.ModelGZKPFull, logn, "256", k)
+		if err != nil {
+			return err
+		}
+		spd753 := "-"
+		if mina != "OOM" {
+			spd753 = fmtX(minaT / gz753T)
+		}
+		tm.row(fmt.Sprintf("2^%d", logn),
+			mina, gz753, spd753,
+			bg381, gz381, fmtX(bg381T/gz381T),
+			gz256)
+	}
+	tm.flush()
+
+	// Measured section.
+	maxMeasured := 11
+	if o.MaxScale > 0 {
+		maxMeasured = minInt(o.MaxScale, 16)
+	}
+	if o.Quick {
+		maxMeasured = 9
+	}
+	section(w, fmt.Sprintf("%s (measured, ≤2^%d): single MSM wall clock, BN254 G1, dense", paperName, maxMeasured))
+	tw := newTable(w, "Scale", "Straus(MINA)", "Pippenger(BG)", "GZKP", "spd(BG)")
+	g := curve.Get(curve.BN254).G1
+	for logn := 8; logn <= maxMeasured; logn += 2 {
+		n := 1 << logn
+		points := workload.Points(g, n, 1)
+		scalars := workload.DenseScalars(g.Fr, n, 2)
+		table, err := msm.Preprocess(g, points, msm.Config{})
+		if err != nil {
+			return err
+		}
+		tStraus, err := measure(func() error {
+			_, _, err := msm.Compute(g, points, scalars, msm.Config{Strategy: msm.Straus})
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		tBG, err := measure(func() error {
+			_, _, err := msm.Compute(g, points, scalars, msm.Config{Strategy: msm.PippengerWindows})
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		tGZ, err := measure(func() error {
+			_, _, err := table.Compute(scalars, msm.Config{})
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		tw.row(fmt.Sprintf("2^%d", logn),
+			fmtDur(tStraus), fmtDur(tBG), fmtDur(tGZ), fmtX(tBG/tGZ))
+	}
+	tw.flush()
+	return nil
+}
+
+// Table7 is the V100 MSM scaling table.
+func Table7(o Options) error { return msmScalingTable(o, gpusim.V100(), "Table 7") }
+
+// Table8 is the GTX1080Ti MSM scaling table.
+func Table8(o Options) error { return msmScalingTable(o, gpusim.GTX1080Ti(), "Table 8") }
+
+// Fig6 reproduces the bucket-load distribution of a sparse Zcash-style ū
+// at the paper's parameters (scale 2^17, 256-bit scalars) and prints the
+// load-grouped histogram plus the max/min spread.
+func Fig6(o Options) error {
+	w := o.out()
+	f := curve.Get(curve.BLS12381).Fr
+	logn := 17
+	if o.Quick {
+		logn = 12
+	}
+	if o.MaxScale > 0 && o.MaxScale < logn {
+		logn = o.MaxScale
+	}
+	k := 8
+	scalars := workload.SparseScalars(f, 1<<logn, 0.65, 6)
+	st := msm.CollectDigitStats(f, scalars, k)
+
+	section(w, fmt.Sprintf("Figure 6: point-merging workload distribution (2^%d, k=%d, sparse ū)", logn, k))
+	// Group buckets by load into 8 similar-load groups (the paper's
+	// similar-task groups) and print a text histogram.
+	var maxLoad int64
+	for _, l := range st.BucketLoads {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	groups := 8
+	hist := make([]int, groups)
+	for _, l := range st.BucketLoads {
+		if l == 0 {
+			continue
+		}
+		g := int(int64(groups-1) * l / (maxLoad + 1))
+		hist[g]++
+	}
+	tb := newTable(w, "Load group", "Bucket count", "Histogram")
+	for gi := 0; gi < groups; gi++ {
+		lo := maxLoad * int64(gi) / int64(groups)
+		hi := maxLoad * int64(gi+1) / int64(groups)
+		bar := strings.Repeat("#", hist[gi]*60/max1(len(st.BucketLoads)))
+		tb.row(fmt.Sprintf("[%d,%d)", lo, hi), fmt.Sprintf("%d", hist[gi]), bar)
+	}
+	tb.flush()
+	fmt.Fprintf(w, "  max/min bucket load spread: %.2f× (paper reports ≈2.85×)\n", st.LoadSpread())
+	fmt.Fprintf(w, "  zero digits skipped: %d of %d (%.0f%%)\n",
+		int64(st.N)*int64(st.Windows)-st.NonzeroDigits, int64(st.N)*int64(st.Windows),
+		100*float64(int64(st.N)*int64(st.Windows)-st.NonzeroDigits)/float64(int64(st.N)*int64(st.Windows)))
+	return nil
+}
+
+// Fig9 prints MSM memory usage vs scale for the strategies and curves of
+// the paper's Figure 9 (pure accounting, full paper scales).
+func Fig9(o Options) error {
+	w := o.out()
+	dev := gpusim.V100()
+	section(w, "Figure 9: MSM memory usage on V100 (32 GiB)")
+	tb := newTable(w, "Scale",
+		"MINA (753b)", "GZKP-MNT4 (753b)",
+		"bellperson (381b)", "GZKP-BLS (381b)")
+	w753 := curve.Get(curve.MNT4753Sim).Fq.Limbs()
+	w381 := curve.Get(curve.BLS12381).Fq.Limbs()
+	b753 := curve.Get(curve.MNT4753Sim).Fr.Bits()
+	b381 := curve.Get(curve.BLS12381).Fr.Bits()
+	for logn := 14; logn <= 26; logn += 2 {
+		k := msm.AutoWindow(1 << logn)
+		cell := func(v msm.ModelVariantMSM, words, bits, kk int) string {
+			st := msm.SyntheticDigitStats(1<<logn, kk, bits, 0, 9)
+			mr, err := msm.ModelMSM(dev, v, st, words, 0)
+			if err != nil {
+				return "err"
+			}
+			s := fmtBytes(mr.MemBytes)
+			if mr.OOM {
+				s += " (OOM)"
+			}
+			return s
+		}
+		tb.row(fmt.Sprintf("2^%d", logn),
+			cell(msm.ModelStraus, w753, b753, windowFor(msm.ModelStraus, logn)),
+			cell(msm.ModelGZKPFull, w753, b753, k),
+			cell(msm.ModelBellperson, w381, b381, windowFor(msm.ModelBellperson, logn)),
+			cell(msm.ModelGZKPFull, w381, b381, k))
+	}
+	tb.flush()
+	fmt.Fprintln(w, "  (GZKP's Algorithm 1 grows the checkpoint interval M once the table")
+	fmt.Fprintln(w, "   would exceed half the device memory, so its curve plateaus — Fig. 9.)")
+	return nil
+}
+
+// Fig10 prints the MSM optimization ladder (BG → GZKP-no-LB →
+// GZKP-no-LB w. lib → GZKP) on the V100 model, per scale, plus a measured
+// ablation on real sparse scalars.
+func Fig10(o Options) error {
+	w := o.out()
+	dev := gpusim.V100()
+	c := curve.Get(curve.BLS12381)
+	section(w, "Figure 10 (modeled, V100): MSM breakdown, BLS12-381, sparse ū")
+	tb := newTable(w, "Scale", "BG", "GZKP-no-LB", "GZKP-no-LB w. lib", "GZKP", "total spd")
+	maxLog := 24
+	if o.Quick {
+		maxLog = 20
+	}
+	for logn := 18; logn <= maxLog; logn += 2 {
+		var times [4]float64
+		for i, v := range []msm.ModelVariantMSM{msm.ModelBellperson, msm.ModelGZKPNoLB, msm.ModelGZKPNoLBLib, msm.ModelGZKPFull} {
+			st := msm.SyntheticDigitStats(1<<logn, windowFor(v, logn), c.Fr.Bits(), 0.65, 10)
+			r, mr, err := msm.ModelTime(dev, v, st, c.Fq.Limbs(), 0)
+			if err != nil {
+				return err
+			}
+			if mr.OOM {
+				return fmt.Errorf("bench: unexpected OOM in Fig10 at 2^%d", logn)
+			}
+			times[i] = r.Time
+		}
+		tb.row(fmt.Sprintf("2^%d", logn),
+			fmtDur(times[0]), fmtDur(times[1]), fmtDur(times[2]), fmtDur(times[3]),
+			fmtX(times[0]/times[3]))
+	}
+	tb.flush()
+
+	// Measured ablation: load-balanced vs static scheduling and k/M knobs.
+	logn := 10
+	if o.MaxScale > 0 {
+		logn = minInt(o.MaxScale, 14)
+	}
+	section(w, fmt.Sprintf("Figure 10 (measured, 2^%d, BN254): scheduling & knob ablations", logn))
+	g := curve.Get(curve.BN254).G1
+	n := 1 << logn
+	points := workload.Points(g, n, 11)
+	scalars := workload.SparseScalars(g.Fr, n, 0.65, 12)
+	tw := newTable(w, "Variant", "Time", "PADDs", "Doubles", "Table")
+	bgTime, err := measure(func() error {
+		_, _, err := msm.Compute(g, points, scalars, msm.Config{Strategy: msm.PippengerWindows})
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	tw.row("pippenger-windows (BG plan)", fmtDur(bgTime), "-", "-", "-")
+	for _, v := range []struct {
+		name string
+		cfg  msm.Config
+	}{
+		{"gzkp no-LB", msm.Config{Strategy: msm.GZKP, NoLoadBalance: true}},
+		{"gzkp (LB)", msm.Config{Strategy: msm.GZKP}},
+		{"gzkp M=4", msm.Config{Strategy: msm.GZKP, CheckpointInterval: 4}},
+		{"gzkp k=8", msm.Config{Strategy: msm.GZKP, WindowBits: 8}},
+	} {
+		// Preprocessing is setup-time work (Algorithm 1): excluded, as in
+		// the paper's measurement protocol.
+		table, err := msm.Preprocess(g, points, v.cfg)
+		if err != nil {
+			return err
+		}
+		var st msm.Stats
+		sec, err := measure(func() error {
+			var err error
+			_, st, err = table.Compute(scalars, v.cfg)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		tw.row(v.name, fmtDur(sec),
+			fmt.Sprintf("%d", st.PointAdds), fmt.Sprintf("%d", st.Doubles), fmtBytes(st.TableBytes))
+	}
+	tw.flush()
+	return nil
+}
+
+func max1(v int) int {
+	if v < 1 {
+		return 1
+	}
+	return v
+}

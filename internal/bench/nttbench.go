@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"fmt"
+
+	"gzkp/internal/curve"
+	"gzkp/internal/gpusim"
+	"gzkp/internal/ntt"
+	"gzkp/internal/workload"
+)
+
+// nttScalingTable prints one of Tables 5/6: single-NTT times across scales
+// for the 753-bit and 256-bit fields, modeled at paper scale and measured
+// at capped scale.
+func nttScalingTable(o Options, dev *gpusim.Device, paperName string) error {
+	w := o.out()
+	fr753 := curve.Get(curve.MNT4753Sim).Fr
+	fr256 := curve.Get(curve.BN254).Fr
+
+	section(w, fmt.Sprintf("%s (modeled, %s): single NTT", paperName, dev.Name))
+	tm := newTable(w, "Scale",
+		"753b BG", "753b GZKP", "spd",
+		"256b BG", "256b GZKP", "spd")
+	maxLog := 26
+	if o.Quick {
+		maxLog = 18
+	}
+	for logn := 14; logn <= maxLog; logn += 2 {
+		t753bg, err := ntt.ModelTime(dev, ntt.ModelBaseline, logn, fr753.Limbs())
+		if err != nil {
+			return err
+		}
+		t753gz, err := ntt.ModelTime(dev, ntt.ModelGZKP, logn, fr753.Limbs())
+		if err != nil {
+			return err
+		}
+		t256bg, err := ntt.ModelTime(dev, ntt.ModelBaseline, logn, fr256.Limbs())
+		if err != nil {
+			return err
+		}
+		t256gz, err := ntt.ModelTime(dev, ntt.ModelGZKP, logn, fr256.Limbs())
+		if err != nil {
+			return err
+		}
+		tm.row(fmt.Sprintf("2^%d", logn),
+			fmtDur(t753bg.Time), fmtDur(t753gz.Time), fmtX(t753bg.Time/t753gz.Time),
+			fmtDur(t256bg.Time), fmtDur(t256gz.Time), fmtX(t256bg.Time/t256gz.Time))
+	}
+	tm.flush()
+
+	// Measured section: CPU wall clock of the strategies (Best-CPU column
+	// of the paper is the serial libsnark plan; GZKP is the full plan).
+	maxMeasured := 16
+	if o.MaxScale > 0 {
+		maxMeasured = o.MaxScale
+	}
+	if o.Quick {
+		maxMeasured = 12
+	}
+	section(w, fmt.Sprintf("%s (measured, ≤2^%d): single NTT wall clock, 256-bit", paperName, maxMeasured))
+	tw := newTable(w, "Scale", "serial(libsnark)", "serial+table", "shuffle(BG)", "GZKP", "spd(serial)")
+	for logn := 10; logn <= maxMeasured; logn += 2 {
+		d, err := ntt.NewDomain(fr256, 1<<logn)
+		if err != nil {
+			return err
+		}
+		times := map[ntt.Strategy]float64{}
+		for _, s := range []ntt.Strategy{ntt.Serial, ntt.SerialPrecomp, ntt.ShuffleBaseline, ntt.GZKP} {
+			in := workload.DenseScalars(fr256, d.N, 1)
+			vec := fr256.CopyVector(in)
+			sec, err := measure(func() error {
+				_, err := d.NTT(vec, ntt.Config{Strategy: s})
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			times[s] = sec
+		}
+		tw.row(fmt.Sprintf("2^%d", logn),
+			fmtDur(times[ntt.Serial]), fmtDur(times[ntt.SerialPrecomp]),
+			fmtDur(times[ntt.ShuffleBaseline]), fmtDur(times[ntt.GZKP]),
+			fmtX(times[ntt.Serial]/times[ntt.GZKP]))
+	}
+	tw.flush()
+	return nil
+}
+
+// Table5 is the V100 NTT scaling table.
+func Table5(o Options) error { return nttScalingTable(o, gpusim.V100(), "Table 5") }
+
+// Table6 is the GTX1080Ti NTT scaling table.
+func Table6(o Options) error { return nttScalingTable(o, gpusim.GTX1080Ti(), "Table 6") }
+
+// Fig8 prints the NTT optimization ladder (BG → BG w. lib →
+// GZKP-no-GM-shuffle → GZKP) on the V100 model, per scale.
+func Fig8(o Options) error {
+	w := o.out()
+	dev := gpusim.V100()
+	fr := curve.Get(curve.BLS12381).Fr // 256-bit NTT per the paper's Fig. 8
+	section(w, "Figure 8 (modeled, V100): NTT breakdown, 256-bit BLS12-381 Fr")
+	tb := newTable(w, "Scale", "BG", "BG w. lib", "GZKP-no-GM-shuffle", "GZKP", "total spd")
+	maxLog := 24
+	if o.Quick {
+		maxLog = 20
+	}
+	for logn := 18; logn <= maxLog; logn += 2 {
+		var times [4]float64
+		for i, v := range []ntt.ModelVariant{ntt.ModelBaseline, ntt.ModelBaselineLib, ntt.ModelGZKPNoShuffle, ntt.ModelGZKP} {
+			r, err := ntt.ModelTime(dev, v, logn, fr.Limbs())
+			if err != nil {
+				return err
+			}
+			times[i] = r.Time
+		}
+		tb.row(fmt.Sprintf("2^%d", logn),
+			fmtDur(times[0]), fmtDur(times[1]), fmtDur(times[2]), fmtDur(times[3]),
+			fmtX(times[0]/times[3]))
+	}
+	tb.flush()
+
+	// Measured ablation: shuffle-baseline vs GZKP at a feasible size, with
+	// the shuffle share reported (the §2.2 42-81% claim's CPU analogue).
+	maxMeasured := 14
+	if o.MaxScale > 0 {
+		maxMeasured = minInt(o.MaxScale, 18)
+	}
+	section(w, fmt.Sprintf("Figure 8 (measured, 2^%d): wall clock + shuffle share", maxMeasured))
+	d, err := ntt.NewDomain(fr, 1<<maxMeasured)
+	if err != nil {
+		return err
+	}
+	in := workload.DenseScalars(fr, d.N, 2)
+	vec := fr.CopyVector(in)
+	stB, err := d.NTT(vec, ntt.Config{Strategy: ntt.ShuffleBaseline})
+	if err != nil {
+		return err
+	}
+	vec2 := fr.CopyVector(in)
+	stG, err := d.NTT(vec2, ntt.Config{Strategy: ntt.GZKP})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  shuffle-baseline: total %s, shuffle passes %s (%.0f%% of total)\n",
+		fmtNS(stB.TotalNS), fmtNS(stB.ShuffleNS), 100*float64(stB.ShuffleNS)/float64(stB.TotalNS))
+	fmt.Fprintf(w, "  gzkp (shuffle-less): total %s\n", fmtNS(stG.TotalNS))
+	return nil
+}
+
+// ShuffleCost reproduces §2.2's motivation numbers on the model: the cost
+// of strided global access per batch and the shuffle share of batch time.
+func ShuffleCost(o Options) error {
+	w := o.out()
+	dev := gpusim.V100()
+	fr := curve.Get(curve.BN254).Fr
+	logn := 24
+	if o.Quick {
+		logn = 18
+	}
+	section(w, fmt.Sprintf("§2.2 (modeled, V100): 2^%d-NTT, 256-bit", logn))
+
+	ks, err := ntt.Model(dev, ntt.ModelBaseline, logn, fr.Limbs())
+	if err != nil {
+		return err
+	}
+	tb := newTable(w, "Kernel", "Time", "Traffic", "MemTime", "Compute")
+	var shuffle, compute, lastShuffle float64
+	var perBatchShares []float64
+	for _, k := range ks {
+		r, err := dev.Run(k)
+		if err != nil {
+			return err
+		}
+		tb.row(k.Name, fmtDur(r.Time), fmtBytes(r.TrafficB), fmtDur(r.MemTime), fmtDur(r.ComputeTime))
+		if k.Name == "shuffle" || k.Name == "restore" || k.Name == "bitrev" {
+			shuffle += r.Time
+			lastShuffle = r.Time
+		} else {
+			compute += r.Time
+			if lastShuffle > 0 {
+				perBatchShares = append(perBatchShares, lastShuffle/(lastShuffle+r.Time))
+				lastShuffle = 0
+			}
+		}
+	}
+	tb.flush()
+	fmt.Fprintf(w, "  shuffle passes are %.0f%% of total baseline NTT time\n",
+		100*shuffle/(shuffle+compute))
+	for i, s := range perBatchShares {
+		fmt.Fprintf(w, "  batch %d: shuffle is %.0f%% of the batch (paper: 42%%-81%%)\n", i+1, 100*s)
+	}
+
+	// Strided vs contiguous access on the raw model.
+	elem := int64(fr.Limbs() * 8)
+	n := int64(1) << logn
+	contig := gpusim.Access{Count: 1, SegmentBytes: n * elem}
+	strided := gpusim.Access{Count: n * int64(fr.Limbs()), SegmentBytes: 8}
+	line := dev.L2LineBytes
+	fmt.Fprintf(w, "  contiguous pass traffic: %s; fine-grained strided: %s (%.1f× waste)\n",
+		fmtBytes(contig.Traffic(line)), fmtBytes(strided.Traffic(line)),
+		float64(strided.Traffic(line))/float64(contig.Traffic(line)))
+	return nil
+}

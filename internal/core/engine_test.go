@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+
+	"gzkp/internal/curve"
+	"gzkp/internal/msm"
+	"gzkp/internal/ntt"
+	"gzkp/internal/workload"
+)
+
+func smallPipeline(t testing.TB, id curve.ID) *workload.Pipeline {
+	t.Helper()
+	app := workload.App{Name: "test", VectorSize: 500, Curve: id, Sparsity: 0.6}
+	p, err := workload.BuildPipeline(app, 512, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPipelineShape(t *testing.T) {
+	p := smallPipeline(t, curve.BN254)
+	e := NewGZKP(curve.BN254)
+	res, err := e.ProvePipeline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NTTStats) != 7 {
+		t.Fatalf("POLY ran %d NTTs, want 7", len(res.NTTStats))
+	}
+	if len(res.MSMStats) != 5 || len(res.Outputs) != 5 {
+		t.Fatalf("MSM stage ran %d ops, want 5", len(res.MSMStats))
+	}
+	if res.TotalNS() <= 0 {
+		t.Fatal("no time recorded")
+	}
+}
+
+func TestEnginesAgree(t *testing.T) {
+	// GZKP and baseline engines must compute identical MSM outputs —
+	// the strategies differ only in execution plan.
+	for _, id := range []curve.ID{curve.BN254, curve.MNT4753Sim} {
+		p := smallPipeline(t, id)
+		rG, err := NewGZKP(id).ProvePipeline(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rB, err := NewBaseline(id).ProvePipeline(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := curve.Get(id).G1
+		for i := range rG.Outputs {
+			if !g.EqualAffine(rG.Outputs[i], rB.Outputs[i]) {
+				t.Fatalf("curve %v: output %d differs between engines", id, i)
+			}
+		}
+	}
+}
+
+func TestMultiDeviceMatchesSingle(t *testing.T) {
+	p := smallPipeline(t, curve.BN254)
+	single := NewGZKP(curve.BN254)
+	multi := NewGZKP(curve.BN254)
+	multi.Devices = 4
+	r1, err := single.ProvePipeline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := multi.ProvePipeline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := curve.Get(curve.BN254).G1
+	for i := range r1.Outputs {
+		if !g.EqualAffine(r1.Outputs[i], r4.Outputs[i]) {
+			t.Fatalf("4-device partition changed MSM output %d", i)
+		}
+	}
+}
+
+func TestCurveMismatchRejected(t *testing.T) {
+	p := smallPipeline(t, curve.BN254)
+	if _, err := NewGZKP(curve.BLS12381).ProvePipeline(p); err == nil {
+		t.Fatal("curve mismatch accepted")
+	}
+}
+
+func TestMNT4753SimPipeline(t *testing.T) {
+	// The 753-bit curve runs the full pipeline even without a pairing.
+	p := smallPipeline(t, curve.MNT4753Sim)
+	e := NewGZKP(curve.MNT4753Sim)
+	e.MSM.MemoryBudget = 64 << 20 // force a checkpoint interval > 1
+	res, err := e.ProvePipeline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MSMStats[0].Checkpoint < 1 {
+		t.Fatal("checkpoint interval missing")
+	}
+}
+
+func TestStrategyOverrides(t *testing.T) {
+	p := smallPipeline(t, curve.BN254)
+	e := &Engine{
+		Curve:   curve.Get(curve.BN254),
+		NTT:     ntt.Config{Strategy: ntt.SerialPrecomp},
+		MSM:     msm.Config{Strategy: msm.Straus, WindowBits: 3},
+		Devices: 1,
+	}
+	ref, err := NewGZKP(curve.BN254).ProvePipeline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.ProvePipeline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := curve.Get(curve.BN254).G1
+	for i := range ref.Outputs {
+		if !g.EqualAffine(ref.Outputs[i], got.Outputs[i]) {
+			t.Fatalf("strategy override changed result %d", i)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package curve
+
+import (
+	"math/big"
+	mrand "math/rand"
+	"testing"
+
+	"gzkp/internal/tower"
+)
+
+func TestAffineBatchSumMatchesSequential(t *testing.T) {
+	for _, id := range []ID{BN254, MNT4753Sim} {
+		g := Get(id).G1
+		ops := g.NewOps()
+		rng := mrand.New(mrand.NewSource(3))
+		for _, n := range []int{0, 1, 2, 3, 17, 64, 101} {
+			pts := make([]Affine, n)
+			var want Jacobian
+			ops.SetInfinity(&want)
+			for i := range pts {
+				k := big.NewInt(int64(rng.Intn(1<<20) + 1))
+				pts[i] = ops.ToAffine(ops.ScalarMul(g.Generator(), k))
+				ops.AddMixedAssign(&want, pts[i])
+			}
+			got := g.AffineBatchSum(pts)
+			if !g.EqualAffine(got, ops.ToAffine(&want)) {
+				t.Fatalf("%v n=%d: batch sum mismatch", id, n)
+			}
+		}
+	}
+}
+
+func TestAffineBatchSumDegenerate(t *testing.T) {
+	g := Get(BN254).G1
+	ops := g.NewOps()
+	gen := g.Generator()
+	two := ops.ToAffine(ops.ScalarMul(gen, big.NewInt(2)))
+	three := ops.ToAffine(ops.ScalarMul(gen, big.NewInt(3)))
+
+	// Duplicate points force the doubling branch.
+	got := g.AffineBatchSum([]Affine{gen, gen})
+	if !g.EqualAffine(got, two) {
+		t.Fatal("P+P != 2P in batch path")
+	}
+	// P + (-P) cancels to infinity.
+	got = g.AffineBatchSum([]Affine{gen, g.NegAffine(gen)})
+	if !got.Inf {
+		t.Fatal("P + (-P) != O in batch path")
+	}
+	// Cancellation in the middle of a larger batch.
+	got = g.AffineBatchSum([]Affine{gen, g.NegAffine(gen), two, gen})
+	if !g.EqualAffine(got, ops.ToAffine(ops.ScalarMul(gen, big.NewInt(3)))) {
+		t.Fatal("partial cancellation mishandled")
+	}
+	// Infinities are skipped.
+	got = g.AffineBatchSum([]Affine{g.Infinity(), two, g.Infinity(), gen})
+	if !g.EqualAffine(got, three) {
+		t.Fatal("infinities mishandled")
+	}
+	// All-infinity and empty.
+	if !g.AffineBatchSum(nil).Inf || !g.AffineBatchSum([]Affine{g.Infinity()}).Inf {
+		t.Fatal("empty batch should be O")
+	}
+	// Many copies of the same point: n·P (stresses repeated doubling).
+	same := make([]Affine, 13)
+	for i := range same {
+		same[i] = gen
+	}
+	got = g.AffineBatchSum(same)
+	if !g.EqualAffine(got, ops.ToAffine(ops.ScalarMul(gen, big.NewInt(13)))) {
+		t.Fatal("13 copies != 13P")
+	}
+}
+
+func TestCompressRoundTrip(t *testing.T) {
+	for _, c := range allCurves(t) {
+		groups := []*Group{c.G1}
+		if c.G2 != nil {
+			groups = append(groups, c.G2)
+		}
+		for _, g := range groups {
+			ops := g.NewOps()
+			rng := mrand.New(mrand.NewSource(9))
+			for i := 0; i < 6; i++ {
+				k := big.NewInt(int64(rng.Intn(1<<30) + 1))
+				p := ops.ToAffine(ops.ScalarMul(g.Generator(), k))
+				enc := g.Compress(p)
+				if len(enc) != g.CompressedLen() {
+					t.Fatalf("%s: length %d != %d", g.Name, len(enc), g.CompressedLen())
+				}
+				back, err := g.Decompress(enc)
+				if err != nil {
+					t.Fatalf("%s: %v", g.Name, err)
+				}
+				if !g.EqualAffine(p, back) {
+					t.Fatalf("%s: compress roundtrip mismatch", g.Name)
+				}
+				// The negated point must roundtrip distinctly.
+				neg := g.NegAffine(p)
+				back2, err := g.Decompress(g.Compress(neg))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !g.EqualAffine(neg, back2) {
+					t.Fatalf("%s: negated point roundtrip mismatch", g.Name)
+				}
+			}
+			// Infinity.
+			inf, err := g.Decompress(g.Compress(g.Infinity()))
+			if err != nil || !inf.Inf {
+				t.Fatalf("%s: infinity roundtrip: %v", g.Name, err)
+			}
+			// Rejections: bad header, bad length, off-curve x, dirty infinity.
+			enc := g.Compress(g.Generator())
+			enc[0] = 7
+			if _, err := g.Decompress(enc); err == nil {
+				t.Fatalf("%s: bad header accepted", g.Name)
+			}
+			if _, err := g.Decompress(enc[:len(enc)-1]); err == nil {
+				t.Fatalf("%s: short encoding accepted", g.Name)
+			}
+			dirty := g.Compress(g.Infinity())
+			dirty[1] = 1
+			if _, err := g.Decompress(dirty); err == nil {
+				t.Fatalf("%s: dirty infinity accepted", g.Name)
+			}
+		}
+	}
+	// An x with no curve point must be rejected (scan for one).
+	g := Get(BN254).G1
+	f := g.K.(*tower.Prime).F
+	for v := uint64(1); v < 100; v++ {
+		x := f.FromUint64(v)
+		rhs := f.Square(f.New(), x)
+		f.Mul(rhs, rhs, x)
+		f.Add(rhs, rhs, g.B)
+		if f.Legendre(rhs) == -1 {
+			enc := make([]byte, g.CompressedLen())
+			enc[0] = 2
+			copy(enc[1:], f.Bytes(x))
+			if _, err := g.Decompress(enc); err == nil {
+				t.Fatal("off-curve x accepted")
+			}
+			return
+		}
+	}
+	t.Fatal("no non-curve x found below 100 (astronomically unlikely)")
+}

@@ -1,0 +1,126 @@
+package curve
+
+import (
+	"fmt"
+
+	"gzkp/internal/tower"
+)
+
+// Compressed point encoding: one header byte (0 = infinity, 2 = y even,
+// 3 = y odd — the SEC-style convention) followed by the x coordinate in
+// canonical big-endian form (both Fq2 limbs for G2). Halves proving-key
+// and proof transport size; decompression recovers y by square root and
+// parity selection and validates curve membership by construction.
+
+// CompressedLen returns the encoded size for this group's points.
+func (g *Group) CompressedLen() int {
+	switch k := g.K.(type) {
+	case *tower.Prime:
+		return 1 + k.F.ByteLen()
+	case *tower.Ext:
+		return 1 + 2*basePrime(k).F.ByteLen()
+	default:
+		panic("curve: unsupported coordinate field")
+	}
+}
+
+// Compress encodes p.
+func (g *Group) Compress(p Affine) []byte {
+	out := make([]byte, 1, g.CompressedLen())
+	if p.Inf {
+		out[0] = 0
+		return append(out, make([]byte, g.CompressedLen()-1)...)
+	}
+	if g.yParity(p.Y) == 0 {
+		out[0] = 2
+	} else {
+		out[0] = 3
+	}
+	switch k := g.K.(type) {
+	case *tower.Prime:
+		out = append(out, k.F.Bytes(p.X)...)
+	case *tower.Ext:
+		f := basePrime(k).F
+		out = append(out, f.Bytes(k.Coeff(p.X, 0))...)
+		out = append(out, f.Bytes(k.Coeff(p.X, 1))...)
+	}
+	return out
+}
+
+// Decompress decodes and validates an encoding produced by Compress.
+func (g *Group) Decompress(data []byte) (Affine, error) {
+	if len(data) != g.CompressedLen() {
+		return Affine{}, fmt.Errorf("curve %s: compressed point needs %d bytes, got %d",
+			g.Name, g.CompressedLen(), len(data))
+	}
+	switch data[0] {
+	case 0:
+		for _, b := range data[1:] {
+			if b != 0 {
+				return Affine{}, fmt.Errorf("curve %s: nonzero payload on infinity encoding", g.Name)
+			}
+		}
+		return g.Infinity(), nil
+	case 2, 3:
+	default:
+		return Affine{}, fmt.Errorf("curve %s: bad compression header %d", g.Name, data[0])
+	}
+	K := g.K
+	var x []uint64
+	switch k := K.(type) {
+	case *tower.Prime:
+		v, err := k.F.SetBytes(data[1:])
+		if err != nil {
+			return Affine{}, err
+		}
+		x = v
+	case *tower.Ext:
+		f := basePrime(k).F
+		half := f.ByteLen()
+		c0, err := f.SetBytes(data[1 : 1+half])
+		if err != nil {
+			return Affine{}, err
+		}
+		c1, err := f.SetBytes(data[1+half:])
+		if err != nil {
+			return Affine{}, err
+		}
+		x = k.Zero()
+		k.SetCoeff(x, 0, c0)
+		k.SetCoeff(x, 1, c1)
+	}
+	// y² = x³ + Ax + B.
+	rhs := K.Square(K.Zero(), x)
+	K.Mul(rhs, rhs, x)
+	t := K.Mul(K.Zero(), g.A, x)
+	K.Add(rhs, rhs, t)
+	K.Add(rhs, rhs, g.B)
+	y, err := g.sqrtK(rhs)
+	if err != nil {
+		return Affine{}, fmt.Errorf("curve %s: x is not on the curve", g.Name)
+	}
+	if g.yParity(y) != uint(data[0]-2) {
+		K.Neg(y, y)
+	}
+	return Affine{X: x, Y: y}, nil
+}
+
+// yParity returns the low bit of y's canonical form (of the c0 limb for
+// extension coordinates; c1 breaks ties only when c0 has no parity — not
+// needed since negation flips c0 unless it is zero, in which case c1's
+// parity is used).
+func (g *Group) yParity(y []uint64) uint {
+	switch k := g.K.(type) {
+	case *tower.Prime:
+		return uint(k.F.ToBig(y).Bit(0))
+	case *tower.Ext:
+		f := basePrime(k).F
+		c0 := k.Coeff(y, 0)
+		if !f.IsZero(c0) {
+			return uint(f.ToBig(c0).Bit(0))
+		}
+		return uint(f.ToBig(k.Coeff(y, 1)).Bit(0))
+	default:
+		panic("curve: unsupported coordinate field")
+	}
+}

@@ -1,0 +1,80 @@
+package curve
+
+import "math/big"
+
+// FixedBase accelerates repeated scalar multiplication of one base point
+// (the trusted-setup workload: thousands of s·G for the same G) with a
+// byte-windowed table: table[w][d-1] = d·2^(8w)·G.
+type FixedBase struct {
+	g       *Group
+	windows [][]Affine
+}
+
+// NewFixedBase precomputes the table for base (≈ bits/8 × 255 points,
+// batch-normalized in one inversion).
+func (g *Group) NewFixedBase(base Affine) *FixedBase {
+	ops := g.NewOps()
+	numWindows := (g.Fr.Bits() + 7) / 8
+	all := make([]Jacobian, numWindows*255)
+	var cur Jacobian
+	ops.FromAffine(&cur, base)
+	for w := 0; w < numWindows; w++ {
+		var acc Jacobian
+		ops.SetInfinity(&acc)
+		for d := 0; d < 255; d++ {
+			ops.AddAssign(&acc, &cur)
+			ops.Copy(&all[w*255+d], &acc)
+		}
+		// cur ← 2^8 · cur for the next window.
+		for b := 0; b < 8; b++ {
+			ops.DoubleAssign(&cur)
+		}
+	}
+	flat := g.BatchToAffine(all)
+	fb := &FixedBase{g: g, windows: make([][]Affine, numWindows)}
+	for w := 0; w < numWindows; w++ {
+		fb.windows[w] = flat[w*255 : (w+1)*255]
+	}
+	return fb
+}
+
+// Mul computes s·base using the table (≈ one mixed add per scalar byte).
+// Safe for concurrent use with distinct Ops.
+func (fb *FixedBase) Mul(ops *Ops, s *big.Int) Jacobian {
+	var acc Jacobian
+	ops.SetInfinity(&acc)
+	if s.Sign() == 0 {
+		return acc
+	}
+	neg := false
+	if s.Sign() < 0 {
+		neg = true
+		s = new(big.Int).Neg(s)
+	}
+	bytes := s.Bytes() // big-endian
+	for i := range bytes {
+		w := len(bytes) - 1 - i // window index (little-endian byte order)
+		d := int(bytes[i])
+		if d == 0 {
+			continue
+		}
+		if w >= len(fb.windows) {
+			// Scalar wider than the table (reduced scalars never are).
+			p := ops.ScalarMul(fb.g.Generator(), s)
+			if neg {
+				ops.NegAssign(p)
+			}
+			return *p
+		}
+		ops.AddMixedAssign(&acc, fb.windows[w][d-1])
+	}
+	if neg {
+		ops.NegAssign(&acc)
+	}
+	return acc
+}
+
+// MulElement multiplies by a scalar-field element.
+func (fb *FixedBase) MulElement(ops *Ops, s []uint64) Jacobian {
+	return fb.Mul(ops, fb.g.Fr.ToBig(s))
+}

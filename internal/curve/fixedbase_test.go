@@ -1,0 +1,97 @@
+package curve
+
+import (
+	"math/big"
+	mrand "math/rand"
+	"testing"
+)
+
+func TestFixedBaseMatchesScalarMul(t *testing.T) {
+	for _, id := range []ID{BN254, BLS12381} {
+		c := Get(id)
+		for _, g := range []*Group{c.G1, c.G2} {
+			fb := g.NewFixedBase(g.Generator())
+			ops := g.NewOps()
+			rng := mrand.New(mrand.NewSource(5))
+			for i := 0; i < 8; i++ {
+				s := new(big.Int).Rand(rng, g.Fr.Modulus())
+				got := fb.Mul(ops, s)
+				want := ops.ScalarMul(g.Generator(), s)
+				if !ops.Equal(&got, want) {
+					t.Fatalf("%s: FixedBase.Mul mismatch", g.Name)
+				}
+			}
+			// Edge scalars.
+			zero := fb.Mul(ops, big.NewInt(0))
+			if !ops.IsInfinity(&zero) {
+				t.Fatalf("%s: 0·G != O", g.Name)
+			}
+			one := fb.Mul(ops, big.NewInt(1))
+			if !g.EqualAffine(ops.ToAffine(&one), g.Generator()) {
+				t.Fatalf("%s: 1·G != G", g.Name)
+			}
+			neg := fb.Mul(ops, big.NewInt(-7))
+			pos := fb.Mul(ops, big.NewInt(7))
+			ops.NegAssign(&pos)
+			if !ops.Equal(&neg, &pos) {
+				t.Fatalf("%s: negative scalar broken", g.Name)
+			}
+			// Element path.
+			e := g.Fr.FromUint64(123456789)
+			byElem := fb.MulElement(ops, e)
+			byBig := fb.Mul(ops, big.NewInt(123456789))
+			if !ops.Equal(&byElem, &byBig) {
+				t.Fatalf("%s: MulElement mismatch", g.Name)
+			}
+		}
+	}
+}
+
+func TestFixedBaseOversizedScalarFallback(t *testing.T) {
+	g := Get(BN254).G1
+	fb := g.NewFixedBase(g.Generator())
+	ops := g.NewOps()
+	// Scalar wider than the table (reduced scalars never are, but the API
+	// takes arbitrary big.Ints).
+	huge := new(big.Int).Lsh(big.NewInt(1), 400)
+	huge.Add(huge, big.NewInt(5))
+	got := fb.Mul(ops, huge)
+	want := ops.ScalarMul(g.Generator(), huge)
+	if !ops.Equal(&got, want) {
+		t.Fatal("oversized-scalar fallback mismatch")
+	}
+}
+
+func TestScalarMulWNAF(t *testing.T) {
+	g := Get(BN254).G1
+	ops := g.NewOps()
+	gen := g.Generator()
+	rng := mrand.New(mrand.NewSource(7))
+	for _, w := range []uint{2, 4, 5, 8, 0 /* defaulted */} {
+		for i := 0; i < 6; i++ {
+			k := new(big.Int).Rand(rng, g.Fr.Modulus())
+			got := ops.ScalarMulWNAF(gen, k, w)
+			want := ops.ScalarMul(gen, k)
+			if !ops.Equal(got, want) {
+				t.Fatalf("w=%d: wNAF mismatch", w)
+			}
+		}
+	}
+	// Edges: zero, one, negative, infinity base.
+	if !ops.IsInfinity(ops.ScalarMulWNAF(gen, big.NewInt(0), 4)) {
+		t.Fatal("0·G != O")
+	}
+	one := ops.ToAffine(ops.ScalarMulWNAF(gen, big.NewInt(1), 4))
+	if !g.EqualAffine(one, gen) {
+		t.Fatal("1·G != G")
+	}
+	neg := ops.ScalarMulWNAF(gen, big.NewInt(-99), 4)
+	pos := ops.ScalarMulWNAF(gen, big.NewInt(99), 4)
+	ops.NegAssign(pos)
+	if !ops.Equal(neg, pos) {
+		t.Fatal("negative wNAF broken")
+	}
+	if !ops.IsInfinity(ops.ScalarMulWNAF(g.Infinity(), big.NewInt(5), 4)) {
+		t.Fatal("k·O != O")
+	}
+}

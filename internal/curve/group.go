@@ -1,0 +1,519 @@
+// Package curve implements the elliptic-curve groups GZKP computes over:
+// G1 and G2 for BN254 (ALT-BN128) and BLS12-381, and the synthetic
+// MNT4753-sim group (see DESIGN.md §1). Point arithmetic is generic over a
+// tower.Field of coordinates, so the same Jacobian formulas serve prime-
+// field G1 and quadratic-extension G2.
+package curve
+
+import (
+	"fmt"
+	"math/big"
+
+	"gzkp/internal/ff"
+	"gzkp/internal/tower"
+)
+
+// Group is an elliptic-curve group y² = x³ + Ax + B over coordinate field K
+// with scalar field Fr (the prime-order subgroup GZKP works in).
+type Group struct {
+	Name string
+	K    tower.Field
+	A, B []uint64
+	// Fr is the scalar field (order of the cryptographic subgroup).
+	Fr *ff.Field
+	// Cofactor maps arbitrary curve points into the r-order subgroup; nil
+	// when unknown (MNT4753-sim, where the total group order is unknown).
+	Cofactor *big.Int
+
+	gen Affine
+}
+
+// Affine is an affine point; Inf marks the identity.
+type Affine struct {
+	X, Y []uint64
+	Inf  bool
+}
+
+// Jacobian is a point in Jacobian projective coordinates (X/Z², Y/Z³);
+// Z == 0 marks the identity.
+type Jacobian struct {
+	X, Y, Z []uint64
+}
+
+// Generator returns (a copy of) the group generator.
+func (g *Group) Generator() Affine { return g.CopyAffine(g.gen) }
+
+// CopyAffine deep-copies a point.
+func (g *Group) CopyAffine(p Affine) Affine {
+	if p.Inf {
+		return Affine{Inf: true}
+	}
+	return Affine{X: g.K.Copy(p.X), Y: g.K.Copy(p.Y)}
+}
+
+// Infinity returns the affine identity.
+func (g *Group) Infinity() Affine { return Affine{Inf: true} }
+
+// NegAffine returns -p.
+func (g *Group) NegAffine(p Affine) Affine {
+	if p.Inf {
+		return p
+	}
+	return Affine{X: g.K.Copy(p.X), Y: g.K.Neg(g.K.Zero(), p.Y)}
+}
+
+// EqualAffine reports p == q.
+func (g *Group) EqualAffine(p, q Affine) bool {
+	if p.Inf || q.Inf {
+		return p.Inf == q.Inf
+	}
+	return g.K.Equal(p.X, q.X) && g.K.Equal(p.Y, q.Y)
+}
+
+// IsOnCurve verifies y² == x³ + Ax + B (identity counts as on-curve).
+func (g *Group) IsOnCurve(p Affine) bool {
+	if p.Inf {
+		return true
+	}
+	K := g.K
+	lhs := K.Square(K.Zero(), p.Y)
+	rhs := K.Square(K.Zero(), p.X)
+	K.Mul(rhs, rhs, p.X)
+	t := K.Mul(K.Zero(), g.A, p.X)
+	K.Add(rhs, rhs, t)
+	K.Add(rhs, rhs, g.B)
+	return K.Equal(lhs, rhs)
+}
+
+// Ops holds per-goroutine scratch for point arithmetic. Each worker must
+// create its own Ops with NewOps; the methods are not safe for concurrent
+// use of a single Ops.
+type Ops struct {
+	g *Group
+	t [12][]uint64
+}
+
+// NewOps allocates scratch for point arithmetic on g.
+func (g *Group) NewOps() *Ops {
+	o := &Ops{g: g}
+	for i := range o.t {
+		o.t[i] = g.K.Zero()
+	}
+	return o
+}
+
+// Group returns the group these ops act on.
+func (o *Ops) Group() *Group { return o.g }
+
+// SetInfinity makes p the identity (allocating coordinates if needed).
+func (o *Ops) SetInfinity(p *Jacobian) {
+	K := o.g.K
+	if p.X == nil {
+		p.X, p.Y, p.Z = K.Zero(), K.One(), K.Zero()
+		return
+	}
+	for i := range p.Z {
+		p.Z[i] = 0
+	}
+}
+
+// IsInfinity reports whether p is the identity.
+func (o *Ops) IsInfinity(p *Jacobian) bool { return o.g.K.IsZero(p.Z) }
+
+// FromAffine loads an affine point into Jacobian form.
+func (o *Ops) FromAffine(p *Jacobian, a Affine) {
+	K := o.g.K
+	if p.X == nil {
+		p.X, p.Y, p.Z = K.Zero(), K.Zero(), K.Zero()
+	}
+	if a.Inf {
+		o.SetInfinity(p)
+		return
+	}
+	K.Set(p.X, a.X)
+	K.Set(p.Y, a.Y)
+	K.Set(p.Z, K.One())
+}
+
+// Copy sets dst = src.
+func (o *Ops) Copy(dst, src *Jacobian) {
+	K := o.g.K
+	if dst.X == nil {
+		dst.X, dst.Y, dst.Z = K.Zero(), K.Zero(), K.Zero()
+	}
+	K.Set(dst.X, src.X)
+	K.Set(dst.Y, src.Y)
+	K.Set(dst.Z, src.Z)
+}
+
+// NegAssign sets p = -p.
+func (o *Ops) NegAssign(p *Jacobian) { o.g.K.Neg(p.Y, p.Y) }
+
+// DoubleAssign sets p = 2p (dbl-2007-bl; valid for any curve A).
+func (o *Ops) DoubleAssign(p *Jacobian) {
+	if o.IsInfinity(p) {
+		return
+	}
+	K := o.g.K
+	xx, yy, yyyy, zz := o.t[0], o.t[1], o.t[2], o.t[3]
+	s, m, u := o.t[4], o.t[5], o.t[6]
+	K.Square(xx, p.X)
+	K.Square(yy, p.Y)
+	K.Square(yyyy, yy)
+	K.Square(zz, p.Z)
+	// S = 2*((X+YY)² - XX - YYYY)
+	K.Add(s, p.X, yy)
+	K.Square(s, s)
+	K.Sub(s, s, xx)
+	K.Sub(s, s, yyyy)
+	K.Double(s, s)
+	// M = 3*XX + A*ZZ²
+	K.Double(m, xx)
+	K.Add(m, m, xx)
+	if !K.IsZero(o.g.A) {
+		K.Square(u, zz)
+		K.Mul(u, u, o.g.A)
+		K.Add(m, m, u)
+	}
+	// Z' = (Y+Z)² - YY - ZZ  (computed before X/Y which clobber inputs)
+	K.Add(u, p.Y, p.Z)
+	K.Square(u, u)
+	K.Sub(u, u, yy)
+	K.Sub(u, u, zz)
+	K.Set(p.Z, u)
+	// X' = M² - 2S
+	K.Square(p.X, m)
+	K.Sub(p.X, p.X, s)
+	K.Sub(p.X, p.X, s)
+	// Y' = M*(S - X') - 8*YYYY
+	K.Sub(s, s, p.X)
+	K.Mul(s, s, m)
+	K.Double(yyyy, yyyy)
+	K.Double(yyyy, yyyy)
+	K.Double(yyyy, yyyy)
+	K.Sub(p.Y, s, yyyy)
+}
+
+// AddAssign sets p = p + q (add-2007-bl with full case analysis).
+func (o *Ops) AddAssign(p, q *Jacobian) {
+	if o.IsInfinity(q) {
+		return
+	}
+	if o.IsInfinity(p) {
+		o.Copy(p, q)
+		return
+	}
+	K := o.g.K
+	z1z1, z2z2, u1, u2 := o.t[0], o.t[1], o.t[2], o.t[3]
+	s1, s2, h, i := o.t[4], o.t[5], o.t[6], o.t[7]
+	j, rr, v := o.t[8], o.t[9], o.t[10]
+	K.Square(z1z1, p.Z)
+	K.Square(z2z2, q.Z)
+	K.Mul(u1, p.X, z2z2)
+	K.Mul(u2, q.X, z1z1)
+	K.Mul(s1, p.Y, q.Z)
+	K.Mul(s1, s1, z2z2)
+	K.Mul(s2, q.Y, p.Z)
+	K.Mul(s2, s2, z1z1)
+	K.Sub(h, u2, u1)
+	K.Sub(rr, s2, s1)
+	if K.IsZero(h) {
+		if K.IsZero(rr) {
+			o.DoubleAssign(p)
+			return
+		}
+		o.SetInfinity(p)
+		return
+	}
+	K.Double(rr, rr) // r = 2*(S2-S1)
+	K.Double(i, h)
+	K.Square(i, i) // I = (2H)²
+	K.Mul(j, h, i)
+	K.Mul(v, u1, i)
+	// Z3 = ((Z1+Z2)² - Z1Z1 - Z2Z2) * H
+	K.Add(p.Z, p.Z, q.Z)
+	K.Square(p.Z, p.Z)
+	K.Sub(p.Z, p.Z, z1z1)
+	K.Sub(p.Z, p.Z, z2z2)
+	K.Mul(p.Z, p.Z, h)
+	// X3 = r² - J - 2V
+	K.Square(p.X, rr)
+	K.Sub(p.X, p.X, j)
+	K.Sub(p.X, p.X, v)
+	K.Sub(p.X, p.X, v)
+	// Y3 = r*(V - X3) - 2*S1*J
+	K.Sub(v, v, p.X)
+	K.Mul(v, v, rr)
+	K.Mul(s1, s1, j)
+	K.Double(s1, s1)
+	K.Sub(p.Y, v, s1)
+}
+
+// AddMixedAssign sets p = p + q for an affine q (madd-2007-bl), the
+// workhorse of bucket accumulation in MSM (§4).
+func (o *Ops) AddMixedAssign(p *Jacobian, q Affine) {
+	if q.Inf {
+		return
+	}
+	if o.IsInfinity(p) {
+		o.FromAffine(p, q)
+		return
+	}
+	K := o.g.K
+	z1z1, u2, s2, h := o.t[0], o.t[1], o.t[2], o.t[3]
+	hh, i, j, rr, v := o.t[4], o.t[5], o.t[6], o.t[7], o.t[8]
+	K.Square(z1z1, p.Z)
+	K.Mul(u2, q.X, z1z1)
+	K.Mul(s2, q.Y, p.Z)
+	K.Mul(s2, s2, z1z1)
+	K.Sub(h, u2, p.X)
+	K.Sub(rr, s2, p.Y)
+	if K.IsZero(h) {
+		if K.IsZero(rr) {
+			o.DoubleAssign(p)
+			return
+		}
+		o.SetInfinity(p)
+		return
+	}
+	K.Double(rr, rr)
+	K.Square(hh, h)
+	K.Double(i, hh)
+	K.Double(i, i) // I = 4*HH
+	K.Mul(j, h, i)
+	K.Mul(v, p.X, i)
+	// Z3 = (Z1+H)² - Z1Z1 - HH
+	K.Add(p.Z, p.Z, h)
+	K.Square(p.Z, p.Z)
+	K.Sub(p.Z, p.Z, z1z1)
+	K.Sub(p.Z, p.Z, hh)
+	// X3 = r² - J - 2V
+	K.Square(p.X, rr)
+	K.Sub(p.X, p.X, j)
+	K.Sub(p.X, p.X, v)
+	K.Sub(p.X, p.X, v)
+	// Y3 = r*(V-X3) - 2*Y1*J  (note p.Y still holds Y1)
+	K.Sub(v, v, p.X)
+	K.Mul(v, v, rr)
+	K.Mul(j, j, p.Y)
+	K.Double(j, j)
+	K.Sub(p.Y, v, j)
+}
+
+// Equal reports whether p and q are the same point (cross-multiplied).
+func (o *Ops) Equal(p, q *Jacobian) bool {
+	pi, qi := o.IsInfinity(p), o.IsInfinity(q)
+	if pi || qi {
+		return pi == qi
+	}
+	K := o.g.K
+	z1z1, z2z2, a, b := o.t[0], o.t[1], o.t[2], o.t[3]
+	K.Square(z1z1, p.Z)
+	K.Square(z2z2, q.Z)
+	K.Mul(a, p.X, z2z2)
+	K.Mul(b, q.X, z1z1)
+	if !K.Equal(a, b) {
+		return false
+	}
+	K.Mul(z1z1, z1z1, p.Z) // Z1³
+	K.Mul(z2z2, z2z2, q.Z) // Z2³
+	K.Mul(a, p.Y, z2z2)
+	K.Mul(b, q.Y, z1z1)
+	return K.Equal(a, b)
+}
+
+// ToAffine converts p to affine form (one field inversion).
+func (o *Ops) ToAffine(p *Jacobian) Affine {
+	if o.IsInfinity(p) {
+		return Affine{Inf: true}
+	}
+	K := o.g.K
+	zinv := K.Inverse(p.Z)
+	zinv2 := K.Square(K.Zero(), zinv)
+	zinv3 := K.Mul(K.Zero(), zinv2, zinv)
+	return Affine{
+		X: K.Mul(K.Zero(), p.X, zinv2),
+		Y: K.Mul(K.Zero(), p.Y, zinv3),
+	}
+}
+
+// ScalarMul computes k*base by double-and-add. Negative k negates the point.
+func (o *Ops) ScalarMul(base Affine, k *big.Int) *Jacobian {
+	if k.Sign() < 0 {
+		return o.ScalarMul(o.g.NegAffine(base), new(big.Int).Neg(k))
+	}
+	var acc Jacobian
+	o.SetInfinity(&acc)
+	if base.Inf || k.Sign() == 0 {
+		return &acc
+	}
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		o.DoubleAssign(&acc)
+		if k.Bit(i) == 1 {
+			o.AddMixedAssign(&acc, base)
+		}
+	}
+	return &acc
+}
+
+// ScalarMulElement computes s*base for a scalar-field element.
+func (o *Ops) ScalarMulElement(base Affine, s ff.Element) *Jacobian {
+	return o.ScalarMul(base, o.g.Fr.ToBig(s))
+}
+
+// ScalarMulWNAF computes k*base with a width-w non-adjacent form: ~n/(w+1)
+// additions instead of n/2, using a small odd-multiples table. Used where
+// single scalar multiplications are hot (proof assembly, verification).
+func (o *Ops) ScalarMulWNAF(base Affine, k *big.Int, w uint) *Jacobian {
+	if w < 2 || w > 8 {
+		w = 4
+	}
+	var acc Jacobian
+	o.SetInfinity(&acc)
+	if base.Inf || k.Sign() == 0 {
+		return &acc
+	}
+	if k.Sign() < 0 {
+		return o.ScalarMulWNAF(o.g.NegAffine(base), new(big.Int).Neg(k), w)
+	}
+	// Odd multiples table: base, 3·base, ..., (2^(w-1)-1)·base.
+	tblSize := 1 << (w - 1)
+	jacs := make([]Jacobian, tblSize/1)
+	var twoP Jacobian
+	o.FromAffine(&twoP, base)
+	o.DoubleAssign(&twoP)
+	o.FromAffine(&jacs[0], base)
+	for i := 1; i < len(jacs); i++ {
+		o.Copy(&jacs[i], &jacs[i-1])
+		o.AddAssign(&jacs[i], &twoP)
+	}
+	tbl := o.g.BatchToAffine(jacs) // tbl[i] = (2i+1)·base
+
+	// Compute the wNAF digit string.
+	digits := wnafDigits(k, w)
+	for i := len(digits) - 1; i >= 0; i-- {
+		o.DoubleAssign(&acc)
+		d := digits[i]
+		if d == 0 {
+			continue
+		}
+		if d > 0 {
+			o.AddMixedAssign(&acc, tbl[(d-1)/2])
+		} else {
+			o.AddMixedAssign(&acc, o.g.NegAffine(tbl[(-d-1)/2]))
+		}
+	}
+	return &acc
+}
+
+// wnafDigits returns the width-w NAF of k (little-endian): each nonzero
+// digit is odd, |d| < 2^(w-1), and no two nonzeros are within w positions.
+func wnafDigits(k *big.Int, w uint) []int {
+	n := new(big.Int).Set(k)
+	mod := int64(1) << w
+	half := mod >> 1
+	var out []int
+	for n.Sign() > 0 {
+		if n.Bit(0) == 1 {
+			r := new(big.Int).And(n, big.NewInt(mod-1)).Int64()
+			if r >= half {
+				r -= mod
+			}
+			out = append(out, int(r))
+			n.Sub(n, big.NewInt(r))
+		} else {
+			out = append(out, 0)
+		}
+		n.Rsh(n, 1)
+	}
+	return out
+}
+
+// BatchToAffine converts many Jacobian points with a single inversion
+// (Montgomery's trick over the coordinate field).
+func (g *Group) BatchToAffine(pts []Jacobian) []Affine {
+	K := g.K
+	out := make([]Affine, len(pts))
+	prefix := make([][]uint64, len(pts))
+	acc := K.One()
+	for i := range pts {
+		prefix[i] = K.Copy(acc)
+		if !K.IsZero(pts[i].Z) {
+			K.Mul(acc, acc, pts[i].Z)
+		}
+	}
+	inv := K.Inverse(acc)
+	zinv := K.Zero()
+	for i := len(pts) - 1; i >= 0; i-- {
+		if K.IsZero(pts[i].Z) {
+			out[i] = Affine{Inf: true}
+			continue
+		}
+		K.Mul(zinv, inv, prefix[i])
+		K.Mul(inv, inv, pts[i].Z)
+		z2 := K.Square(K.Zero(), zinv)
+		z3 := K.Mul(K.Zero(), z2, zinv)
+		out[i] = Affine{
+			X: K.Mul(K.Zero(), pts[i].X, z2),
+			Y: K.Mul(K.Zero(), pts[i].Y, z3),
+		}
+	}
+	return out
+}
+
+// FindPoint deterministically finds a curve point by scanning x-coordinates
+// upward from a small integer seed, solving y² = x³+Ax+B with a coordinate-
+// field square root. Used by generator bootstrap and tests.
+func (g *Group) FindPoint(seed uint64) (Affine, error) {
+	K := g.K
+	for i := uint64(0); i < 10000; i++ {
+		x := g.embedSmall(seed + i)
+		rhs := K.Square(K.Zero(), x)
+		K.Mul(rhs, rhs, x)
+		t := K.Mul(K.Zero(), g.A, x)
+		K.Add(rhs, rhs, t)
+		K.Add(rhs, rhs, g.B)
+		y, err := g.sqrtK(rhs)
+		if err != nil {
+			continue
+		}
+		return Affine{X: x, Y: y}, nil
+	}
+	return Affine{}, fmt.Errorf("curve %s: no point found from seed %d", g.Name, seed)
+}
+
+func (g *Group) embedSmall(v uint64) []uint64 {
+	switch k := g.K.(type) {
+	case *tower.Prime:
+		return k.F.FromUint64(v)
+	case *tower.Ext:
+		// Spread the seed over both coefficients so the scan explores the
+		// extension, not just the base subfield.
+		p := basePrime(k)
+		z := k.Zero()
+		k.SetCoeff(z, 0, p.F.FromUint64(v))
+		k.SetCoeff(z, 1, p.F.FromUint64(v/3+1))
+		return z
+	default:
+		panic("curve: unsupported coordinate field")
+	}
+}
+
+func (g *Group) sqrtK(v []uint64) ([]uint64, error) {
+	switch k := g.K.(type) {
+	case *tower.Prime:
+		return k.F.Sqrt(v)
+	case *tower.Ext:
+		return k.Sqrt(v)
+	default:
+		panic("curve: unsupported coordinate field")
+	}
+}
+
+func basePrime(e *tower.Ext) *tower.Prime {
+	p, ok := e.Base().(*tower.Prime)
+	if !ok {
+		panic("curve: coordinate tower deeper than quadratic-over-prime")
+	}
+	return p
+}

@@ -1,0 +1,234 @@
+package ff
+
+import "math/bits"
+
+// Add sets z = x + y mod p and returns z. z may alias x or y.
+func (f *Field) Add(z, x, y Element) Element {
+	var carry uint64
+	for i := 0; i < f.n; i++ {
+		z[i], carry = bits.Add64(x[i], y[i], carry)
+	}
+	if carry != 0 || !f.ltP(z) {
+		f.subP(z)
+	}
+	return z
+}
+
+// Sub sets z = x - y mod p and returns z. z may alias x or y.
+func (f *Field) Sub(z, x, y Element) Element {
+	var borrow uint64
+	for i := 0; i < f.n; i++ {
+		z[i], borrow = bits.Sub64(x[i], y[i], borrow)
+	}
+	if borrow != 0 {
+		var carry uint64
+		for i := 0; i < f.n; i++ {
+			z[i], carry = bits.Add64(z[i], f.p[i], carry)
+		}
+	}
+	return z
+}
+
+// Neg sets z = -x mod p and returns z. z may alias x.
+func (f *Field) Neg(z, x Element) Element {
+	if f.IsZero(x) {
+		for i := range z {
+			z[i] = 0
+		}
+		return z
+	}
+	var borrow uint64
+	for i := 0; i < f.n; i++ {
+		z[i], borrow = bits.Sub64(f.p[i], x[i], borrow)
+	}
+	_ = borrow // x < p, so no final borrow
+	return z
+}
+
+// Double sets z = 2x mod p.
+func (f *Field) Double(z, x Element) Element { return f.Add(z, x, x) }
+
+// Halve sets z = x/2 mod p (x/2 if even, (x+p)/2 otherwise).
+func (f *Field) Halve(z, x Element) Element {
+	var carry uint64
+	if x[0]&1 == 0 {
+		copy(z, x)
+	} else {
+		for i := 0; i < f.n; i++ {
+			z[i], carry = bits.Add64(x[i], f.p[i], carry)
+		}
+	}
+	for i := 0; i < f.n-1; i++ {
+		z[i] = z[i]>>1 | z[i+1]<<63
+	}
+	z[f.n-1] = z[f.n-1]>>1 | carry<<63
+	return z
+}
+
+// Mul sets z = x * y mod p (all Montgomery form) using CIOS Montgomery
+// multiplication. z may alias x or y.
+func (f *Field) Mul(z, x, y Element) Element {
+	var t [MaxLimbs + 2]uint64
+	n := f.n
+	for i := 0; i < n; i++ {
+		// t += x[i] * y
+		var c uint64
+		xi := x[i]
+		for j := 0; j < n; j++ {
+			hi, lo := bits.Mul64(xi, y[j])
+			var cc uint64
+			lo, cc = bits.Add64(lo, t[j], 0)
+			hi += cc
+			lo, cc = bits.Add64(lo, c, 0)
+			hi += cc
+			t[j] = lo
+			c = hi
+		}
+		var cc uint64
+		t[n], cc = bits.Add64(t[n], c, 0)
+		t[n+1] = cc
+
+		// Montgomery step: fold in m*p and shift one limb.
+		m := t[0] * f.inv
+		hi, lo := bits.Mul64(m, f.p[0])
+		_, cc = bits.Add64(lo, t[0], 0)
+		c = hi + cc // cannot overflow: hi <= 2^64-2
+		for j := 1; j < n; j++ {
+			hi, lo = bits.Mul64(m, f.p[j])
+			lo, cc = bits.Add64(lo, t[j], 0)
+			hi += cc
+			lo, cc = bits.Add64(lo, c, 0)
+			hi += cc
+			t[j-1] = lo
+			c = hi
+		}
+		t[n-1], cc = bits.Add64(t[n], c, 0)
+		t[n] = t[n+1] + cc
+	}
+	copy(z, t[:n])
+	if t[n] != 0 || !f.ltP(z) {
+		f.subP(z)
+	}
+	return z
+}
+
+// Square sets z = x^2 mod p with SOS (separated operand scanning):
+// off-diagonal partial products are computed once and doubled, saving ~25%
+// of the word multiplies versus Mul(x, x). z may alias x.
+func (f *Field) Square(z, x Element) Element {
+	n := f.n
+	var t [2*MaxLimbs + 1]uint64
+	// Off-diagonal products x[i]·x[j], j > i.
+	for i := 0; i < n; i++ {
+		var c uint64
+		xi := x[i]
+		for j := i + 1; j < n; j++ {
+			hi, lo := bits.Mul64(xi, x[j])
+			var cc uint64
+			lo, cc = bits.Add64(lo, t[i+j], 0)
+			hi += cc
+			lo, cc = bits.Add64(lo, c, 0)
+			hi += cc
+			t[i+j] = lo
+			c = hi
+		}
+		t[i+n] = c
+	}
+	// Double the off-diagonal region.
+	var carry uint64
+	for i := 1; i < 2*n; i++ {
+		nc := t[i] >> 63
+		t[i] = t[i]<<1 | carry
+		carry = nc
+	}
+	// Add the diagonal squares.
+	var c uint64
+	for i := 0; i < n; i++ {
+		hi, lo := bits.Mul64(x[i], x[i])
+		var cc uint64
+		t[2*i], cc = bits.Add64(t[2*i], lo, c)
+		t[2*i+1], c = bits.Add64(t[2*i+1], hi, cc)
+	}
+	// Montgomery reduction of the 2n-word square.
+	for i := 0; i < n; i++ {
+		m := t[i] * f.inv
+		c = 0
+		for j := 0; j < n; j++ {
+			hi, lo := bits.Mul64(m, f.p[j])
+			var cc uint64
+			lo, cc = bits.Add64(lo, t[i+j], 0)
+			hi += cc
+			lo, cc = bits.Add64(lo, c, 0)
+			hi += cc
+			t[i+j] = lo
+			c = hi
+		}
+		for k := i + n; c != 0 && k <= 2*n; k++ {
+			t[k], c = bits.Add64(t[k], c, 0)
+		}
+	}
+	copy(z, t[n:2*n])
+	if t[2*n] != 0 || !f.ltP(z) {
+		f.subP(z)
+	}
+	return z
+}
+
+// MulUint64 sets z = x * v mod p for a small scalar v.
+func (f *Field) MulUint64(z, x Element, v uint64) Element {
+	s := f.FromUint64(v)
+	return f.Mul(z, x, s)
+}
+
+// IsZero reports whether x == 0.
+func (f *Field) IsZero(x Element) bool {
+	var acc uint64
+	for _, w := range x {
+		acc |= w
+	}
+	return acc == 0
+}
+
+// IsOne reports whether x == 1.
+func (f *Field) IsOne(x Element) bool { return f.Equal(x, f.r) }
+
+// Equal reports whether x == y.
+func (f *Field) Equal(x, y Element) bool {
+	var acc uint64
+	for i := 0; i < f.n; i++ {
+		acc |= x[i] ^ y[i]
+	}
+	return acc == 0
+}
+
+// Select sets z = a if bit != 0 else b.
+func (f *Field) Select(z Element, bit uint64, a, b Element) Element {
+	var mask uint64
+	if bit != 0 {
+		mask = ^uint64(0)
+	}
+	for i := 0; i < f.n; i++ {
+		z[i] = a[i]&mask | b[i]&^mask
+	}
+	return z
+}
+
+// ltP reports x < p.
+func (f *Field) ltP(x Element) bool {
+	for i := f.n - 1; i >= 0; i-- {
+		switch {
+		case x[i] < f.p[i]:
+			return true
+		case x[i] > f.p[i]:
+			return false
+		}
+	}
+	return false // equal
+}
+
+func (f *Field) subP(z Element) {
+	var borrow uint64
+	for i := 0; i < f.n; i++ {
+		z[i], borrow = bits.Sub64(z[i], f.p[i], borrow)
+	}
+}

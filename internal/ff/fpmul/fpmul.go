@@ -1,0 +1,221 @@
+// Package fpmul reproduces the floating-point large-integer multiplication
+// technique of GZKP §4.3 (after Emmart/Dong/Dekker): large integers are
+// split into limbs small enough that every limb product is exactly
+// representable in an IEEE-754 double, partial products are accumulated with
+// error-free transformations (TwoSum / FMA-based TwoProd), and a Barrett
+// reducer turns the exact wide product into a modular multiplication.
+//
+// On NVIDIA GPUs this routes work to otherwise-idle FP units; on CPUs the
+// integer pipeline wins (recorded in EXPERIMENTS.md), but the package proves
+// the technique end-to-end and is property-tested for bit-exactness against
+// the integer Montgomery path in internal/ff.
+package fpmul
+
+import (
+	"math"
+	"math/big"
+	"math/bits"
+)
+
+// limbBits is the FP radix: products of two limbBits-bit values stay below
+// 2^53 and are therefore exact in float64 — the same "choose the base so the
+// FP units never round" trick GZKP applies with base 2^52 on GPU FMA pipes.
+const limbBits = 26
+
+const limbMask = 1<<limbBits - 1
+
+// TwoSum returns (s, e) with s = fl(a+b) and a+b = s+e exactly
+// (Knuth's branch-free error-free addition transform).
+func TwoSum(a, b float64) (s, e float64) {
+	s = a + b
+	bb := s - a
+	e = (a - (s - bb)) + (b - bb)
+	return s, e
+}
+
+// TwoProd returns (p, e) with p = fl(a*b) and a*b = p+e exactly, using a
+// fused multiply-add (Dekker's product via FMA).
+func TwoProd(a, b float64) (p, e float64) {
+	p = a * b
+	e = math.FMA(a, b, -p)
+	return p, e
+}
+
+// split26 expands little-endian 64-bit limbs into base-2^26 float limbs.
+func split26(x []uint64) []float64 {
+	total := len(x) * 64
+	nf := (total + limbBits - 1) / limbBits
+	out := make([]float64, nf)
+	for i := range out {
+		bit := i * limbBits
+		word, off := bit/64, uint(bit%64)
+		v := x[word] >> off
+		if off > 64-limbBits && word+1 < len(x) {
+			v |= x[word+1] << (64 - off)
+		}
+		out[i] = float64(v & limbMask)
+	}
+	return out
+}
+
+// join26 packs base-2^26 integer limbs back into 64-bit words.
+func join26(cols []uint64, words int) []uint64 {
+	out := make([]uint64, words)
+	for i, c := range cols {
+		bit := i * limbBits
+		word, off := bit/64, uint(bit%64)
+		if word >= words {
+			break
+		}
+		out[word] |= c << off
+		if off > 64-limbBits && word+1 < words {
+			out[word+1] |= c >> (64 - off)
+		}
+	}
+	return out
+}
+
+// MulWide computes the exact double-width product of two little-endian
+// uint64 limb vectors using the FP pipeline: schoolbook over 26-bit float
+// limbs with double-double column accumulation. len(x) must equal len(y);
+// the result has 2*len(x) limbs.
+func MulWide(x, y []uint64) []uint64 {
+	if len(x) != len(y) {
+		panic("fpmul: operand width mismatch")
+	}
+	fx, fy := split26(x), split26(y)
+	ncols := len(fx) + len(fy) - 1
+	// Double-double accumulators per column. Each partial product is an
+	// exact integer < 2^52; TwoSum keeps the running column sum exact.
+	hi := make([]float64, ncols)
+	lo := make([]float64, ncols)
+	for i, a := range fx {
+		if a == 0 {
+			continue
+		}
+		for j, b := range fy {
+			p := a * b // exact: a,b < 2^26
+			var e float64
+			hi[i+j], e = TwoSum(hi[i+j], p)
+			lo[i+j] += e // error terms are small integers; additions exact
+		}
+	}
+	// Carry-propagate the exact column values in integer space.
+	cols := make([]uint64, ncols+3)
+	var carry uint64
+	for k := 0; k < ncols; k++ {
+		acc := uint64(int64(hi[k])+int64(lo[k])) + carry
+		cols[k] = acc & limbMask
+		carry = acc >> limbBits
+	}
+	for k := ncols; carry != 0 && k < len(cols); k++ {
+		cols[k] = carry & limbMask
+		carry >>= limbBits
+	}
+	return join26(cols, 2*len(x))
+}
+
+// Reducer performs Barrett reduction modulo a fixed prime, with all large
+// multiplications routed through the FP MulWide path. Values are canonical
+// (non-Montgomery) little-endian limb vectors of the modulus width.
+type Reducer struct {
+	n   int      // limb count of the modulus
+	p   []uint64 // modulus
+	mu  []uint64 // floor(4^(64n) / p), 64(n+1) bits -> stored in n+1 limbs
+	pb  *big.Int
+	mub *big.Int
+}
+
+// NewReducer builds a Barrett reducer for modulus p (odd prime).
+func NewReducer(p *big.Int) *Reducer {
+	n := (p.BitLen() + 63) / 64
+	mu := new(big.Int).Lsh(big.NewInt(1), uint(128*n))
+	mu.Quo(mu, p)
+	return &Reducer{
+		n:   n,
+		p:   bigToLimbs(p, n),
+		mu:  bigToLimbs(mu, n+2),
+		pb:  new(big.Int).Set(p),
+		mub: mu,
+	}
+}
+
+// Limbs returns the operand width in 64-bit limbs.
+func (r *Reducer) Limbs() int { return r.n }
+
+// ModMul computes x*y mod p with FP-pipeline multiplications and Barrett
+// reduction. x and y must be canonical values < p of width Limbs().
+func (r *Reducer) ModMul(x, y []uint64) []uint64 {
+	wide := MulWide(pad(x, r.n), pad(y, r.n)) // 2n limbs, exact
+	// Barrett (HAC 14.42 with b=2^64, k=n):
+	//   q1 = floor(wide / b^(n-1)); q2 = q1*mu; q3 = floor(q2 / b^(n+1)).
+	hiPart := pad(wide[r.n-1:], r.n+2)
+	qWide := MulWide(hiPart, r.mu) // 2(n+2) limbs
+	q := qWide[r.n+1:]
+	if len(q) > r.n+1 {
+		q = q[:r.n+1]
+	}
+	// rem = wide - q*p, then at most a few conditional subtractions.
+	qp := MulWide(pad(q, r.n+1), pad(r.p, r.n+1))
+	rem := subTrunc(wide, qp, r.n+1)
+	for geq(rem, pad(r.p, r.n+1)) {
+		rem = subTrunc(rem, pad(r.p, r.n+1), r.n+1)
+	}
+	return rem[:r.n]
+}
+
+func pad(x []uint64, n int) []uint64 {
+	if len(x) == n {
+		return x
+	}
+	z := make([]uint64, n)
+	copy(z, x)
+	return z
+}
+
+func subTrunc(a, b []uint64, n int) []uint64 {
+	z := make([]uint64, n)
+	var borrow uint64
+	for i := 0; i < n; i++ {
+		var ai, bi uint64
+		if i < len(a) {
+			ai = a[i]
+		}
+		if i < len(b) {
+			bi = b[i]
+		}
+		z[i], borrow = bits.Sub64(ai, bi, borrow)
+	}
+	return z
+}
+
+func geq(a, b []uint64) bool {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	for i := n - 1; i >= 0; i-- {
+		var ai, bi uint64
+		if i < len(a) {
+			ai = a[i]
+		}
+		if i < len(b) {
+			bi = b[i]
+		}
+		if ai != bi {
+			return ai > bi
+		}
+	}
+	return true
+}
+
+func bigToLimbs(v *big.Int, n int) []uint64 {
+	z := make([]uint64, n)
+	tmp := new(big.Int).Set(v)
+	mask := new(big.Int).SetUint64(^uint64(0))
+	for i := 0; i < n; i++ {
+		z[i] = new(big.Int).And(tmp, mask).Uint64()
+		tmp.Rsh(tmp, 64)
+	}
+	return z
+}

@@ -1,0 +1,197 @@
+package fpmul
+
+import (
+	"math"
+	"math/big"
+	mrand "math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"gzkp/internal/ff"
+)
+
+func TestTwoSumExact(t *testing.T) {
+	cases := [][2]float64{
+		{1 << 52, 1}, {1 << 53, 3}, {1.5e15, 2.25e15}, {-1 << 40, 1 << 50},
+	}
+	for _, c := range cases {
+		s, e := TwoSum(c[0], c[1])
+		// s+e must equal a+b exactly; verify in big.Float.
+		want := new(big.Float).Add(big.NewFloat(c[0]), big.NewFloat(c[1]))
+		got := new(big.Float).Add(big.NewFloat(s), big.NewFloat(e))
+		if want.Cmp(got) != 0 {
+			t.Fatalf("TwoSum(%g,%g) = (%g,%g): lost precision", c[0], c[1], s, e)
+		}
+	}
+}
+
+func TestTwoProdExact(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a := float64(rng.Int63n(1 << 52))
+		b := float64(rng.Int63n(1 << 52))
+		p, e := TwoProd(a, b)
+		want := new(big.Float).SetPrec(200).Mul(big.NewFloat(a), big.NewFloat(b))
+		got := new(big.Float).SetPrec(200).Add(big.NewFloat(p), big.NewFloat(e))
+		if want.Cmp(got) != 0 {
+			t.Fatalf("TwoProd(%g,%g): p+e != a*b", a, b)
+		}
+	}
+}
+
+func TestFMAAvailable(t *testing.T) {
+	// math.FMA must be a real fused op for TwoProd to be error-free.
+	p, e := TwoProd(1<<30+1, 1<<30+1)
+	want := new(big.Int).Mul(big.NewInt(1<<30+1), big.NewInt(1<<30+1))
+	got := new(big.Int).Add(big.NewInt(int64(p)), big.NewInt(int64(e)))
+	if want.Cmp(got) != 0 {
+		t.Fatalf("FMA-based TwoProd inexact: %v != %v", got, want)
+	}
+	_ = math.FMA // document the dependency
+}
+
+func limbsToBig(x []uint64) *big.Int {
+	z := new(big.Int)
+	for i := len(x) - 1; i >= 0; i-- {
+		z.Lsh(z, 64)
+		z.Or(z, new(big.Int).SetUint64(x[i]))
+	}
+	return z
+}
+
+func randLimbs(rng *mrand.Rand, n int) []uint64 {
+	z := make([]uint64, n)
+	for i := range z {
+		z[i] = rng.Uint64()
+	}
+	return z
+}
+
+func TestMulWideAgainstBig(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(2))
+	for _, n := range []int{1, 2, 4, 6, 12} {
+		for i := 0; i < 100; i++ {
+			x, y := randLimbs(rng, n), randLimbs(rng, n)
+			got := limbsToBig(MulWide(x, y))
+			want := new(big.Int).Mul(limbsToBig(x), limbsToBig(y))
+			if got.Cmp(want) != 0 {
+				t.Fatalf("n=%d: MulWide mismatch\n got %v\nwant %v", n, got, want)
+			}
+		}
+	}
+}
+
+func TestMulWideAdversarial(t *testing.T) {
+	// All-ones operands maximize column sums (worst case for FP exactness).
+	for _, n := range []int{1, 4, 12, 16} {
+		x := make([]uint64, n)
+		for i := range x {
+			x[i] = ^uint64(0)
+		}
+		got := limbsToBig(MulWide(x, x))
+		want := new(big.Int).Mul(limbsToBig(x), limbsToBig(x))
+		if got.Cmp(want) != 0 {
+			t.Fatalf("n=%d: all-ones MulWide mismatch", n)
+		}
+	}
+	// Zero operands.
+	z := MulWide(make([]uint64, 4), make([]uint64, 4))
+	if limbsToBig(z).Sign() != 0 {
+		t.Fatal("MulWide(0,0) != 0")
+	}
+}
+
+func TestMulWidePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on width mismatch")
+		}
+	}()
+	MulWide(make([]uint64, 2), make([]uint64, 3))
+}
+
+var testPrimes = []string{
+	"21888242871839275222246405745257275088696311157297823662689037894645226208583",                      // BN254 Fq
+	"0x1a0111ea397fe69a4b1ba7b6434bacd764774b84f38512bf6730d2a0f6b0f6241eabfffeb153ffffb9feffffffffaaab", // BLS12-381 Fq
+	"0x73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000001",                                 // BLS12-381 Fr
+}
+
+func TestModMulAgainstBig(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(3))
+	for _, ps := range testPrimes {
+		p, _ := new(big.Int).SetString(ps, 0)
+		r := NewReducer(p)
+		for i := 0; i < 200; i++ {
+			xb := new(big.Int).Rand(rng, p)
+			yb := new(big.Int).Rand(rng, p)
+			x := bigToLimbs(xb, r.Limbs())
+			y := bigToLimbs(yb, r.Limbs())
+			got := limbsToBig(r.ModMul(x, y))
+			want := new(big.Int).Mul(xb, yb)
+			want.Mod(want, p)
+			if got.Cmp(want) != 0 {
+				t.Fatalf("p=%s...: ModMul(%v,%v)=%v want %v", ps[:12], xb, yb, got, want)
+			}
+		}
+		// Edge values: 0, 1, p-1.
+		pm1 := new(big.Int).Sub(p, big.NewInt(1))
+		for _, pair := range [][2]*big.Int{
+			{big.NewInt(0), pm1}, {big.NewInt(1), pm1}, {pm1, pm1},
+		} {
+			got := limbsToBig(r.ModMul(bigToLimbs(pair[0], r.Limbs()), bigToLimbs(pair[1], r.Limbs())))
+			want := new(big.Int).Mul(pair[0], pair[1])
+			want.Mod(want, p)
+			if got.Cmp(want) != 0 {
+				t.Fatalf("edge ModMul mismatch: %v*%v", pair[0], pair[1])
+			}
+		}
+	}
+}
+
+// TestPropFPMatchesMontgomery is the central equivalence property: the FP
+// pipeline and the integer Montgomery pipeline compute identical products.
+func TestPropFPMatchesMontgomery(t *testing.T) {
+	f := ff.MustField("BN254Fq", testPrimes[0])
+	r := NewReducer(f.Modulus())
+	rng := mrand.New(mrand.NewSource(4))
+	cfg := &quick.Config{
+		MaxCount: 150,
+		Values: func(vals []reflect.Value, _ *mrand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(f.Rand(rng))
+			}
+		},
+	}
+	prop := func(a, b ff.Element) bool {
+		// Integer path.
+		want := f.ToBig(f.Mul(f.New(), a, b))
+		// FP path (canonical representation).
+		xa := bigToLimbs(f.ToBig(a), r.Limbs())
+		xb := bigToLimbs(f.ToBig(b), r.Limbs())
+		got := limbsToBig(r.ModMul(xa, xb))
+		return got.Cmp(want) == 0
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkModMulFP(b *testing.B) {
+	for _, ps := range testPrimes[:2] {
+		p, _ := new(big.Int).SetString(ps, 0)
+		r := NewReducer(p)
+		rng := mrand.New(mrand.NewSource(1))
+		x := bigToLimbs(new(big.Int).Rand(rng, p), r.Limbs())
+		y := bigToLimbs(new(big.Int).Rand(rng, p), r.Limbs())
+		name := "256bit"
+		if r.Limbs() == 6 {
+			name = "381bit"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r.ModMul(x, y)
+			}
+		})
+	}
+}

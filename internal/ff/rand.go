@@ -1,0 +1,28 @@
+package ff
+
+import (
+	"crypto/rand"
+	"io"
+	"math/big"
+	mrand "math/rand"
+)
+
+// Rand returns a uniformly random element drawn from rng (deterministic
+// generators make workloads reproducible; see internal/workload).
+func (f *Field) Rand(rng *mrand.Rand) Element {
+	v := new(big.Int).Rand(rng, f.pBig)
+	return f.FromBig(v)
+}
+
+// RandReader returns a uniformly random element from a cryptographic source
+// (crypto/rand by default when r is nil). Used for trusted-setup sampling.
+func (f *Field) RandReader(r io.Reader) (Element, error) {
+	if r == nil {
+		r = rand.Reader
+	}
+	v, err := rand.Int(r, f.pBig)
+	if err != nil {
+		return nil, err
+	}
+	return f.FromBig(v), nil
+}

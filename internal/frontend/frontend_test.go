@@ -1,0 +1,184 @@
+package frontend
+
+import (
+	"testing"
+
+	"gzkp/internal/curve"
+	"gzkp/internal/ff"
+	"gzkp/internal/groth16"
+)
+
+func field(t testing.TB) *ff.Field { return curve.Get(curve.BN254).Fr }
+
+func solve(t *testing.T, p *Program, public, secret []uint64) []ff.Element {
+	t.Helper()
+	f := p.System.F
+	pub := make([]ff.Element, len(public))
+	for i, v := range public {
+		pub[i] = f.FromUint64(v)
+	}
+	sec := make([]ff.Element, len(secret))
+	for i, v := range secret {
+		sec[i] = f.FromUint64(v)
+	}
+	w, err := p.System.Solve(pub, sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestCubicProgram(t *testing.T) {
+	p, err := Compile(field(t), `
+		public out
+		secret x
+		let y = x^3 + x + 5
+		assert y == out
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.PublicNames) != 1 || p.PublicNames[0] != "out" {
+		t.Fatalf("publics: %v", p.PublicNames)
+	}
+	if len(p.SecretNames) != 1 || p.SecretNames[0] != "x" {
+		t.Fatalf("secrets: %v", p.SecretNames)
+	}
+	w := solve(t, p, []uint64{35}, []uint64{3})
+	if err := p.System.IsSatisfied(w); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong witness fails.
+	w2 := solve(t, p, []uint64{35}, []uint64{4})
+	if err := p.System.IsSatisfied(w2); err == nil {
+		t.Fatal("wrong witness satisfied")
+	}
+}
+
+func TestOperatorsAndPrecedence(t *testing.T) {
+	// 2 + 3*4 - 6/2 = 11; (2+3)*4 = 20; -x + x = 0.
+	p, err := Compile(field(t), `
+		secret x
+		assert 2 + 3*4 - 6/2 == 11
+		assert (2+3)*4 == 20
+		assert -x + x == 0
+		assert x*x == x^2
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := solve(t, p, nil, []uint64{7})
+	if err := p.System.IsSatisfied(w); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitsRangeCheck(t *testing.T) {
+	p, err := Compile(field(t), `
+		secret x
+		assert bits(x, 8)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := solve(t, p, nil, []uint64{200})
+	if err := p.System.IsSatisfied(ok); err != nil {
+		t.Fatal(err)
+	}
+	bad := solve(t, p, nil, []uint64{300})
+	if err := p.System.IsSatisfied(bad); err == nil {
+		t.Fatal("out-of-range value passed bits()")
+	}
+}
+
+func TestDivisionSemantics(t *testing.T) {
+	p, err := Compile(field(t), `
+		secret a
+		secret b
+		let q = a / b
+		assert q * b == a
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := solve(t, p, nil, []uint64{84, 12})
+	if err := p.System.IsSatisfied(w); err != nil {
+		t.Fatal(err)
+	}
+	// Division by zero must fail at solve time.
+	f := p.System.F
+	if _, err := p.System.Solve(nil, []ff.Element{f.FromUint64(84), f.Zero()}); err == nil {
+		t.Fatal("division by zero solved")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	f := field(t)
+	bad := []string{
+		"",                                     // no constraints
+		"secret x",                             // no constraints
+		"bogus x",                              // unknown statement
+		"public out\npublic out",               // duplicate
+		"secret x\npublic late\nassert x == x", // public after secret
+		"assert x == 1",                        // undefined name
+		"secret x\nlet y = x +",                // dangling operator
+		"secret x\nlet y = (x",                 // missing paren
+		"secret x\nassert x ^ x == 1",          // non-constant exponent
+		"secret x\nassert bits(x)",             // bad bits arity
+		"secret x\nlet 9y = x\nassert x==x",    // bad identifier
+		"secret x\nassert x = 1",               // single '='
+		"secret x\nlet y = x $ 1",              // bad character
+	}
+	for _, src := range bad {
+		if _, err := Compile(f, src); err == nil {
+			t.Errorf("compiled invalid program %q", src)
+		}
+	}
+}
+
+func TestFrontendToGroth16(t *testing.T) {
+	// Full path: language → R1CS → setup → prove → verify.
+	c := curve.Get(curve.BN254)
+	p, err := Compile(c.Fr, `
+		public out
+		secret x
+		secret salt
+		assert bits(salt, 16)
+		let commitment = (x + salt)^2 + x
+		assert commitment == out
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := c.Fr
+	x, salt := uint64(123), uint64(4567)
+	outVal := (x+salt)*(x+salt) + x
+	w, err := p.System.Solve(
+		[]ff.Element{f.FromUint64(outVal)},
+		[]ff.Element{f.FromUint64(x), f.FromUint64(salt)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk, vk, err := groth16.Setup(p.System, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, _, err := groth16.Prove(pk, p.System, w, groth16.ProveConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := groth16.Verify(vk, proof, []ff.Element{f.FromUint64(outVal)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommentsAndSeparators(t *testing.T) {
+	p, err := Compile(field(t), "secret x; let y = x*x // square\n assert y == x^2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := solve(t, p, nil, []uint64{9})
+	if err := p.System.IsSatisfied(w); err != nil {
+		t.Fatal(err)
+	}
+}

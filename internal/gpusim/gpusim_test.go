@@ -1,0 +1,206 @@
+package gpusim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccessTraffic(t *testing.T) {
+	line := int64(32)
+	cases := []struct {
+		a    Access
+		want int64
+	}{
+		{Access{Count: 0, SegmentBytes: 100}, 0},
+		{Access{Count: 10, SegmentBytes: 0}, 0},
+		{Access{Count: 1, SegmentBytes: 32}, 32},
+		{Access{Count: 1, SegmentBytes: 33}, 64},
+		{Access{Count: 4, SegmentBytes: 8}, 4 * 32}, // fine-grained: 4× waste
+		{Access{Count: 2, SegmentBytes: 128}, 256},
+	}
+	for _, c := range cases {
+		if got := c.a.Traffic(line); got != c.want {
+			t.Errorf("Traffic(%+v) = %d, want %d", c.a, got, c.want)
+		}
+	}
+}
+
+func TestCoalescingPenalty(t *testing.T) {
+	// The same bytes moved as 8-byte strided segments must cost ≥ the
+	// contiguous layout — the §2.2 claim the whole NTT redesign rests on.
+	d := V100()
+	mk := func(seg int64, count int64) Kernel {
+		return Kernel{
+			Name: "probe", Blocks: 1024, ThreadsPerBlock: 256,
+			Loads:     []Access{{Count: count, SegmentBytes: seg}},
+			FieldMuls: 1 << 20, LimbWords: 4,
+		}
+	}
+	contig, err := d.Run(mk(1<<20, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	strided, err := d.Run(mk(8, 64<<17)) // same total logical bytes
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strided.MemTime <= contig.MemTime {
+		t.Fatalf("strided mem time %v <= contiguous %v", strided.MemTime, contig.MemTime)
+	}
+	if strided.TrafficB != 4*contig.TrafficB {
+		t.Fatalf("8B segments on 32B lines should cost 4×: %d vs %d", strided.TrafficB, contig.TrafficB)
+	}
+}
+
+func TestPartialWarpOccupancy(t *testing.T) {
+	// 2-thread blocks (bellperson's degenerate last batch) waste 30/32 lanes.
+	d := V100()
+	k := Kernel{Name: "tiny", Blocks: 1 << 16, ThreadsPerBlock: 2,
+		FieldMuls: 1 << 22, LimbWords: 4}
+	r, err := d.Run(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Occupancy > 2.0/32.0+1e-9 {
+		t.Fatalf("occupancy %v for 2-thread blocks; want <= 1/16", r.Occupancy)
+	}
+	full := Kernel{Name: "full", Blocks: 1 << 11, ThreadsPerBlock: 64,
+		FieldMuls: 1 << 22, LimbWords: 4}
+	rf, err := d.Run(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.ComputeTime >= r.ComputeTime {
+		t.Fatal("full warps should compute faster than 2-thread blocks")
+	}
+	// And the huge grid pays more scheduling overhead.
+	if r.Overhead <= rf.Overhead {
+		t.Fatal("2^16 blocks should cost more scheduling overhead than 2^11")
+	}
+}
+
+func TestImbalanceStretchesCompute(t *testing.T) {
+	d := V100()
+	base := Kernel{Name: "b", Blocks: 256, ThreadsPerBlock: 256,
+		FieldMuls: 1 << 24, LimbWords: 6, Imbalance: 1}
+	skew := base
+	skew.Imbalance = 2.85 // Fig. 6's bucket-load spread
+	rb, err := d.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := d.Run(skew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rs.ComputeTime/rb.ComputeTime-2.85) > 1e-9 {
+		t.Fatalf("imbalance scaling: %v", rs.ComputeTime/rb.ComputeTime)
+	}
+}
+
+func TestFPPipeHelpsOnV100NotOn1080Ti(t *testing.T) {
+	k := Kernel{Name: "ff", Blocks: 1 << 12, ThreadsPerBlock: 256,
+		FieldMuls: 1 << 26, LimbWords: 12}
+	kfp := k
+	kfp.UseFPPipe = true
+	v, p := V100(), GTX1080Ti()
+	vInt, _ := v.Run(k)
+	vFP, _ := v.Run(kfp)
+	if vFP.ComputeTime >= vInt.ComputeTime {
+		t.Fatalf("V100 FP pipe should accelerate: %v vs %v", vFP.ComputeTime, vInt.ComputeTime)
+	}
+	pInt, _ := p.Run(k)
+	pFP, _ := p.Run(kfp)
+	if pFP.ComputeTime < pInt.ComputeTime {
+		t.Fatal("1080Ti has no fast FP64; FP path should not win")
+	}
+}
+
+func TestKernelValidation(t *testing.T) {
+	d := V100()
+	if _, err := d.Run(Kernel{Name: "empty"}); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+	if _, err := d.Run(Kernel{Name: "nolimb", Blocks: 1, ThreadsPerBlock: 32, FieldMuls: 5}); err == nil {
+		t.Fatal("field ops without limb width accepted")
+	}
+	if _, err := d.Run(Kernel{Name: "smem", Blocks: 1, ThreadsPerBlock: 32,
+		SharedMemPerBlock: 1 << 20}); err == nil {
+		t.Fatal("oversized shared memory accepted")
+	}
+}
+
+func TestRunSeqAdds(t *testing.T) {
+	d := V100()
+	k := Kernel{Name: "k", Blocks: 128, ThreadsPerBlock: 128,
+		FieldMuls: 1 << 20, LimbWords: 4,
+		Loads: []Access{{Count: 1, SegmentBytes: 1 << 20}}}
+	one, err := d.Run(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := d.RunSeq([]Kernel{k, k, k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(three.Time-3*one.Time) > 1e-12 {
+		t.Fatalf("sequence time %v != 3×%v", three.Time, one.Time)
+	}
+	if three.TrafficB != 3*one.TrafficB {
+		t.Fatal("sequence traffic mismatch")
+	}
+}
+
+func TestClusterPartitioning(t *testing.T) {
+	d := V100()
+	// Grid large enough that a quarter still saturates one device.
+	k := Kernel{Name: "k", Blocks: 1 << 14, ThreadsPerBlock: 256,
+		FieldMuls: 1 << 28, LimbWords: 6}
+	single, err := d.Run(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quarter := k
+	quarter.FieldMuls /= 4
+	quarter.Blocks /= 4
+	c := NewCluster(d, 4)
+	parts := [][]Kernel{{quarter}, {quarter}, {quarter}, {quarter}}
+	r, err := c.RunPartitioned(parts, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Time >= single.Time {
+		t.Fatal("4-way partition no faster than single device")
+	}
+	if r.Time <= single.Time/4 {
+		t.Fatal("partition ignores interconnect cost")
+	}
+	if _, err := c.RunPartitioned(parts[:2], 0); err == nil {
+		t.Fatal("partition-count mismatch accepted")
+	}
+}
+
+func TestDevicePresets(t *testing.T) {
+	v, p := V100(), GTX1080Ti()
+	if v.SMs <= p.SMs || v.GlobalBytesPerS <= p.GlobalBytesPerS {
+		t.Fatal("V100 should dominate GTX1080Ti")
+	}
+	if v.MemBytes != 32<<30 || p.MemBytes != 11<<30 {
+		t.Fatal("memory capacities per paper §5.1")
+	}
+}
+
+func TestPropTrafficMonotone(t *testing.T) {
+	// More segments never reduce traffic; bigger segments never reduce it.
+	prop := func(count uint16, seg uint16) bool {
+		a := Access{Count: int64(count), SegmentBytes: int64(seg)}
+		b := Access{Count: int64(count) + 1, SegmentBytes: int64(seg)}
+		c := Access{Count: int64(count), SegmentBytes: int64(seg) + 1}
+		line := int64(32)
+		return a.Traffic(line) <= b.Traffic(line) && a.Traffic(line) <= c.Traffic(line)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

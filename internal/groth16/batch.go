@@ -1,0 +1,83 @@
+package groth16
+
+import (
+	"fmt"
+	"math/big"
+	mrand "math/rand"
+
+	"gzkp/internal/curve"
+	"gzkp/internal/ff"
+	"gzkp/internal/pairing"
+)
+
+// BatchVerify checks many proofs under one verifying key with a single
+// final exponentiation: each proof is weighted by a random 120-bit scalar
+// rᵢ and the combined equation
+//
+//	∏ e(rᵢ·Aᵢ, Bᵢ) · e(-Σ rᵢ·α, β) · e(-Σ rᵢ·vkxᵢ, γ) · e(-Σ rᵢ·Cᵢ, δ) = 1
+//
+// holds iff (with overwhelming probability over rᵢ) every individual
+// equation holds. This amortizes verification for block producers that
+// validate many shielded transactions at once — the deployment §2.1
+// motivates. publics[i] are proof i's public inputs (without the ONE).
+func BatchVerify(vk *VerifyingKey, proofs []*Proof, publics [][]ff.Element, seed int64) error {
+	if len(proofs) == 0 {
+		return fmt.Errorf("groth16: empty batch")
+	}
+	if len(proofs) != len(publics) {
+		return fmt.Errorf("groth16: %d proofs vs %d public-input sets", len(proofs), len(publics))
+	}
+	c := curve.Get(vk.CurveID)
+	ops1 := c.G1.NewOps()
+	eng, err := pairing.New(c)
+	if err != nil {
+		return err
+	}
+	rng := mrand.New(mrand.NewSource(seed))
+
+	var ps, qs []curve.Affine
+	var alphaAcc, vkxAcc, cAcc curve.Jacobian
+	ops1.SetInfinity(&alphaAcc)
+	ops1.SetInfinity(&vkxAcc)
+	ops1.SetInfinity(&cAcc)
+	for i, proof := range proofs {
+		if proof.CurveID != vk.CurveID {
+			return fmt.Errorf("groth16: proof %d on curve %v, key on %v", i, proof.CurveID, vk.CurveID)
+		}
+		if len(publics[i])+1 != len(vk.IC) {
+			return fmt.Errorf("groth16: proof %d: want %d public inputs, got %d", i, len(vk.IC)-1, len(publics[i]))
+		}
+		if !c.G1.IsOnCurve(proof.A) || !c.G1.IsOnCurve(proof.C) || !c.G2.IsOnCurve(proof.B) {
+			return fmt.Errorf("groth16: proof %d contains off-curve points", i)
+		}
+		r := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), 120))
+		r.Add(r, big.NewInt(1)) // nonzero
+
+		// e(rᵢ·Aᵢ, Bᵢ) term.
+		rA := ops1.ToAffine(ops1.ScalarMulWNAF(proof.A, r, 4))
+		ps = append(ps, rA)
+		qs = append(qs, proof.B)
+
+		// Accumulate the G1 sides of the fixed-G2 terms.
+		ops1.AddAssign(&alphaAcc, ops1.ScalarMulWNAF(vk.Alpha1, r, 4))
+		var vkx curve.Jacobian
+		ops1.FromAffine(&vkx, vk.IC[0])
+		for j, p := range publics[i] {
+			ops1.AddAssign(&vkx, ops1.ScalarMulElement(vk.IC[j+1], p))
+		}
+		ops1.AddAssign(&vkxAcc, ops1.ScalarMulWNAF(ops1.ToAffine(&vkx), r, 4))
+		ops1.AddAssign(&cAcc, ops1.ScalarMulWNAF(proof.C, r, 4))
+	}
+	neg := func(j *curve.Jacobian) curve.Affine { return c.G1.NegAffine(ops1.ToAffine(j)) }
+	ps = append(ps, neg(&alphaAcc), neg(&vkxAcc), neg(&cAcc))
+	qs = append(qs, vk.Beta2, vk.Gamma2, vk.Delta2)
+
+	ok, err := eng.PairingCheck(ps, qs)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("groth16: batch pairing check failed")
+	}
+	return nil
+}

@@ -1,0 +1,442 @@
+// Package groth16 implements the zkSNARK protocol GZKP accelerates
+// (Groth, EUROCRYPT'16), end to end: trusted setup over an R1CS/QAP,
+// proof generation structured exactly as the paper measures it — a POLY
+// stage of seven NTT operations and an MSM stage of five multi-scalar
+// multiplications (§5.2) — and pairing-based verification.
+//
+// The prover's NTT and MSM strategies are injected via ProveConfig, which
+// is how the GZKP engine (internal/core) swaps its optimized kernels for
+// the baselines.
+package groth16
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"time"
+
+	"gzkp/internal/curve"
+	"gzkp/internal/ff"
+	"gzkp/internal/msm"
+	"gzkp/internal/ntt"
+	"gzkp/internal/pairing"
+	"gzkp/internal/poly"
+	"gzkp/internal/r1cs"
+)
+
+// ProvingKey carries the per-wire query points of the Groth16 CRS.
+type ProvingKey struct {
+	CurveID curve.ID
+	DomainN int
+
+	// Per-wire queries (length NumVars).
+	A  []curve.Affine // u_i(τ)·G1
+	B1 []curve.Affine // v_i(τ)·G1
+	B2 []curve.Affine // v_i(τ)·G2
+	// K holds ((β·u_i + α·v_i + w_i)/δ)·G1 for private wires only
+	// (wire index NumPublic+1 ... NumVars-1).
+	K []curve.Affine
+	// H holds (τ^i·Z(τ)/δ)·G1 for i < DomainN-1.
+	H []curve.Affine
+
+	Alpha1, Beta1, Delta1 curve.Affine
+	Beta2, Delta2         curve.Affine
+
+	// Cached GZKP preprocessing tables (Algorithm 1), built on demand.
+	tables map[string]*msm.Table
+}
+
+// VerifyingKey is the short verification CRS.
+type VerifyingKey struct {
+	CurveID               curve.ID
+	Alpha1                curve.Affine
+	Beta2, Gamma2, Delta2 curve.Affine
+	// IC[i] = ((β·u_i + α·v_i + w_i)/γ)·G1 for the ONE wire and publics.
+	IC []curve.Affine
+}
+
+// Proof is the three-element Groth16 proof (≈200 B on BN254).
+type Proof struct {
+	CurveID curve.ID
+	A, C    curve.Affine // G1
+	B       curve.Affine // G2
+}
+
+// ProveConfig selects the execution strategies for both prover stages.
+type ProveConfig struct {
+	NTT ntt.Config
+	MSM msm.Config
+	// CheckSatisfied verifies the witness against the system first.
+	CheckSatisfied bool
+}
+
+// ProveStats reports the stage breakdown the paper's Tables 2-4 use.
+type ProveStats struct {
+	PolyNS, MSMNS int64
+	NTTOps        int // 7
+	MSMOps        int // 5
+	NTTStats      []ntt.Stats
+	MSMStats      []msm.Stats
+}
+
+// Setup runs the trusted setup for sys over curve c. rand is the toxic-
+// waste entropy source (nil = crypto/rand).
+func Setup(sys *r1cs.System, c *curve.Curve, rand io.Reader) (*ProvingKey, *VerifyingKey, error) {
+	if !c.PairingSupported() {
+		return nil, nil, fmt.Errorf("groth16: %s has no pairing; use the core pipeline for timing-only runs", c.Name)
+	}
+	if sys.F != c.Fr {
+		return nil, nil, fmt.Errorf("groth16: system field %s != curve scalar field %s", sys.F.Name(), c.Fr.Name())
+	}
+	if len(sys.Constraints) == 0 {
+		return nil, nil, fmt.Errorf("groth16: empty constraint system")
+	}
+	f := c.Fr
+	n := 2
+	for n < len(sys.Constraints) {
+		n <<= 1
+	}
+	if uint(log2(n)) > f.TwoAdicity() {
+		return nil, nil, fmt.Errorf("groth16: %d constraints exceed the field's 2^%d NTT domain", len(sys.Constraints), f.TwoAdicity())
+	}
+
+	sample := func() (ff.Element, error) {
+		for {
+			v, err := f.RandReader(rand)
+			if err != nil {
+				return nil, err
+			}
+			if !f.IsZero(v) {
+				return v, nil
+			}
+		}
+	}
+	tau, err := sample()
+	if err != nil {
+		return nil, nil, err
+	}
+	alpha, err := sample()
+	if err != nil {
+		return nil, nil, err
+	}
+	beta, err := sample()
+	if err != nil {
+		return nil, nil, err
+	}
+	gamma, err := sample()
+	if err != nil {
+		return nil, nil, err
+	}
+	delta, err := sample()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Z(τ) = τ^n - 1 (resample τ in the astronomically unlikely root case).
+	zTau := f.ExpUint64(tau, uint64(n))
+	f.Sub(zTau, zTau, f.One())
+	if f.IsZero(zTau) {
+		return Setup(sys, c, rand)
+	}
+
+	// Lagrange values L_j(τ) = Z(τ)·ω^j / (n·(τ - ω^j)).
+	omega, err := f.RootOfUnity(uint(log2(n)))
+	if err != nil {
+		return nil, nil, err
+	}
+	lag := f.NewVector(n)
+	dens := make([]ff.Element, n)
+	wj := f.One()
+	for j := 0; j < n; j++ {
+		dens[j] = f.Sub(f.New(), tau, wj)
+		f.Mul(lag[j], zTau, wj)
+		f.Mul(wj, wj, omega)
+	}
+	nInv := f.Inverse(f.FromUint64(uint64(n)))
+	f.BatchInvert(dens)
+	for j := 0; j < n; j++ {
+		f.Mul(lag[j], lag[j], dens[j])
+		f.Mul(lag[j], lag[j], nInv)
+	}
+
+	// Per-wire QAP evaluations u_i(τ), v_i(τ), w_i(τ).
+	nv := sys.NumVars
+	u, v, w := f.NewVector(nv), f.NewVector(nv), f.NewVector(nv)
+	t := f.New()
+	for j, cons := range sys.Constraints {
+		for _, term := range cons.A {
+			f.Mul(t, term.Coeff, lag[j])
+			f.Add(u[term.V], u[term.V], t)
+		}
+		for _, term := range cons.B {
+			f.Mul(t, term.Coeff, lag[j])
+			f.Add(v[term.V], v[term.V], t)
+		}
+		for _, term := range cons.C {
+			f.Mul(t, term.Coeff, lag[j])
+			f.Add(w[term.V], w[term.V], t)
+		}
+	}
+
+	gammaInv := f.Inverse(gamma)
+	deltaInv := f.Inverse(delta)
+
+	fb1 := c.G1.NewFixedBase(c.G1.Generator())
+	fb2 := c.G2.NewFixedBase(c.G2.Generator())
+	ops1, ops2 := c.G1.NewOps(), c.G2.NewOps()
+	mulG1 := func(s ff.Element) curve.Jacobian { return fb1.MulElement(ops1, s) }
+
+	pk := &ProvingKey{CurveID: c.ID, DomainN: n}
+	vk := &VerifyingKey{CurveID: c.ID}
+
+	aJac := make([]curve.Jacobian, nv)
+	b1Jac := make([]curve.Jacobian, nv)
+	b2Jac := make([]curve.Jacobian, nv)
+	for i := 0; i < nv; i++ {
+		aJac[i] = mulG1(u[i])
+		b1Jac[i] = mulG1(v[i])
+		b2Jac[i] = fb2.MulElement(ops2, v[i])
+	}
+	pk.A = c.G1.BatchToAffine(aJac)
+	pk.B1 = c.G1.BatchToAffine(b1Jac)
+	pk.B2 = c.G2.BatchToAffine(b2Jac)
+
+	// K (private wires, /δ) and IC (ONE + publics, /γ).
+	comb := func(i int, inv ff.Element) ff.Element {
+		s := f.Mul(f.New(), beta, u[i])
+		f.Mul(t, alpha, v[i])
+		f.Add(s, s, t)
+		f.Add(s, s, w[i])
+		f.Mul(s, s, inv)
+		return s
+	}
+	icJac := make([]curve.Jacobian, sys.NumPublic+1)
+	for i := 0; i <= sys.NumPublic; i++ {
+		icJac[i] = mulG1(comb(i, gammaInv))
+	}
+	vk.IC = c.G1.BatchToAffine(icJac)
+	kJac := make([]curve.Jacobian, nv-sys.NumPublic-1)
+	for i := sys.NumPublic + 1; i < nv; i++ {
+		kJac[i-sys.NumPublic-1] = mulG1(comb(i, deltaInv))
+	}
+	pk.K = c.G1.BatchToAffine(kJac)
+
+	// H query: (τ^i·Z(τ)/δ)·G1 for i < n-1.
+	hJac := make([]curve.Jacobian, n-1)
+	s := f.Mul(f.New(), zTau, deltaInv)
+	for i := 0; i < n-1; i++ {
+		hJac[i] = mulG1(s)
+		f.Mul(s, s, tau)
+	}
+	pk.H = c.G1.BatchToAffine(hJac)
+
+	a1 := mulG1(alpha)
+	pk.Alpha1 = ops1.ToAffine(&a1)
+	bt1 := mulG1(beta)
+	pk.Beta1 = ops1.ToAffine(&bt1)
+	dl1 := mulG1(delta)
+	pk.Delta1 = ops1.ToAffine(&dl1)
+	b2 := fb2.MulElement(ops2, beta)
+	pk.Beta2 = ops2.ToAffine(&b2)
+	d2 := fb2.MulElement(ops2, delta)
+	pk.Delta2 = ops2.ToAffine(&d2)
+
+	vk.Alpha1 = pk.Alpha1
+	vk.Beta2 = pk.Beta2
+	g2j := fb2.MulElement(ops2, gamma)
+	vk.Gamma2 = ops2.ToAffine(&g2j)
+	vk.Delta2 = pk.Delta2
+	return pk, vk, nil
+}
+
+// Preprocess builds and caches the GZKP MSM tables (Algorithm 1) for every
+// proving-key query. Mirrors the paper's deployment: the point vectors are
+// fixed at setup, so preprocessing happens once, off the proving path.
+func (pk *ProvingKey) Preprocess(cfg msm.Config) error {
+	c := curve.Get(pk.CurveID)
+	pk.tables = map[string]*msm.Table{}
+	for _, q := range []struct {
+		name string
+		g    *curve.Group
+		pts  []curve.Affine
+	}{
+		{"A", c.G1, pk.A}, {"B1", c.G1, pk.B1}, {"B2", c.G2, pk.B2},
+		{"K", c.G1, pk.K}, {"H", c.G1, pk.H},
+	} {
+		if len(q.pts) == 0 {
+			continue
+		}
+		t, err := msm.Preprocess(q.g, q.pts, cfg)
+		if err != nil {
+			return fmt.Errorf("groth16: preprocess %s: %w", q.name, err)
+		}
+		pk.tables[q.name] = t
+	}
+	return nil
+}
+
+func (pk *ProvingKey) msmRun(name string, g *curve.Group, pts []curve.Affine, scalars []ff.Element, cfg msm.Config) (curve.Affine, msm.Stats, error) {
+	if cfg.Strategy == msm.GZKP && pk.tables != nil {
+		if t, ok := pk.tables[name]; ok {
+			return t.Compute(scalars, cfg)
+		}
+	}
+	return msm.Compute(g, pts, scalars, cfg)
+}
+
+// Prove generates a proof for witness w (as produced by System.Solve).
+// rand supplies the blinding factors r, s (nil = crypto/rand).
+func Prove(pk *ProvingKey, sys *r1cs.System, w []ff.Element, cfg ProveConfig, rand io.Reader) (*Proof, *ProveStats, error) {
+	c := curve.Get(pk.CurveID)
+	f := c.Fr
+	if len(w) != sys.NumVars {
+		return nil, nil, fmt.Errorf("groth16: witness length %d != %d wires", len(w), sys.NumVars)
+	}
+	if cfg.CheckSatisfied {
+		if err := sys.IsSatisfied(w); err != nil {
+			return nil, nil, err
+		}
+	}
+	st := &ProveStats{}
+
+	// ---- POLY stage: 7 NTT operations (internal/poly).
+	t0 := time.Now()
+	n := pk.DomainN
+	dom, err := ntt.NewDomain(f, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	av, bv, cv := f.NewVector(n), f.NewVector(n), f.NewVector(n)
+	for j, cons := range sys.Constraints {
+		copy(av[j], r1cs.EvalLC(f, cons.A, w))
+		copy(bv[j], r1cs.EvalLC(f, cons.B, w))
+		copy(cv[j], r1cs.EvalLC(f, cons.C, w))
+	}
+	polyRes, err := poly.ComputeH(dom, av, bv, cv, cfg.NTT)
+	if err != nil {
+		return nil, nil, err
+	}
+	st.NTTStats = polyRes.Stats
+	st.NTTOps = len(polyRes.Stats)
+	h := polyRes.H
+	st.PolyNS = time.Since(t0).Nanoseconds()
+
+	// ---- MSM stage: 5 multi-scalar multiplications.
+	t1 := time.Now()
+	r, err := f.RandReader(rand)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := f.RandReader(rand)
+	if err != nil {
+		return nil, nil, err
+	}
+	runMSM := func(name string, g *curve.Group, pts []curve.Affine, scalars []ff.Element) (curve.Affine, error) {
+		res, ms, err := pk.msmRun(name, g, pts, scalars, cfg.MSM)
+		if err != nil {
+			return curve.Affine{}, fmt.Errorf("groth16: MSM %s: %w", name, err)
+		}
+		st.MSMStats = append(st.MSMStats, ms)
+		st.MSMOps++
+		return res, nil
+	}
+	aMSM, err := runMSM("A", c.G1, pk.A, w)
+	if err != nil {
+		return nil, nil, err
+	}
+	b2MSM, err := runMSM("B2", c.G2, pk.B2, w)
+	if err != nil {
+		return nil, nil, err
+	}
+	b1MSM, err := runMSM("B1", c.G1, pk.B1, w)
+	if err != nil {
+		return nil, nil, err
+	}
+	hMSM, err := runMSM("H", c.G1, pk.H, h)
+	if err != nil {
+		return nil, nil, err
+	}
+	kMSM, err := runMSM("K", c.G1, pk.K, w[sys.NumPublic+1:])
+	if err != nil {
+		return nil, nil, err
+	}
+
+	ops1, ops2 := c.G1.NewOps(), c.G2.NewOps()
+	rBig, sBig := f.ToBig(r), f.ToBig(s)
+	// A = α + Σ zᵢAᵢ + r·δ
+	var aj curve.Jacobian
+	ops1.FromAffine(&aj, pk.Alpha1)
+	ops1.AddMixedAssign(&aj, aMSM)
+	ops1.AddAssign(&aj, ops1.ScalarMul(pk.Delta1, rBig))
+	proofA := ops1.ToAffine(&aj)
+	// B = β + Σ zᵢBᵢ + s·δ  (in G2, and mirrored in G1 for C)
+	var bj2 curve.Jacobian
+	ops2.FromAffine(&bj2, pk.Beta2)
+	ops2.AddMixedAssign(&bj2, b2MSM)
+	ops2.AddAssign(&bj2, ops2.ScalarMul(pk.Delta2, sBig))
+	proofB := ops2.ToAffine(&bj2)
+	var bj1 curve.Jacobian
+	ops1.FromAffine(&bj1, pk.Beta1)
+	ops1.AddMixedAssign(&bj1, b1MSM)
+	ops1.AddAssign(&bj1, ops1.ScalarMul(pk.Delta1, sBig))
+	// C = Σ_priv zᵢKᵢ + Σ hᵢHᵢ + s·A + r·B1 - r·s·δ
+	var cj curve.Jacobian
+	ops1.SetInfinity(&cj)
+	ops1.AddMixedAssign(&cj, kMSM)
+	ops1.AddMixedAssign(&cj, hMSM)
+	ops1.AddAssign(&cj, ops1.ScalarMul(proofA, sBig))
+	ops1.AddAssign(&cj, ops1.ScalarMul(ops1.ToAffine(&bj1), rBig))
+	rs := f.Mul(f.New(), r, s)
+	negRS := new(big.Int).Neg(f.ToBig(rs))
+	ops1.AddAssign(&cj, ops1.ScalarMul(pk.Delta1, negRS))
+	proofC := ops1.ToAffine(&cj)
+
+	st.MSMNS = time.Since(t1).Nanoseconds()
+	return &Proof{CurveID: pk.CurveID, A: proofA, B: proofB, C: proofC}, st, nil
+}
+
+// Verify checks a proof against public inputs (excluding the ONE wire):
+// e(A,B) = e(α,β)·e(Σ pubᵢ·ICᵢ, γ)·e(C,δ).
+func Verify(vk *VerifyingKey, proof *Proof, public []ff.Element) error {
+	if proof.CurveID != vk.CurveID {
+		return fmt.Errorf("groth16: proof curve %v != key curve %v", proof.CurveID, vk.CurveID)
+	}
+	if len(public)+1 != len(vk.IC) {
+		return fmt.Errorf("groth16: want %d public inputs, got %d", len(vk.IC)-1, len(public))
+	}
+	c := curve.Get(vk.CurveID)
+	if !c.G1.IsOnCurve(proof.A) || !c.G1.IsOnCurve(proof.C) || !c.G2.IsOnCurve(proof.B) {
+		return fmt.Errorf("groth16: proof contains off-curve points")
+	}
+	ops1 := c.G1.NewOps()
+	var acc curve.Jacobian
+	ops1.FromAffine(&acc, vk.IC[0])
+	for i, p := range public {
+		ops1.AddAssign(&acc, ops1.ScalarMulElement(vk.IC[i+1], p))
+	}
+	vkx := ops1.ToAffine(&acc)
+
+	eng, err := pairing.New(c)
+	if err != nil {
+		return err
+	}
+	ok, err := eng.PairingCheck(
+		[]curve.Affine{proof.A, c.G1.NegAffine(vk.Alpha1), c.G1.NegAffine(vkx), c.G1.NegAffine(proof.C)},
+		[]curve.Affine{proof.B, vk.Beta2, vk.Gamma2, vk.Delta2},
+	)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("groth16: pairing check failed")
+	}
+	return nil
+}
+
+func log2(n int) int {
+	l := 0
+	for 1<<l < n {
+		l++
+	}
+	return l
+}

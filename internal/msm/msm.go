@@ -1,0 +1,237 @@
+// Package msm implements the multi-scalar multiplication stage of GZKP §4:
+// Σ sᵢ·Pᵢ over millions of points, the dominant cost of proof generation.
+//
+// Four strategies reproduce the paper's comparison matrix:
+//
+//   - Reference: serial double-and-add (correctness oracle);
+//   - Straus: MINA-like per-point precomputed tables (§2.3, Table 7's
+//     753-bit baseline) — fast per point, memory grows as N·2^k;
+//   - PippengerWindows: bellperson-like horizontal sub-MSM × window grid
+//     with per-sub-MSM Pippenger (§2.3, Fig. 3);
+//   - GZKP: the paper's plan (§4.1-4.2) — checkpoint-preprocessed weighted
+//     points (Algorithm 1), cross-window bucket merging that eliminates the
+//     window-reduction step, bucket-grained task partitioning with
+//     load-grouped heaviest-first scheduling, and parallel-prefix bucket
+//     reduction.
+//
+// All strategies are generic over the curve group (G1 and G2).
+package msm
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"time"
+
+	"gzkp/internal/curve"
+	"gzkp/internal/ff"
+)
+
+// StrategyID selects the MSM plan.
+type StrategyID int
+
+const (
+	Reference StrategyID = iota
+	Straus
+	PippengerWindows
+	GZKP
+)
+
+func (s StrategyID) String() string {
+	switch s {
+	case Reference:
+		return "reference"
+	case Straus:
+		return "straus"
+	case PippengerWindows:
+		return "pippenger-windows"
+	case GZKP:
+		return "gzkp"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// Config tunes an MSM execution.
+type Config struct {
+	Strategy StrategyID
+	// WindowBits is the Pippenger window size k; 0 selects the
+	// profiling-based default for the strategy and scale (§4.1).
+	WindowBits int
+	// CheckpointInterval is Algorithm 1's M (GZKP preprocessing density);
+	// 0 derives it from MemoryBudget.
+	CheckpointInterval int
+	// MemoryBudget caps the preprocessed-table size in bytes (0 = 1 GiB).
+	MemoryBudget int64
+	// SubMSMSize is the horizontal chunk for PippengerWindows/Straus
+	// (0 = auto).
+	SubMSMSize int
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+	// NoLoadBalance disables GZKP's load-grouped scheduling (the
+	// "GZKP-no-LB" ablation of Fig. 10): buckets are statically chunked
+	// in index order instead.
+	NoLoadBalance bool
+	// UseBatchAffine accumulates large buckets with tree-reduction
+	// batch-affine additions (shared inversions) instead of Jacobian
+	// mixed adds — the DESIGN.md §4 extension ablation.
+	UseBatchAffine bool
+}
+
+// Stats describes one MSM execution.
+type Stats struct {
+	WindowBits   int
+	Windows      int
+	Checkpoint   int // M
+	PointAdds    int64
+	Doubles      int64
+	TableBytes   int64 // preprocessed/auxiliary memory
+	BucketLoads  []int64
+	LoadSpread   float64 // max/min over nonzero bucket loads (Fig. 6)
+	ZeroDigits   int64   // skipped work (sparse ū)
+	NonzeroDigit int64
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// AutoWindow returns the profiling-based window size for an N-point GZKP
+// MSM (§4.1: larger k lowers PADD count but explodes the task grid; the
+// sweet spot tracks log₂N).
+func AutoWindow(n int) int {
+	if n <= 0 {
+		return 4
+	}
+	k := bits.Len(uint(n)) - 3
+	if k < 4 {
+		k = 4
+	}
+	if k > 16 {
+		k = 16
+	}
+	return k
+}
+
+// ProfileWindow implements §4.1's profiling-based window configuration:
+// it times the GZKP bucket pipeline on a small sample of the workload for
+// candidate window sizes around the analytic default and returns the
+// fastest. Deterministic inputs make the choice reproducible.
+func ProfileWindow(g *curve.Group, points []curve.Affine, scalars []ff.Element, cfg Config) (int, error) {
+	if len(points) == 0 {
+		return AutoWindow(0), nil
+	}
+	sample := len(points)
+	if sample > 1<<10 {
+		sample = 1 << 10
+	}
+	base := AutoWindow(len(points))
+	best, bestTime := base, int64(1)<<62
+	for _, k := range []int{base - 2, base, base + 2} {
+		if k < 1 || k > 20 {
+			continue
+		}
+		c := cfg
+		c.Strategy = GZKP
+		c.WindowBits = k
+		table, err := Preprocess(g, points[:sample], c)
+		if err != nil {
+			return 0, err
+		}
+		start := nowNS()
+		if _, _, err := table.Compute(scalars[:sample], c); err != nil {
+			return 0, err
+		}
+		if el := nowNS() - start; el < bestTime {
+			best, bestTime = k, el
+		}
+	}
+	return best, nil
+}
+
+// Compute evaluates Σ scalars[i]·points[i] on group g with cfg.
+func Compute(g *curve.Group, points []curve.Affine, scalars []ff.Element, cfg Config) (curve.Affine, Stats, error) {
+	if len(points) != len(scalars) {
+		return curve.Affine{}, Stats{}, fmt.Errorf("msm: %d points vs %d scalars", len(points), len(scalars))
+	}
+	if len(points) == 0 {
+		return g.Infinity(), Stats{}, nil
+	}
+	switch cfg.Strategy {
+	case Reference:
+		return reference(g, points, scalars)
+	case Straus:
+		return straus(g, points, scalars, cfg)
+	case PippengerWindows:
+		return pippengerWindows(g, points, scalars, cfg)
+	case GZKP:
+		table, err := Preprocess(g, points, cfg)
+		if err != nil {
+			return curve.Affine{}, Stats{}, err
+		}
+		return table.Compute(scalars, cfg)
+	default:
+		return curve.Affine{}, Stats{}, fmt.Errorf("msm: unknown strategy %d", cfg.Strategy)
+	}
+}
+
+// digits provides windowed base-2^k digit access to canonicalized scalars.
+type digits struct {
+	limbs   []uint64 // canonical little-endian, row-major
+	perRow  int
+	k       int
+	windows int
+	n       int
+}
+
+// newDigits canonicalizes scalars (out of Montgomery form) once and serves
+// digit lookups; l is the scalar bit length.
+func newDigits(f *ff.Field, scalars []ff.Element, k int) *digits {
+	l := f.Bits()
+	windows := (l + k - 1) / k
+	perRow := f.Limbs()
+	d := &digits{
+		limbs:   make([]uint64, len(scalars)*perRow),
+		perRow:  perRow,
+		k:       k,
+		windows: windows,
+		n:       len(scalars),
+	}
+	one := make(ff.Element, perRow)
+	one[0] = 1
+	tmp := f.New()
+	for i, s := range scalars {
+		f.Mul(tmp, s, one) // Montgomery → canonical
+		copy(d.limbs[i*perRow:(i+1)*perRow], tmp)
+	}
+	return d
+}
+
+// digit returns window t of scalar i: bits [t·k, (t+1)·k).
+func (d *digits) digit(i, t int) uint32 {
+	bit := t * d.k
+	word := bit >> 6
+	off := uint(bit & 63)
+	row := d.limbs[i*d.perRow:]
+	v := row[word] >> off
+	if off+uint(d.k) > 64 && word+1 < d.perRow {
+		v |= row[word+1] << (64 - off)
+	}
+	return uint32(v) & (1<<d.k - 1)
+}
+
+// reference is the serial double-and-add oracle.
+func reference(g *curve.Group, points []curve.Affine, scalars []ff.Element) (curve.Affine, Stats, error) {
+	ops := g.NewOps()
+	var acc curve.Jacobian
+	ops.SetInfinity(&acc)
+	for i := range points {
+		p := ops.ScalarMulElement(points[i], scalars[i])
+		ops.AddAssign(&acc, p)
+	}
+	return ops.ToAffine(&acc), Stats{}, nil
+}
+
+func nowNS() int64 { return time.Now().UnixNano() }

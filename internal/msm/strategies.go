@@ -1,0 +1,183 @@
+package msm
+
+import (
+	"fmt"
+
+	"gzkp/internal/curve"
+	"gzkp/internal/ff"
+	"gzkp/internal/par"
+)
+
+// straus is the MINA-like strategy (§2.3): per-point tables T[i][j] = j·Pᵢ
+// for j < 2^k, then a windowed walk from the top adding table entries. The
+// tables make each window cheap but cost N·(2^k-1) stored points — the
+// memory wall of Fig. 9 / Table 7 (MINA fails beyond 2^22).
+func straus(g *curve.Group, points []curve.Affine, scalars []ff.Element, cfg Config) (curve.Affine, Stats, error) {
+	k := cfg.WindowBits
+	if k <= 0 {
+		k = 4 // MINA's small fixed window: table growth forbids more
+	}
+	f := g.Fr
+	dg := newDigits(f, scalars, k)
+	n := len(points)
+	tableWidth := 1<<k - 1
+
+	// Build tables: T[i][j-1] = j·Pᵢ, built incrementally with mixed adds
+	// and batch-normalized per point stripe.
+	tables := make([][]curve.Affine, n)
+	var stats Stats
+	stats.WindowBits = k
+	stats.Windows = dg.windows
+	stats.TableBytes = int64(n) * int64(tableWidth) * int64(2*g.K.Words()*8)
+	par.Items(n, cfg.workers(),
+		func() interface{} { return g.NewOps() },
+		func(state interface{}, i int) {
+			ops := state.(*curve.Ops)
+			jacs := make([]curve.Jacobian, tableWidth)
+			var acc curve.Jacobian
+			ops.SetInfinity(&acc)
+			for j := 0; j < tableWidth; j++ {
+				ops.AddMixedAssign(&acc, points[i])
+				ops.Copy(&jacs[j], &acc)
+			}
+			tables[i] = g.BatchToAffine(jacs)
+		})
+
+	// Walk windows from the top across horizontal chunks.
+	workers := cfg.workers()
+	partial := make([]curve.Jacobian, workers)
+	chunk := (n + workers - 1) / workers
+	par.Items(workers, workers,
+		func() interface{} { return g.NewOps() },
+		func(state interface{}, w int) {
+			ops := state.(*curve.Ops)
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			var acc curve.Jacobian
+			ops.SetInfinity(&acc)
+			for t := dg.windows - 1; t >= 0; t-- {
+				if t != dg.windows-1 {
+					for b := 0; b < k; b++ {
+						ops.DoubleAssign(&acc)
+					}
+				}
+				for i := lo; i < hi; i++ {
+					j := dg.digit(i, t)
+					if j == 0 {
+						continue
+					}
+					ops.AddMixedAssign(&acc, tables[i][j-1])
+				}
+			}
+			partial[w] = acc
+		})
+	ops := g.NewOps()
+	var total curve.Jacobian
+	ops.SetInfinity(&total)
+	for i := range partial {
+		ops.AddAssign(&total, &partial[i])
+	}
+	return ops.ToAffine(&total), stats, nil
+}
+
+// pippengerWindows is the bellperson-like strategy (§2.3, Fig. 3): the
+// point vector is split horizontally into sub-MSMs; each (sub-MSM, window)
+// pair accumulates its own 2^k-1 buckets and reduces them; per-window
+// partials are summed and combined with k doublings between windows
+// (the window-reduction step GZKP eliminates).
+func pippengerWindows(g *curve.Group, points []curve.Affine, scalars []ff.Element, cfg Config) (curve.Affine, Stats, error) {
+	n := len(points)
+	k := cfg.WindowBits
+	if k <= 0 {
+		k = AutoWindow(n)
+	}
+	f := g.Fr
+	dg := newDigits(f, scalars, k)
+	nw := dg.windows
+	subSize := cfg.SubMSMSize
+	if subSize <= 0 {
+		subSize = n / cfg.workers()
+		if subSize < 1<<k {
+			subSize = 1 << k
+		}
+		if subSize > n {
+			subSize = n
+		}
+	}
+	numSub := (n + subSize - 1) / subSize
+	var stats Stats
+	stats.WindowBits = k
+	stats.Windows = nw
+	stats.TableBytes = int64(numSub) * int64(nw) * int64(1<<k-1) * int64(3*g.K.Words()*8)
+
+	// One task per (sub, window): bucket accumulate + running-sum reduce.
+	windowSums := make([]curve.Jacobian, numSub*nw)
+	tasks := numSub * nw
+	par.Items(tasks, cfg.workers(),
+		func() interface{} {
+			return &pippengerScratch{
+				ops:     g.NewOps(),
+				buckets: make([]curve.Jacobian, 1<<k-1),
+			}
+		},
+		func(state interface{}, task int) {
+			s := state.(*pippengerScratch)
+			ops := s.ops
+			sub, t := task/nw, task%nw
+			lo, hi := sub*subSize, (sub+1)*subSize
+			if hi > n {
+				hi = n
+			}
+			for j := range s.buckets {
+				ops.SetInfinity(&s.buckets[j])
+			}
+			for i := lo; i < hi; i++ {
+				j := dg.digit(i, t)
+				if j == 0 {
+					continue
+				}
+				ops.AddMixedAssign(&s.buckets[j-1], points[i])
+			}
+			// Running-sum bucket reduction: Σ j·B_j.
+			var running, acc curve.Jacobian
+			ops.SetInfinity(&running)
+			ops.SetInfinity(&acc)
+			for j := len(s.buckets) - 1; j >= 0; j-- {
+				ops.AddAssign(&running, &s.buckets[j])
+				ops.AddAssign(&acc, &running)
+			}
+			windowSums[task] = acc
+		})
+
+	// Sum sub-MSM partials per window, then the serial window reduction.
+	ops := g.NewOps()
+	var total curve.Jacobian
+	ops.SetInfinity(&total)
+	for t := nw - 1; t >= 0; t-- {
+		if t != nw-1 {
+			for b := 0; b < k; b++ {
+				ops.DoubleAssign(&total)
+			}
+		}
+		for sub := 0; sub < numSub; sub++ {
+			ops.AddAssign(&total, &windowSums[sub*nw+t])
+		}
+	}
+	return ops.ToAffine(&total), stats, nil
+}
+
+type pippengerScratch struct {
+	ops     *curve.Ops
+	buckets []curve.Jacobian
+}
+
+// guardIndexWidth rejects scales whose bucket-info array would overflow the
+// int32 entries Algorithm 1 uses.
+func guardIndexWidth(n, windows int) error {
+	if int64(n)*int64(windows) >= 1<<31 {
+		return fmt.Errorf("msm: N·windows = %d·%d overflows the 32-bit bucket index", n, windows)
+	}
+	return nil
+}

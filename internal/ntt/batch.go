@@ -1,0 +1,44 @@
+package ntt
+
+import (
+	"fmt"
+
+	"gzkp/internal/ff"
+	"gzkp/internal/par"
+)
+
+// TransformBatch runs many independent same-size transforms concurrently —
+// the throughput-oriented mode the paper's §7 sketches for homomorphic-
+// encryption workloads ("NTT batching"): ZKP wants one low-latency
+// transform using the whole device, HE wants many smaller transforms
+// saturating it. Each vector gets the same direction and (serial-precomp)
+// plan; vectors are distributed over the worker pool.
+func (d *Domain) TransformBatch(vecs [][]ff.Element, dir Direction, cfg Config) ([]Stats, error) {
+	cfg = cfg.withDefaults()
+	for i, v := range vecs {
+		if len(v) != d.N {
+			return nil, fmt.Errorf("ntt: batch vector %d has length %d, domain %d", i, len(v), d.N)
+		}
+	}
+	stats := make([]Stats, len(vecs))
+	errs := make([]error, len(vecs))
+	par.Items(len(vecs), cfg.Workers,
+		func() interface{} { return nil },
+		func(_ interface{}, i int) {
+			// Per-vector serial plan: batching trades per-transform
+			// parallelism for cross-transform throughput.
+			stats[i] = d.serial(vecs[i], dir, true)
+			if dir == Inverse {
+				f := d.F
+				for j := range vecs[i] {
+					f.Mul(vecs[i][j], vecs[i][j], d.NInv)
+				}
+			}
+		})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return stats, nil
+}

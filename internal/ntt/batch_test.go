@@ -1,0 +1,72 @@
+package ntt
+
+import (
+	"testing"
+
+	"gzkp/internal/ff"
+)
+
+func TestTransformBatchMatchesSingle(t *testing.T) {
+	f := frBN254(t)
+	d, err := NewDomain(f, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const count = 9
+	vecs := make([][]ff.Element, count)
+	want := make([][]ff.Element, count)
+	for i := range vecs {
+		in := randVector(f, d.N, int64(40+i))
+		vecs[i] = f.CopyVector(in)
+		want[i] = f.CopyVector(in)
+		if _, err := d.NTT(want[i], Config{Strategy: GZKP}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := d.TransformBatch(vecs, Forward, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != count {
+		t.Fatalf("got %d stats", len(stats))
+	}
+	for i := range vecs {
+		for j := range vecs[i] {
+			if !f.Equal(vecs[i][j], want[i][j]) {
+				t.Fatalf("batch transform %d differs at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestTransformBatchInverseRoundTrip(t *testing.T) {
+	f := frBN254(t)
+	d, _ := NewDomain(f, 128)
+	in := randVector(f, d.N, 55)
+	vecs := [][]ff.Element{f.CopyVector(in), f.CopyVector(in)}
+	if _, err := d.TransformBatch(vecs, Forward, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.TransformBatch(vecs, Inverse, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vecs {
+		for j := range v {
+			if !f.Equal(v[j], in[j]) {
+				t.Fatal("batch inverse roundtrip failed")
+			}
+		}
+	}
+}
+
+func TestTransformBatchValidation(t *testing.T) {
+	f := frBN254(t)
+	d, _ := NewDomain(f, 64)
+	if _, err := d.TransformBatch([][]ff.Element{f.NewVector(32)}, Forward, Config{}); err == nil {
+		t.Fatal("wrong-size batch vector accepted")
+	}
+	// Empty batch is a no-op.
+	if _, err := d.TransformBatch(nil, Forward, Config{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,175 @@
+package ntt
+
+import (
+	"fmt"
+
+	"gzkp/internal/gpusim"
+)
+
+// ModelVariant names the NTT execution plans priced on the GPU model —
+// the ladder of Figure 8 plus the Table 5/6 comparison points.
+type ModelVariant int
+
+const (
+	// ModelBaseline is bellperson ("BG"): shuffle pass per batch, one
+	// group per block, integer finite-field library.
+	ModelBaseline ModelVariant = iota
+	// ModelBaselineLib is "BG w. lib": same plan, FP-pipe library (§4.3).
+	ModelBaselineLib
+	// ModelGZKPNoShuffle is "GZKP-no-GM-shuffle": no global shuffle, but
+	// one group per block (G=1), so global reads stay fine-grained.
+	ModelGZKPNoShuffle
+	// ModelGZKP is the full design: G groups per block, internal shuffle,
+	// FP-pipe library.
+	ModelGZKP
+)
+
+func (v ModelVariant) String() string {
+	switch v {
+	case ModelBaseline:
+		return "BG"
+	case ModelBaselineLib:
+		return "BG w. lib"
+	case ModelGZKPNoShuffle:
+		return "GZKP-no-GM-shuffle"
+	case ModelGZKP:
+		return "GZKP"
+	}
+	return fmt.Sprintf("variant(%d)", int(v))
+}
+
+// Model builds the kernel sequence one N-point NTT launches on dev for the
+// given variant and limb width. It is purely analytic (no data), so paper
+// scales (2^26, 753-bit) price instantly.
+func Model(dev *gpusim.Device, v ModelVariant, logN, limbWords int) ([]gpusim.Kernel, error) {
+	if logN < 1 || logN > 40 {
+		return nil, fmt.Errorf("ntt: model logN %d out of range", logN)
+	}
+	n := int64(1) << logN
+	elemB := int64(limbWords * 8)
+	total := n * elemB
+	useFP := v != ModelBaseline
+
+	var ks []gpusim.Kernel
+	// Bit-reversal pass (all variants): random gather, contiguous store.
+	ks = append(ks, gpusim.Kernel{
+		Name: "bitrev", Blocks: maxI64(n/256, 1), ThreadsPerBlock: 256,
+		Loads:  []gpusim.Access{{Count: n * int64(limbWords), SegmentBytes: 8}},
+		Stores: []gpusim.Access{{Count: 1, SegmentBytes: total}},
+	})
+
+	switch v {
+	case ModelBaseline, ModelBaselineLib:
+		const b = 8 // bellperson groups 8 iterations per batch (§5.3)
+		batches := 0
+		for sdone := 0; sdone < logN; {
+			bb := minInt(b, logN-sdone)
+			if sdone > 0 {
+				// Global shuffle: strided fine-grained gather, contiguous store.
+				ks = append(ks, gpusim.Kernel{
+					Name: "shuffle", Blocks: maxI64(n/256, 1), ThreadsPerBlock: 256,
+					Loads:  []gpusim.Access{{Count: n * int64(limbWords), SegmentBytes: 8}},
+					Stores: []gpusim.Access{{Count: 1, SegmentBytes: total}},
+				})
+			}
+			// Compute batch: one group per block; the last batch may have
+			// tiny blocks (idle warp lanes — the §5.3 pathology).
+			ks = append(ks, gpusim.Kernel{
+				Name:   fmt.Sprintf("butterflies[s=%d..%d]", sdone+1, sdone+bb),
+				Blocks: maxI64(n>>bb, 1), ThreadsPerBlock: 1 << (bb - 1),
+				Loads:             []gpusim.Access{{Count: 1, SegmentBytes: total}},
+				Stores:            []gpusim.Access{{Count: 1, SegmentBytes: total}},
+				FieldMuls:         (n / 2) * int64(bb),
+				FieldAdds:         n * int64(bb),
+				LimbWords:         limbWords,
+				UseFPPipe:         useFP,
+				SharedMemPerBlock: (1 << bb) * elemB,
+			})
+			sdone += bb
+			batches++
+		}
+		if batches > 1 {
+			ks = append(ks, gpusim.Kernel{
+				Name: "restore", Blocks: maxI64(n/256, 1), ThreadsPerBlock: 256,
+				Loads:  []gpusim.Access{{Count: n * int64(limbWords), SegmentBytes: 8}},
+				Stores: []gpusim.Access{{Count: 1, SegmentBytes: total}},
+			})
+		}
+
+	case ModelGZKPNoShuffle, ModelGZKP:
+		g := int64(4)
+		if v == ModelGZKPNoShuffle {
+			g = 1
+		}
+		// Pick the largest B with G·2^B elements in shared memory and
+		// G·2^B/2 threads per block (§3: "batches by grouping fewer
+		// iterations" at larger bit widths), then *balance* the batch
+		// sizes — GZKP's flexible block assignment avoids the baseline's
+		// degenerate tiny last batch (§5.3).
+		bbMax := 1
+		for (g<<uint(bbMax+1))*elemB <= dev.SharedMemPerSM && (g<<uint(bbMax+1))/2 <= 1024 && bbMax+1 <= logN {
+			bbMax++
+		}
+		numBatches := (logN + bbMax - 1) / bbMax
+		base := logN / numBatches
+		extra := logN % numBatches
+		batchNo := 0
+		for sdone := 0; sdone < logN; {
+			cur := base
+			if batchNo < extra {
+				cur++
+			}
+			batchNo++
+			if cur > logN-sdone {
+				cur = logN - sdone
+			}
+			seg := 8 * g // G elements' words are contiguous per row chunk
+			loads := []gpusim.Access{{Count: n * int64(limbWords) / g, SegmentBytes: seg}}
+			if sdone == 0 {
+				loads = []gpusim.Access{{Count: 1, SegmentBytes: total}}
+			}
+			blocks := maxI64(n/((1<<cur)*g), 1)
+			threads := int((g << cur) / 2)
+			if threads < 1 {
+				threads = 1
+			}
+			ks = append(ks, gpusim.Kernel{
+				Name:   fmt.Sprintf("fused[s=%d..%d]", sdone+1, sdone+cur),
+				Blocks: blocks, ThreadsPerBlock: threads,
+				Loads: loads, Stores: loads,
+				FieldMuls:         (n / 2) * int64(cur),
+				FieldAdds:         n * int64(cur),
+				LimbWords:         limbWords,
+				UseFPPipe:         useFP,
+				SharedMemPerBlock: (g << cur) * elemB,
+			})
+			sdone += cur
+		}
+	default:
+		return nil, fmt.Errorf("ntt: unknown model variant %d", v)
+	}
+	return ks, nil
+}
+
+// ModelTime prices a single NTT end to end.
+func ModelTime(dev *gpusim.Device, v ModelVariant, logN, limbWords int) (gpusim.Result, error) {
+	ks, err := Model(dev, v, logN, limbWords)
+	if err != nil {
+		return gpusim.Result{}, err
+	}
+	return dev.RunSeq(ks)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,126 @@
+package ntt
+
+import (
+	"testing"
+
+	"gzkp/internal/gpusim"
+)
+
+func TestModelVariantsPrice(t *testing.T) {
+	dev := gpusim.V100()
+	for _, v := range []ModelVariant{ModelBaseline, ModelBaselineLib, ModelGZKPNoShuffle, ModelGZKP} {
+		r, err := ModelTime(dev, v, 20, 4)
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if r.Time <= 0 {
+			t.Fatalf("%v: nonpositive time", v)
+		}
+	}
+	if _, err := ModelTime(dev, ModelGZKP, 0, 4); err == nil {
+		t.Fatal("logN=0 accepted")
+	}
+	if _, err := ModelTime(dev, ModelVariant(99), 20, 4); err == nil {
+		t.Fatal("bogus variant accepted")
+	}
+}
+
+func TestModelShapeClaims(t *testing.T) {
+	// The §3 design claims, on the V100 model at paper scales:
+	dev := gpusim.V100()
+	for _, logn := range []int{18, 20, 22, 24} {
+		for _, words := range []int{4, 12} { // 256-bit Fr and 753-bit Fr
+			bg, err := ModelTime(dev, ModelBaseline, logn, words)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gz, err := ModelTime(dev, ModelGZKP, logn, words)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// (1) GZKP beats the shuffle baseline.
+			if gz.Time >= bg.Time {
+				t.Errorf("2^%d/%dw: GZKP %v !< BG %v", logn, words, gz.Time, bg.Time)
+			}
+			// (2) and moves less DRAM traffic (the shuffle elimination).
+			if gz.TrafficB >= bg.TrafficB {
+				t.Errorf("2^%d/%dw: GZKP traffic %d !< BG %d", logn, words, gz.TrafficB, bg.TrafficB)
+			}
+			// (3) the library helps the baseline on V100 ("BG w. lib").
+			lib, err := ModelTime(dev, ModelBaselineLib, logn, words)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lib.Time > bg.Time {
+				t.Errorf("2^%d/%dw: BG w. lib slower than BG", logn, words)
+			}
+		}
+	}
+}
+
+func TestModelGZKPScalesLinearly(t *testing.T) {
+	// §5.3: "the performance of GZKP's NTT module is almost linear with
+	// the NTT scale" — check time(2^(n+2))/time(2^n) ≈ 4 within 2×.
+	dev := gpusim.V100()
+	prev := 0.0
+	for _, logn := range []int{18, 20, 22, 24} {
+		r, err := ModelTime(dev, ModelGZKP, logn, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev > 0 {
+			ratio := r.Time / prev
+			if ratio < 2 || ratio > 8 {
+				t.Errorf("2^%d: scaling ratio %.2f not ~4", logn, ratio)
+			}
+		}
+		prev = r.Time
+	}
+}
+
+func TestModelBalancedBatches(t *testing.T) {
+	// GZKP variants must not emit a degenerate tiny last batch: every
+	// fused kernel needs at least a warp's worth of threads.
+	dev := gpusim.V100()
+	for _, logn := range []int{17, 18, 19, 23} {
+		ks, err := Model(dev, ModelGZKP, logn, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range ks[1:] { // skip bitrev
+			if k.ThreadsPerBlock < 32 {
+				t.Errorf("2^%d: kernel %s has %d threads/block", logn, k.Name, k.ThreadsPerBlock)
+			}
+		}
+	}
+	// The baseline, by contrast, is allowed its pathological last batch
+	// (that is the §5.3 criticism): at 2^18 with B=8 it has 2-thread blocks.
+	ks, err := Model(dev, ModelBaseline, 18, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, k := range ks {
+		if k.ThreadsPerBlock == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("baseline lost its characteristic degenerate last batch")
+	}
+}
+
+func TestModelSharedMemoryRespected(t *testing.T) {
+	dev := gpusim.V100()
+	for _, words := range []int{4, 6, 12} {
+		ks, err := Model(dev, ModelGZKP, 22, words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range ks {
+			if k.SharedMemPerBlock > dev.SharedMemPerSM {
+				t.Fatalf("words=%d kernel %s: %d B shared > %d", words, k.Name, k.SharedMemPerBlock, dev.SharedMemPerSM)
+			}
+		}
+	}
+}

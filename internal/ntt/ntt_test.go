@@ -1,0 +1,325 @@
+package ntt
+
+import (
+	"math/big"
+	mrand "math/rand"
+	"testing"
+
+	"gzkp/internal/curve"
+	"gzkp/internal/ff"
+)
+
+func frBN254(t testing.TB) *ff.Field { return curve.Get(curve.BN254).Fr }
+
+var allStrategies = []Strategy{Serial, SerialPrecomp, ShuffleBaseline, GZKP}
+
+// naiveDFT is the O(N²) reference: out[i] = Σ_j a[j]·ω^(ij).
+func naiveDFT(d *Domain, a []ff.Element) []ff.Element {
+	f := d.F
+	out := f.NewVector(d.N)
+	t := f.New()
+	for i := 0; i < d.N; i++ {
+		wi := f.Exp(d.Omega, big.NewInt(int64(i)))
+		acc := f.New()
+		wij := f.One()
+		for j := 0; j < d.N; j++ {
+			f.Mul(t, a[j], wij)
+			f.Add(acc, acc, t)
+			f.Mul(wij, wij, wi)
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+func randVector(f *ff.Field, n int, seed int64) []ff.Element {
+	rng := mrand.New(mrand.NewSource(seed))
+	v := f.NewVector(n)
+	for i := range v {
+		copy(v[i], f.Rand(rng))
+	}
+	return v
+}
+
+func TestDomainValidation(t *testing.T) {
+	f := frBN254(t)
+	for _, n := range []int{0, 1, 3, 12, 1000} {
+		if _, err := NewDomain(f, n); err == nil {
+			t.Errorf("NewDomain(%d) accepted non-power-of-two", n)
+		}
+	}
+	d, err := NewDomain(f, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.NTT(f.NewVector(8), Config{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	// Domain larger than two-adicity must fail.
+	if _, err := NewDomain(f, 1<<40); err == nil {
+		t.Error("domain beyond two-adicity accepted")
+	}
+}
+
+func TestMatchesNaiveDFT(t *testing.T) {
+	f := frBN254(t)
+	for _, n := range []int{2, 4, 16, 64} {
+		d, err := NewDomain(f, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := randVector(f, n, 42)
+		want := naiveDFT(d, in)
+		for _, s := range allStrategies {
+			got := f.CopyVector(in)
+			if _, err := got, error(nil); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := d.NTT(got, Config{Strategy: s, BatchBits: 3, GroupsPerBlock: 2}); err != nil {
+				t.Fatalf("n=%d %v: %v", n, s, err)
+			}
+			for i := range got {
+				if !f.Equal(got[i], want[i]) {
+					t.Fatalf("n=%d strategy=%v: output[%d] mismatch", n, s, i)
+				}
+			}
+		}
+	}
+}
+
+func TestStrategiesAgreeLarge(t *testing.T) {
+	f := frBN254(t)
+	n := 1 << 12
+	d, err := NewDomain(f, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := randVector(f, n, 7)
+	ref := f.CopyVector(in)
+	if _, err := d.NTT(ref, Config{Strategy: SerialPrecomp}); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Strategy{Serial, ShuffleBaseline, GZKP} {
+		for _, bb := range []int{1, 3, 8, 12, 20} {
+			got := f.CopyVector(in)
+			if _, err := d.NTT(got, Config{Strategy: s, BatchBits: bb}); err != nil {
+				t.Fatalf("%v bb=%d: %v", s, bb, err)
+			}
+			for i := range got {
+				if !f.Equal(got[i], ref[i]) {
+					t.Fatalf("strategy=%v bb=%d: mismatch at %d", s, bb, i)
+				}
+			}
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := frBN254(t)
+	d, err := NewDomain(f, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := randVector(f, d.N, 11)
+	for _, s := range allStrategies {
+		a := f.CopyVector(in)
+		if _, err := d.NTT(a, Config{Strategy: s}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.INTT(a, Config{Strategy: s}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if !f.Equal(a[i], in[i]) {
+				t.Fatalf("strategy=%v: INTT∘NTT != id at %d", s, i)
+			}
+		}
+	}
+}
+
+func TestCosetRoundTrip(t *testing.T) {
+	f := frBN254(t)
+	d, _ := NewDomain(f, 1<<9)
+	in := randVector(f, d.N, 13)
+	a := f.CopyVector(in)
+	if _, err := d.CosetNTT(a, Config{Strategy: GZKP}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.CosetINTT(a, Config{Strategy: ShuffleBaseline}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if !f.Equal(a[i], in[i]) {
+			t.Fatalf("coset roundtrip failed at %d", i)
+		}
+	}
+}
+
+// TestConvolution checks the convolution theorem: NTT(a)∘NTT(b) pointwise,
+// then INTT, equals the cyclic convolution of a and b.
+func TestConvolution(t *testing.T) {
+	f := frBN254(t)
+	n := 64
+	d, _ := NewDomain(f, n)
+	a := randVector(f, n, 17)
+	b := randVector(f, n, 19)
+	// Reference cyclic convolution.
+	want := f.NewVector(n)
+	tmp := f.New()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			f.Mul(tmp, a[i], b[j])
+			k := (i + j) % n
+			f.Add(want[k], want[k], tmp)
+		}
+	}
+	fa, fb := f.CopyVector(a), f.CopyVector(b)
+	d.NTT(fa, Config{Strategy: GZKP, BatchBits: 2})
+	d.NTT(fb, Config{Strategy: GZKP, BatchBits: 2})
+	for i := 0; i < n; i++ {
+		f.Mul(fa[i], fa[i], fb[i])
+	}
+	d.INTT(fa, Config{Strategy: GZKP, BatchBits: 2})
+	for i := 0; i < n; i++ {
+		if !f.Equal(fa[i], want[i]) {
+			t.Fatalf("convolution mismatch at %d", i)
+		}
+	}
+}
+
+// TestCosetDivision mirrors the POLY stage: (A·B)(x) / Z(x) on the coset
+// recovers the quotient polynomial when Z divides A·B.
+func TestCosetDivision(t *testing.T) {
+	f := frBN254(t)
+	n := 32
+	d, _ := NewDomain(f, n)
+	// Build A·B where A = Z (the vanishing polynomial x^N-1 lifted to 2N
+	// domain is awkward; instead multiply a random Q by Z directly:
+	// P(x) = Q(x)·(x^n - 1) over a 2n domain, then verify P/Z == Q on coset.
+	d2, _ := NewDomain(f, 2*n)
+	q := randVector(f, 2*n, 23)
+	for i := n; i < 2*n; i++ { // deg Q < n
+		for j := range q[i] {
+			q[i][j] = 0
+		}
+	}
+	// P = Q·(x^n - 1): coefficients p[i+n] += q[i]; p[i] -= q[i].
+	p := f.NewVector(2 * n)
+	for i := 0; i < n; i++ {
+		f.Sub(p[i], p[i], q[i])
+		copy(p[i+n], q[i])
+	}
+	// On the 2n coset: P(gw)/Z(gw) should equal Q(gw) where Z = x^n - 1.
+	pc := f.CopyVector(p)
+	d2.CosetNTT(pc, Config{Strategy: GZKP})
+	qc := f.CopyVector(q)
+	d2.CosetNTT(qc, Config{Strategy: GZKP})
+	// Z on the 2n coset: (g·w^i)^n - 1, varies with i; compute directly.
+	w2n, _ := f.RootOfUnity(d2.LogN)
+	zi := f.New()
+	for i := 0; i < 2*n; i++ {
+		x := f.Exp(w2n, big.NewInt(int64(i)))
+		f.Mul(x, x, d2.coset)
+		z := f.ExpUint64(x, uint64(n))
+		f.Sub(z, z, f.One())
+		f.Mul(zi, qc[i], z)
+		if !f.Equal(zi, pc[i]) {
+			t.Fatalf("P != Q·Z on coset at %d", i)
+		}
+	}
+	_ = d
+}
+
+func TestZOnCoset(t *testing.T) {
+	f := frBN254(t)
+	d, _ := NewDomain(f, 64)
+	// Z(g·ω^i) must be the same nonzero constant for all i.
+	z := d.ZOnCoset()
+	if f.IsZero(z) {
+		t.Fatal("Z on coset is zero")
+	}
+	w := f.Copy(d.Omega)
+	x := f.Mul(f.New(), d.coset, w)
+	zi := f.ExpUint64(x, uint64(d.N))
+	f.Sub(zi, zi, f.One())
+	if !f.Equal(zi, z) {
+		t.Fatal("Z not constant on coset")
+	}
+}
+
+func TestShuffleStatsRecorded(t *testing.T) {
+	f := frBN254(t)
+	d, _ := NewDomain(f, 1<<12)
+	a := randVector(f, d.N, 29)
+	st, err := d.NTT(a, Config{Strategy: ShuffleBaseline, BatchBits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Batches != 3 {
+		t.Fatalf("expected 3 batches for logN=12, B=4; got %d", st.Batches)
+	}
+	if st.ShuffleNS <= 0 {
+		t.Fatal("shuffle time not recorded")
+	}
+	// GZKP must record zero shuffle time.
+	st2, _ := d.NTT(a, Config{Strategy: GZKP, BatchBits: 4})
+	if st2.ShuffleNS != 0 {
+		t.Fatal("GZKP should not shuffle")
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	f := frBN254(t)
+	d, _ := NewDomain(f, 128)
+	a := randVector(f, d.N, 31)
+	b := randVector(f, d.N, 37)
+	sum := f.NewVector(d.N)
+	for i := range sum {
+		f.Add(sum[i], a[i], b[i])
+	}
+	d.NTT(a, Config{Strategy: GZKP})
+	d.NTT(b, Config{Strategy: GZKP})
+	d.NTT(sum, Config{Strategy: GZKP})
+	for i := range sum {
+		want := f.Add(f.New(), a[i], b[i])
+		if !f.Equal(sum[i], want) {
+			t.Fatalf("NTT not linear at %d", i)
+		}
+	}
+}
+
+func BenchmarkNTT(b *testing.B) {
+	f := frBN254(b)
+	for _, logn := range []uint{12, 16} {
+		d, err := NewDomain(f, 1<<logn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		in := randVector(f, d.N, 1)
+		for _, s := range allStrategies {
+			b.Run(s.String()+"/2^"+itoa(int(logn)), func(b *testing.B) {
+				a := f.CopyVector(in)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := d.NTT(a, Config{Strategy: s}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

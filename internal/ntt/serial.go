@@ -1,0 +1,60 @@
+package ntt
+
+import (
+	"math/big"
+	"time"
+
+	"gzkp/internal/ff"
+)
+
+// serial runs the textbook iterative radix-2 Cooley–Tukey transform on one
+// thread. With precomp=false it reproduces the libsnark behaviour the paper
+// criticizes (§5.3): the per-iteration step root ω_m is re-derived by
+// exponentiation and each butterfly's twiddle by a running product, an
+// extra multiply per butterfly and no reuse across calls. With precomp=true
+// twiddles come from the domain's table.
+func (d *Domain) serial(a []ff.Element, dir Direction, precomp bool) Stats {
+	start := time.Now()
+	f := d.F
+	bitReverse(a, d.LogN)
+	roots := d.roots
+	omega := d.Omega
+	if dir == Inverse {
+		roots = d.rootsInv
+		omega = d.OmegaInv
+	}
+	t := f.New()
+	u := f.New()
+	for s := uint(1); s <= d.LogN; s++ {
+		m := 1 << s
+		half := m >> 1
+		if precomp {
+			step := d.N >> s
+			for k := 0; k < d.N; k += m {
+				for j := 0; j < half; j++ {
+					w := roots[j*step]
+					f.Mul(t, w, a[k+j+half])
+					f.Set(u, a[k+j])
+					f.Add(a[k+j], u, t)
+					f.Sub(a[k+j+half], u, t)
+				}
+			}
+			continue
+		}
+		// libsnark-like: derive ω_m by exponentiation, then run a
+		// twiddle product inside each group (the redundant computation).
+		wm := f.Exp(omega, big.NewInt(int64(d.N>>s)))
+		for k := 0; k < d.N; k += m {
+			w := f.One()
+			for j := 0; j < half; j++ {
+				f.Mul(t, w, a[k+j+half])
+				f.Set(u, a[k+j])
+				f.Add(a[k+j], u, t)
+				f.Sub(a[k+j+half], u, t)
+				f.Mul(w, w, wm)
+			}
+		}
+	}
+	ns := time.Since(start).Nanoseconds()
+	return Stats{Batches: 1, ButterflyNS: ns, TotalNS: ns}
+}

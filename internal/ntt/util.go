@@ -1,0 +1,5 @@
+package ntt
+
+import "math/big"
+
+func bigFromInt(v int) *big.Int { return big.NewInt(int64(v)) }

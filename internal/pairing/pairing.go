@@ -1,0 +1,219 @@
+// Package pairing implements the reduced Tate pairing used by the Groth16
+// verifier: e(P, Q) = f_{r,P}(ψ(Q))^((q^k - 1)/r), with P ∈ G1(Fq),
+// Q ∈ G2(Fq2) untwisted into E(Fq^k) by ψ. The Miller loop iterates over
+// the bits of r with all point arithmetic in the cheap base field; the
+// three-pass structure (Jacobian trace → batch affine → batch slope
+// inversion → accumulation) keeps the number of field inversions constant.
+//
+// GZKP itself only accelerates proof *generation* (the paper §7 notes the
+// protocol is unchanged); the pairing exists so proofs produced by the
+// system are actually verified in tests and examples.
+package pairing
+
+import (
+	"fmt"
+	"math/big"
+
+	"gzkp/internal/curve"
+	"gzkp/internal/ff"
+	"gzkp/internal/tower"
+)
+
+// GT is an element of the target group (subgroup of Fq^k*), flattened.
+type GT = []uint64
+
+// Engine precomputes the untwist constants for one curve.
+type Engine struct {
+	c    *curve.Curve
+	fq   *ff.Field
+	k    *tower.Ext // full tower Fq^k
+	fq6  *tower.Ext
+	fq2  *tower.Ext
+	w2   []uint64 // untwist factor for x (w² or w^-2)
+	w3   []uint64 // untwist factor for y (w³ or w^-3)
+	exp  *big.Int // (q^k - 1)/r
+	rBig *big.Int
+}
+
+// New builds a pairing engine; the curve must carry a pairing tower.
+func New(c *curve.Curve) (*Engine, error) {
+	if !c.PairingSupported() {
+		return nil, fmt.Errorf("pairing: %s has no pairing tower", c.Name)
+	}
+	k := c.KFull
+	fq6, ok := k.Base().(*tower.Ext)
+	if !ok {
+		return nil, fmt.Errorf("pairing: unexpected tower shape for %s", c.Name)
+	}
+	// w = the adjoined root of the top-level extension.
+	w := k.Zero()
+	k.SetCoeff(w, 1, fq6.One())
+	w2 := k.Mul(k.Zero(), w, w)
+	w3 := k.Mul(k.Zero(), w2, w)
+	if c.TwistIsM {
+		w2 = k.Inverse(w2)
+		w3 = k.Inverse(w3)
+	}
+	r := c.Fr.Modulus()
+	qk := new(big.Int).Exp(c.Fq.Modulus(), big.NewInt(int64(c.Embedding)), nil)
+	num := new(big.Int).Sub(qk, big.NewInt(1))
+	exp, rem := new(big.Int).QuoRem(num, r, new(big.Int))
+	if rem.Sign() != 0 {
+		return nil, fmt.Errorf("pairing: r does not divide q^k-1 for %s", c.Name)
+	}
+	return &Engine{c: c, fq: c.Fq, k: k, fq6: fq6, fq2: c.Fq2, w2: w2, w3: w3, exp: exp, rBig: r}, nil
+}
+
+// GTOne returns the identity of the target group.
+func (e *Engine) GTOne() GT { return e.k.One() }
+
+// GTEqual compares target-group elements.
+func (e *Engine) GTEqual(a, b GT) bool { return e.k.Equal(a, b) }
+
+// GTField exposes the target field (for tests exponentiating GT elements).
+func (e *Engine) GTField() *tower.Ext { return e.k }
+
+// embedFq lifts a base-field scalar into Fq^k.
+func (e *Engine) embedFq(c ff.Element) []uint64 {
+	return e.k.FromBase(e.fq6.FromBase(e.fq2.FromBase(c)))
+}
+
+// embedFq2 lifts an Fq2 element into Fq^k.
+func (e *Engine) embedFq2(c []uint64) []uint64 {
+	return e.k.FromBase(e.fq6.FromBase(c))
+}
+
+// Untwist maps a G2 (twist-curve) point into E(Fq^k).
+func (e *Engine) Untwist(q curve.Affine) (x, y []uint64) {
+	x = e.k.Mul(e.k.Zero(), e.embedFq2(q.X), e.w2)
+	y = e.k.Mul(e.k.Zero(), e.embedFq2(q.Y), e.w3)
+	return x, y
+}
+
+// Pair computes the reduced Tate pairing e(p, q).
+func (e *Engine) Pair(p, q curve.Affine) GT {
+	return e.FinalExp(e.MillerLoop(p, q))
+}
+
+// PairingCheck reports whether ∏ e(ps[i], qs[i]) == 1, sharing one final
+// exponentiation across all Miller values (final exp is a homomorphism).
+func (e *Engine) PairingCheck(ps, qs []curve.Affine) (bool, error) {
+	if len(ps) != len(qs) {
+		return false, fmt.Errorf("pairing: mismatched point-vector lengths %d, %d", len(ps), len(qs))
+	}
+	acc := e.k.One()
+	for i := range ps {
+		e.k.Mul(acc, acc, e.MillerLoop(ps[i], qs[i]))
+	}
+	return e.k.IsOne(e.FinalExp(acc)), nil
+}
+
+// FinalExp raises a Miller value to (q^k - 1)/r.
+func (e *Engine) FinalExp(f GT) GT { return e.k.Exp(f, e.exp) }
+
+// millerEvent records one line evaluation in execution order.
+type millerEvent struct {
+	isDouble bool
+	vertical bool // line is x - x_T (final cancellation step)
+	ptIdx    int  // index of the affine T at which the line is anchored
+}
+
+// MillerLoop computes f_{r,P}(ψ(Q)) without the final exponentiation.
+// Degenerate inputs (either point at infinity) yield 1.
+func (e *Engine) MillerLoop(p, q curve.Affine) GT {
+	if p.Inf || q.Inf {
+		return e.k.One()
+	}
+	g1 := e.c.G1
+	ops := g1.NewOps()
+	fq := e.fq
+
+	// Pass 1: trace the double-and-add walk in Jacobian coordinates,
+	// recording the point T *before* each line-producing step.
+	var events []millerEvent
+	var trace []curve.Jacobian
+	record := func(t *curve.Jacobian) int {
+		var cp curve.Jacobian
+		ops.Copy(&cp, t)
+		trace = append(trace, cp)
+		return len(trace) - 1
+	}
+	var t curve.Jacobian
+	ops.FromAffine(&t, p)
+	r := e.rBig
+	for i := r.BitLen() - 2; i >= 0; i-- {
+		events = append(events, millerEvent{isDouble: true, ptIdx: record(&t)})
+		ops.DoubleAssign(&t)
+		if r.Bit(i) == 1 {
+			events = append(events, millerEvent{isDouble: false, ptIdx: record(&t)})
+			ops.AddMixedAssign(&t, p)
+		}
+	}
+
+	// Pass 2: batch-normalize the trace and batch-invert slope denominators.
+	aff := g1.BatchToAffine(trace)
+	dens := make([]ff.Element, len(events))
+	for i, ev := range events {
+		tp := aff[ev.ptIdx]
+		if tp.Inf {
+			dens[i] = fq.One() // placeholder; line becomes 1
+			continue
+		}
+		if ev.isDouble {
+			dens[i] = fq.Double(fq.New(), tp.Y) // 2y
+		} else {
+			if fq.Equal(tp.X, p.X) && !fq.Equal(tp.Y, p.Y) {
+				// T == -P: vertical line (final step of the loop).
+				events[i].vertical = true
+				dens[i] = fq.One()
+			} else {
+				dens[i] = fq.Sub(fq.New(), tp.X, p.X) // x_T - x_P
+			}
+		}
+	}
+	fq.BatchInvert(dens)
+
+	// Pass 3: accumulate f with line evaluations at ψ(Q).
+	xq, yq := e.Untwist(q)
+	K := e.k
+	f := K.One()
+	lam := fq.New()
+	num := fq.New()
+	l := K.Zero()
+	tmp := K.Zero()
+	for i, ev := range events {
+		if ev.isDouble {
+			K.Square(f, f)
+		}
+		tp := aff[ev.ptIdx]
+		if tp.Inf {
+			continue // T = O: line contribution is 1
+		}
+		if ev.vertical {
+			// l = x_Q - x_T
+			K.Sub(l, xq, e.embedFq(tp.X))
+			K.Mul(f, f, l)
+			continue
+		}
+		if ev.isDouble {
+			// λ = (3x² + a) / 2y
+			fq.Square(num, tp.X)
+			fq.Add(lam, fq.Double(fq.New(), num), num)
+			if !fq.IsZero(g1.A) {
+				fq.Add(lam, lam, g1.A)
+			}
+			fq.Mul(lam, lam, dens[i])
+		} else {
+			// λ = (y_T - y_P) / (x_T - x_P)
+			fq.Sub(num, tp.Y, p.Y)
+			fq.Mul(lam, num, dens[i])
+		}
+		// l = (y_Q - y_T) - λ (x_Q - x_T)
+		K.Sub(tmp, xq, e.embedFq(tp.X))
+		K.MulByBase(tmp, tmp, lam)
+		K.Sub(l, yq, e.embedFq(tp.Y))
+		K.Sub(l, l, tmp)
+		K.Mul(f, f, l)
+	}
+	return f
+}

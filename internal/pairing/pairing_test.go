@@ -1,0 +1,171 @@
+package pairing
+
+import (
+	"math/big"
+	mrand "math/rand"
+	"testing"
+
+	"gzkp/internal/curve"
+)
+
+func engines(t testing.TB) []*Engine {
+	t.Helper()
+	var out []*Engine
+	for _, id := range []curve.ID{curve.BN254, curve.BLS12381} {
+		e, err := New(curve.Get(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func TestUnsupportedCurve(t *testing.T) {
+	if _, err := New(curve.Get(curve.MNT4753Sim)); err == nil {
+		t.Fatal("MNT4753-sim must not support pairing")
+	}
+}
+
+func TestUntwistOnCurve(t *testing.T) {
+	// ψ(Q) must land on E(Fq^k): y² = x³ + b (a = 0 for both curves).
+	for _, e := range engines(t) {
+		q := e.c.G2.Generator()
+		x, y := e.Untwist(q)
+		K := e.k
+		lhs := K.Square(K.Zero(), y)
+		rhs := K.Square(K.Zero(), x)
+		K.Mul(rhs, rhs, x)
+		b := e.embedFq(e.c.G1.B)
+		K.Add(rhs, rhs, b)
+		if !K.Equal(lhs, rhs) {
+			t.Fatalf("%s: untwisted G2 generator off E(Fq^k)", e.c.Name)
+		}
+	}
+}
+
+func TestNonDegenerate(t *testing.T) {
+	for _, e := range engines(t) {
+		gt := e.Pair(e.c.G1.Generator(), e.c.G2.Generator())
+		if e.k.IsOne(gt) {
+			t.Fatalf("%s: e(G1, G2) == 1 (degenerate)", e.c.Name)
+		}
+		// GT element must have order dividing r: gt^r == 1.
+		if !e.k.IsOne(e.k.Exp(gt, e.rBig)) {
+			t.Fatalf("%s: e(G1,G2)^r != 1", e.c.Name)
+		}
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	for _, e := range engines(t) {
+		inf1 := e.c.G1.Infinity()
+		inf2 := e.c.G2.Infinity()
+		if !e.k.IsOne(e.Pair(inf1, e.c.G2.Generator())) {
+			t.Fatalf("%s: e(O, Q) != 1", e.c.Name)
+		}
+		if !e.k.IsOne(e.Pair(e.c.G1.Generator(), inf2)) {
+			t.Fatalf("%s: e(P, O) != 1", e.c.Name)
+		}
+	}
+}
+
+func TestBilinearity(t *testing.T) {
+	for _, e := range engines(t) {
+		e := e
+		t.Run(e.c.Name, func(t *testing.T) {
+			c := e.c
+			ops1, ops2 := c.G1.NewOps(), c.G2.NewOps()
+			g1, g2 := c.G1.Generator(), c.G2.Generator()
+			rng := mrand.New(mrand.NewSource(1))
+			a := new(big.Int).Rand(rng, big.NewInt(1<<30))
+			b := new(big.Int).Rand(rng, big.NewInt(1<<30))
+
+			aP := ops1.ToAffine(ops1.ScalarMul(g1, a))
+			bQ := ops2.ToAffine(ops2.ScalarMul(g2, b))
+
+			// e(aP, bQ) == e(P, Q)^(ab)
+			lhs := e.Pair(aP, bQ)
+			base := e.Pair(g1, g2)
+			ab := new(big.Int).Mul(a, b)
+			rhs := e.k.Exp(base, ab)
+			if !e.k.Equal(lhs, rhs) {
+				t.Fatal("e(aP,bQ) != e(P,Q)^ab")
+			}
+			// e(aP, Q) == e(P, aQ)
+			aQ := ops2.ToAffine(ops2.ScalarMul(g2, a))
+			if !e.k.Equal(e.Pair(aP, g2), e.Pair(g1, aQ)) {
+				t.Fatal("e(aP,Q) != e(P,aQ)")
+			}
+			// e(P+P', Q) == e(P,Q)·e(P',Q)
+			p2 := ops1.ToAffine(ops1.ScalarMul(g1, big.NewInt(77)))
+			sum := &curve.Jacobian{}
+			ops1.FromAffine(sum, aP)
+			ops1.AddMixedAssign(sum, p2)
+			sumA := ops1.ToAffine(sum)
+			lhs2 := e.Pair(sumA, g2)
+			rhs2 := e.k.Mul(e.k.Zero(), e.Pair(aP, g2), e.Pair(p2, g2))
+			if !e.k.Equal(lhs2, rhs2) {
+				t.Fatal("pairing not additive in first argument")
+			}
+		})
+	}
+}
+
+func TestPairingCheck(t *testing.T) {
+	e := engines(t)[0]
+	c := e.c
+	ops1, ops2 := c.G1.NewOps(), c.G2.NewOps()
+	g1, g2 := c.G1.Generator(), c.G2.Generator()
+	// e(2P, Q) * e(-P, 2Q) == 1 (since 2ab - 2ab = 0 in the exponent).
+	p2 := ops1.ToAffine(ops1.ScalarMul(g1, big.NewInt(2)))
+	q2 := ops2.ToAffine(ops2.ScalarMul(g2, big.NewInt(2)))
+	negP := c.G1.NegAffine(g1)
+	ok, err := e.PairingCheck(
+		[]curve.Affine{p2, negP},
+		[]curve.Affine{g2, q2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("valid pairing product rejected")
+	}
+	// Perturbed product must fail.
+	ok, err = e.PairingCheck(
+		[]curve.Affine{p2, g1},
+		[]curve.Affine{g2, q2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("invalid pairing product accepted")
+	}
+	// Length mismatch errors.
+	if _, err := e.PairingCheck([]curve.Affine{g1}, nil); err == nil {
+		t.Fatal("length mismatch not reported")
+	}
+}
+
+func BenchmarkPair(b *testing.B) {
+	for _, e := range engines(b) {
+		e := e
+		b.Run(e.c.Name, func(b *testing.B) {
+			p, q := e.c.G1.Generator(), e.c.G2.Generator()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Pair(p, q)
+			}
+		})
+	}
+}
+
+func BenchmarkMillerLoop(b *testing.B) {
+	e := engines(b)[0]
+	p, q := e.c.G1.Generator(), e.c.G2.Generator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.MillerLoop(p, q)
+	}
+}

@@ -1,0 +1,115 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if Workers(4) != 4 {
+		t.Fatal("explicit worker count ignored")
+	}
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("default workers must be positive")
+	}
+}
+
+func TestRangeCoversAll(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 1000} {
+		for _, w := range []int{1, 3, 8, 200} {
+			seen := make([]int32, n)
+			Range(n, w, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("n=%d w=%d: index %d visited %d times", n, w, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestItemsCoversAllWithState(t *testing.T) {
+	n := 500
+	var visited int64
+	var states sync.Map
+	Items(n, 4, func() interface{} {
+		s := new(int)
+		states.Store(s, true)
+		return s
+	}, func(state interface{}, item int) {
+		*(state.(*int))++
+		atomic.AddInt64(&visited, 1)
+	})
+	if visited != int64(n) {
+		t.Fatalf("visited %d of %d", visited, n)
+	}
+	// Per-worker state increments must sum to n.
+	var total int
+	states.Range(func(k, _ interface{}) bool {
+		total += *(k.(*int))
+		return true
+	})
+	if total != n {
+		t.Fatalf("state increments %d != %d", total, n)
+	}
+}
+
+func TestItemsOrderedRespectsOrder(t *testing.T) {
+	n := 64
+	order := make([]int, n)
+	for i := range order {
+		order[i] = n - 1 - i // reverse
+	}
+	var got []int
+	var mu sync.Mutex
+	ItemsOrdered(n, 1, order, func() interface{} { return nil }, func(_ interface{}, item int) {
+		mu.Lock()
+		got = append(got, item)
+		mu.Unlock()
+	})
+	for i, v := range got {
+		if v != n-1-i {
+			t.Fatalf("single-worker ordered dispatch broke at %d: %d", i, v)
+		}
+	}
+	// Multi-worker: all items exactly once.
+	seen := make([]int32, n)
+	ItemsOrdered(n, 5, order, func() interface{} { return nil }, func(_ interface{}, item int) {
+		atomic.AddInt32(&seen[item], 1)
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("item %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestStaticItemsCoversAll(t *testing.T) {
+	n := 333
+	seen := make([]int32, n)
+	StaticItems(n, 7, func() interface{} { return nil }, func(_ interface{}, item int) {
+		atomic.AddInt32(&seen[item], 1)
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("item %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestZeroItems(t *testing.T) {
+	// None of these may panic or call fn.
+	called := false
+	fn := func(_ interface{}, _ int) { called = true }
+	Items(0, 4, func() interface{} { return nil }, fn)
+	StaticItems(0, 4, func() interface{} { return nil }, fn)
+	Range(0, 4, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("work executed for n=0")
+	}
+}

@@ -1,0 +1,73 @@
+// Package poly implements the POLY stage of proof generation (§2.1, §3):
+// given the per-constraint evaluation vectors ā, b̄, c̄ of the witness, it
+// computes the coefficients of H(x) = (A(x)·B(x) - C(x)) / Z(x) with the
+// paper's seven-NTT schedule — three INTTs to coefficient form, three
+// coset-NTTs, a pointwise divide by the (constant-on-coset) vanishing
+// polynomial, and one coset-INTT back.
+//
+// Both the Groth16 prover and the core engine's pipeline delegate here, so
+// the "seven NTT operations" accounting of §5.2 lives in exactly one place.
+package poly
+
+import (
+	"fmt"
+
+	"gzkp/internal/ff"
+	"gzkp/internal/ntt"
+)
+
+// Result carries H's coefficients and the per-NTT stats.
+type Result struct {
+	// H has length n-1: deg H ≤ n-2 for a satisfied system.
+	H     []ff.Element
+	Stats []ntt.Stats
+}
+
+// ComputeH consumes a, b, c (length = domain size; overwritten as scratch)
+// and returns the quotient coefficients. It is the prover's hot path for
+// the POLY stage; cfg selects the NTT execution strategy.
+func ComputeH(dom *ntt.Domain, a, b, c []ff.Element, cfg ntt.Config) (*Result, error) {
+	n := dom.N
+	if len(a) != n || len(b) != n || len(c) != n {
+		return nil, fmt.Errorf("poly: vector lengths (%d,%d,%d) != domain %d", len(a), len(b), len(c), n)
+	}
+	f := dom.F
+	res := &Result{}
+	run := func(fn func([]ff.Element, ntt.Config) (ntt.Stats, error), v []ff.Element) error {
+		st, err := fn(v, cfg)
+		if err != nil {
+			return err
+		}
+		res.Stats = append(res.Stats, st)
+		return nil
+	}
+	// 3 INTTs: evaluations on ⟨ω⟩ → coefficients.
+	for _, v := range [][]ff.Element{a, b, c} {
+		if err := run(dom.INTT, v); err != nil {
+			return nil, err
+		}
+	}
+	// 3 coset-NTTs: coefficients → evaluations on g·⟨ω⟩.
+	for _, v := range [][]ff.Element{a, b, c} {
+		if err := run(dom.CosetNTT, v); err != nil {
+			return nil, err
+		}
+	}
+	// Pointwise (a·b - c)/Z on the coset; Z(g·ωⁱ) = gⁿ - 1 is constant.
+	zInv := f.Inverse(dom.ZOnCoset())
+	tmp := f.New()
+	for i := 0; i < n; i++ {
+		f.Mul(tmp, a[i], b[i])
+		f.Sub(tmp, tmp, c[i])
+		f.Mul(a[i], tmp, zInv)
+	}
+	// 1 coset-INTT back to coefficients. Total: 7 NTT operations (§5.2).
+	if err := run(dom.CosetINTT, a); err != nil {
+		return nil, err
+	}
+	res.H = a[:n-1]
+	return res, nil
+}
+
+// NTTCount is the §5.2 constant: transforms per proof.
+const NTTCount = 7

@@ -1,0 +1,114 @@
+package poly
+
+import (
+	"math/big"
+	mrand "math/rand"
+	"testing"
+
+	"gzkp/internal/curve"
+	"gzkp/internal/ff"
+	"gzkp/internal/ntt"
+)
+
+// TestComputeHDefinition checks H against the defining identity
+// A(x)·B(x) - C(x) = H(x)·(xⁿ - 1) at random points, with C constructed as
+// the pointwise product so the division is exact (the witness property).
+func TestComputeHDefinition(t *testing.T) {
+	f := curve.Get(curve.BN254).Fr
+	n := 64
+	dom, err := ntt.NewDomain(f, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mrand.New(mrand.NewSource(1))
+	a, b, c := f.NewVector(n), f.NewVector(n), f.NewVector(n)
+	for i := 0; i < n; i++ {
+		f.Set(a[i], f.Rand(rng))
+		f.Set(b[i], f.Rand(rng))
+		f.Mul(c[i], a[i], b[i])
+	}
+	// Keep pristine copies: ComputeH scribbles on its inputs.
+	aSave, bSave, cSave := f.CopyVector(a), f.CopyVector(b), f.CopyVector(c)
+
+	res, err := ComputeH(dom, a, b, c, ntt.Config{Strategy: ntt.GZKP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats) != NTTCount {
+		t.Fatalf("ran %d NTTs, want %d", len(res.Stats), NTTCount)
+	}
+	if len(res.H) != n-1 {
+		t.Fatalf("H has %d coefficients, want %d", len(res.H), n-1)
+	}
+
+	// Interpolate A, B, C from their evaluations and compare at random x:
+	// A(x)·B(x) - C(x) == H(x)·(xⁿ-1).
+	ac, bc, cc := f.CopyVector(aSave), f.CopyVector(bSave), f.CopyVector(cSave)
+	for _, v := range [][]ff.Element{ac, bc, cc} {
+		if _, err := dom.INTT(v, ntt.Config{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evalPoly := func(coeffs []ff.Element, x ff.Element) ff.Element {
+		acc := f.New()
+		for i := len(coeffs) - 1; i >= 0; i-- {
+			f.Mul(acc, acc, x)
+			f.Add(acc, acc, coeffs[i])
+		}
+		return acc
+	}
+	for trial := 0; trial < 5; trial++ {
+		x := f.Rand(rng)
+		lhs := f.Mul(f.New(), evalPoly(ac, x), evalPoly(bc, x))
+		f.Sub(lhs, lhs, evalPoly(cc, x))
+		zx := f.Exp(x, big.NewInt(int64(n)))
+		f.Sub(zx, zx, f.One())
+		rhs := f.Mul(f.New(), evalPoly(res.H, x), zx)
+		if !f.Equal(lhs, rhs) {
+			t.Fatalf("trial %d: A·B-C != H·Z at random point", trial)
+		}
+	}
+}
+
+func TestComputeHStrategiesAgree(t *testing.T) {
+	f := curve.Get(curve.BLS12381).Fr
+	n := 128
+	dom, _ := ntt.NewDomain(f, n)
+	rng := mrand.New(mrand.NewSource(2))
+	mk := func() ([]ff.Element, []ff.Element, []ff.Element) {
+		a, b, c := f.NewVector(n), f.NewVector(n), f.NewVector(n)
+		rng := mrand.New(mrand.NewSource(3))
+		for i := 0; i < n; i++ {
+			f.Set(a[i], f.Rand(rng))
+			f.Set(b[i], f.Rand(rng))
+			f.Mul(c[i], a[i], b[i])
+		}
+		return a, b, c
+	}
+	_ = rng
+	var ref []ff.Element
+	for i, s := range []ntt.Strategy{ntt.SerialPrecomp, ntt.Serial, ntt.ShuffleBaseline, ntt.GZKP} {
+		a, b, c := mk()
+		res, err := ComputeH(dom, a, b, c, ntt.Config{Strategy: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = f.CopyVector(res.H)
+			continue
+		}
+		for j := range ref {
+			if !f.Equal(res.H[j], ref[j]) {
+				t.Fatalf("strategy %v: H[%d] differs", s, j)
+			}
+		}
+	}
+}
+
+func TestComputeHValidation(t *testing.T) {
+	f := curve.Get(curve.BN254).Fr
+	dom, _ := ntt.NewDomain(f, 16)
+	if _, err := ComputeH(dom, f.NewVector(8), f.NewVector(16), f.NewVector(16), ntt.Config{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}

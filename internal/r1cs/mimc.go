@@ -1,0 +1,116 @@
+package r1cs
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math/big"
+
+	"gzkp/internal/ff"
+)
+
+// MiMC is a MiMC-p/p permutation-based hash over a prime field, used by
+// the Merkle-tree and Zcash-shaped example workloads. Round constants are
+// derived from SHA-256 of a domain tag, so the instance is deterministic
+// per field. The round function is x ← (x + k + c_i)^7; 7 is the standard
+// small exponent choice and the circuit needs 4 multiplications per round.
+type MiMC struct {
+	F         *ff.Field
+	Rounds    int
+	Constants []ff.Element
+}
+
+// NewMiMC instantiates MiMC over f with the conventional ~2·log_7(p)
+// security margin (91 rounds at 256 bits, scaled by field size).
+func NewMiMC(f *ff.Field) *MiMC {
+	rounds := 91 * f.Bits() / 254
+	if rounds < 46 {
+		rounds = 46
+	}
+	m := &MiMC{F: f, Rounds: rounds, Constants: make([]ff.Element, rounds)}
+	seed := []byte("gzkp.mimc." + f.Name())
+	for i := range m.Constants {
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], uint64(i))
+		h := sha256.Sum256(append(seed, buf[:]...))
+		m.Constants[i] = f.FromBig(new(big.Int).SetBytes(h[:]))
+	}
+	return m
+}
+
+// Permute computes the native (out-of-circuit) keyed permutation.
+func (m *MiMC) Permute(x, k ff.Element) ff.Element {
+	f := m.F
+	st := f.Copy(x)
+	t := f.New()
+	for _, c := range m.Constants {
+		f.Add(t, st, k)
+		f.Add(t, t, c)
+		pow7(f, st, t)
+	}
+	f.Add(st, st, k)
+	return st
+}
+
+// Hash2 is a two-to-one Miyaguchi–Preneel-style compression:
+// H(a,b) = Permute(b, a) + a + b.
+func (m *MiMC) Hash2(a, b ff.Element) ff.Element {
+	f := m.F
+	out := m.Permute(b, a)
+	f.Add(out, out, a)
+	f.Add(out, out, b)
+	return out
+}
+
+func pow7(f *ff.Field, dst, t ff.Element) {
+	t2 := f.Square(f.New(), t)
+	t4 := f.Square(f.New(), t2)
+	t6 := f.Mul(f.New(), t4, t2)
+	f.Mul(dst, t6, t)
+}
+
+// PermuteGadget builds the in-circuit permutation (4 muls per round).
+func (m *MiMC) PermuteGadget(b *Builder, x, k LC) LC {
+	st := x
+	for _, c := range m.Constants {
+		t := b.Add(b.Add(st, k), b.Constant(c))
+		t2 := b.Square(t)
+		t4 := b.Square(t2)
+		t6 := b.Mul(t4, t2)
+		st = b.Mul(t6, t)
+	}
+	return b.Add(st, k)
+}
+
+// Hash2Gadget mirrors Hash2 in-circuit.
+func (m *MiMC) Hash2Gadget(b *Builder, x, y LC) LC {
+	out := m.PermuteGadget(b, y, x)
+	return b.Add(b.Add(out, x), y)
+}
+
+// MerkleRoot computes the native root of a path: leaf plus sibling hashes,
+// with positions[i] the leaf-side bit at level i (0 = current node is the
+// left child).
+func (m *MiMC) MerkleRoot(leaf ff.Element, siblings []ff.Element, positions []int) ff.Element {
+	cur := m.F.Copy(leaf)
+	for i, sib := range siblings {
+		if positions[i] == 0 {
+			cur = m.Hash2(cur, sib)
+		} else {
+			cur = m.Hash2(sib, cur)
+		}
+	}
+	return cur
+}
+
+// MerkleGadget asserts in-circuit that leaf hashes up to root through the
+// sibling path; posBits are boolean wires (1 = current node on the right).
+func (m *MiMC) MerkleGadget(b *Builder, leaf LC, siblings []LC, posBits []LC, root LC) {
+	cur := leaf
+	for i := range siblings {
+		b.AssertBool(posBits[i])
+		left := b.Select(posBits[i], siblings[i], cur)
+		right := b.Select(posBits[i], cur, siblings[i])
+		cur = m.Hash2Gadget(b, left, right)
+	}
+	b.AssertEqual(cur, root)
+}

@@ -1,0 +1,206 @@
+// Package workload reproduces the evaluation inputs of GZKP §5.1: the
+// xJsnark-generated zkSNARK applications of Table 2, the Zcash circuits of
+// Table 3 (by size and scalar-sparsity structure — see DESIGN.md §1 for the
+// substitution rationale), deterministic sparse/dense scalar samplers, point
+// vectors, and a synthetic R1CS generator for real end-to-end proofs.
+package workload
+
+import (
+	"fmt"
+	"math/big"
+	mrand "math/rand"
+
+	"gzkp/internal/curve"
+	"gzkp/internal/ff"
+	"gzkp/internal/r1cs"
+)
+
+// App is one evaluation workload row.
+type App struct {
+	Name       string
+	VectorSize int // the paper's reported vector size
+	Curve      curve.ID
+	// Sparsity is the fraction of {0,1} entries in the scalar vector ū
+	// (§4.2: bound checks and range constraints make real workloads
+	// sparse; calibrated to reproduce Fig. 6's ≈2.85× bucket spread).
+	Sparsity float64
+}
+
+// Table2 lists the zkSNARK workloads of Table 2 (753-bit MNT4753 curve).
+var Table2 = []App{
+	{"AES", 16383, curve.MNT4753Sim, 0.55},
+	{"SHA-256", 32767, curve.MNT4753Sim, 0.60},
+	{"RSAEnc", 98303, curve.MNT4753Sim, 0.55},
+	{"RSASigVer", 131071, curve.MNT4753Sim, 0.55},
+	{"Merkle-Tree", 294911, curve.MNT4753Sim, 0.60},
+	{"Auction", 557055, curve.MNT4753Sim, 0.65},
+}
+
+// Table3 lists the Zcash workloads of Table 3 (BLS12-381 curve).
+var Table3 = []App{
+	{"Sapling_Output", 8191, curve.BLS12381, 0.60},
+	{"Sapling_Spend", 131071, curve.BLS12381, 0.60},
+	{"Sprout", 2097151, curve.BLS12381, 0.65},
+}
+
+// SparseScalars draws n scalars with the trivial-value mix real circuits
+// produce (§4.2: bound checks and range constraints): of the `sparsity`
+// fraction, 3/4 are zeros, 1/8 are exact ones and 1/8 are small 16-bit
+// values. The mix is calibrated so the bucket-load spread lands near the
+// ≈2.85× the paper measures on Zcash (Fig. 6). Deterministic in seed.
+func SparseScalars(f *ff.Field, n int, sparsity float64, seed int64) []ff.Element {
+	rng := mrand.New(mrand.NewSource(seed))
+	out := make([]ff.Element, n)
+	for i := range out {
+		r := rng.Float64()
+		switch {
+		case r < sparsity*0.75:
+			out[i] = f.Zero()
+		case r < sparsity*0.875:
+			out[i] = f.One()
+		case r < sparsity:
+			out[i] = f.FromUint64(uint64(rng.Intn(1<<16) + 1))
+		default:
+			out[i] = f.Rand(rng)
+		}
+	}
+	return out
+}
+
+// DenseScalars draws n uniform scalars (the h̄ vector of the MSM stage).
+func DenseScalars(f *ff.Field, n int, seed int64) []ff.Element {
+	rng := mrand.New(mrand.NewSource(seed))
+	out := make([]ff.Element, n)
+	for i := range out {
+		out[i] = f.Rand(rng)
+	}
+	return out
+}
+
+// Points builds n deterministic curve points cheaply (an additive walk
+// from the generator with a random stride — one mixed addition per point).
+// MSM cost and bucket structure depend on the scalars, not point values,
+// so the walk is a faithful stand-in for a real proving key.
+func Points(g *curve.Group, n int, seed int64) []curve.Affine {
+	rng := mrand.New(mrand.NewSource(seed))
+	ops := g.NewOps()
+	stride := ops.ToAffine(ops.ScalarMul(g.Generator(), new(big.Int).Rand(rng, big.NewInt(1<<62))))
+	jacs := make([]curve.Jacobian, n)
+	var cur curve.Jacobian
+	ops.FromAffine(&cur, g.Generator())
+	for i := 0; i < n; i++ {
+		ops.Copy(&jacs[i], &cur)
+		ops.AddMixedAssign(&cur, stride)
+	}
+	return g.BatchToAffine(jacs)
+}
+
+// Pipeline bundles the inputs of one Groth16-shaped proof generation: the
+// POLY-stage vectors and the MSM-stage scalar/point vectors.
+type Pipeline struct {
+	App     App
+	N       int          // power-of-two domain size actually used
+	A, B, C []ff.Element // per-constraint products (POLY inputs)
+	U       []ff.Element // sparse witness scalars (4 of the 5 MSMs)
+	Points  []curve.Affine
+}
+
+// BuildPipeline materializes a workload at maxN (0 = the app's paper size,
+// rounded up to a power of two). The A·B-C vectors are constructed so the
+// POLY division is exact, as in a real witness.
+func BuildPipeline(app App, maxN int, seed int64) (*Pipeline, error) {
+	c := curve.Get(app.Curve)
+	f := c.Fr
+	n := 1
+	want := app.VectorSize
+	if maxN > 0 && want > maxN {
+		want = maxN
+	}
+	for n < want {
+		n <<= 1
+	}
+	if n < 2 {
+		n = 2
+	}
+	if uint(log2(n)) > f.TwoAdicity() {
+		return nil, fmt.Errorf("workload: %s needs domain 2^%d > field two-adicity", app.Name, log2(n))
+	}
+	rng := mrand.New(mrand.NewSource(seed))
+	p := &Pipeline{App: app, N: n}
+	p.A = randVec(f, n, rng)
+	p.B = randVec(f, n, rng)
+	// C = A∘B on the evaluation domain, so (A·B - C) vanishes on it and
+	// the coset division yields an exact H — the real witness property.
+	p.C = f.NewVector(n)
+	for i := 0; i < n; i++ {
+		f.Mul(p.C[i], p.A[i], p.B[i])
+	}
+	p.U = SparseScalars(f, n, app.Sparsity, seed+1)
+	p.Points = Points(c.G1, n, seed+2)
+	return p, nil
+}
+
+func randVec(f *ff.Field, n int, rng *mrand.Rand) []ff.Element {
+	v := f.NewVector(n)
+	for i := range v {
+		copy(v[i], f.Rand(rng))
+	}
+	return v
+}
+
+// SyntheticR1CS builds a solvable constraint system of ≈size constraints
+// mixing a multiplication chain with boolean range decompositions, so the
+// resulting witness has the 0/1-heavy sparsity of real circuits. Returns
+// the system and matching (public, secret) assignments.
+func SyntheticR1CS(f *ff.Field, size int, seed int64) (*r1cs.System, []ff.Element, []ff.Element, error) {
+	if size < 8 {
+		size = 8
+	}
+	rng := mrand.New(mrand.NewSource(seed))
+	b := r1cs.NewBuilder(f)
+	out, err := b.Public("out")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	xVal := f.Rand(rng)
+	yVal := f.Rand(rng)
+	x := b.Secret("x")
+	y := b.Secret("y")
+	rangeVal := uint64(rng.Intn(1 << 16))
+	rv := b.Secret("rv")
+
+	cur, prev := x, y
+	budget := size - 1 // reserve the output constraint
+	for budget > 0 {
+		// A burst of multiplicative constraints...
+		for i := 0; i < 8 && budget > 0; i++ {
+			cur, prev = b.Mul(cur, prev), cur
+			budget--
+		}
+		// ...then a 10-bit range check (11 constraints, 0/1 wires).
+		if budget > 14 {
+			b.ToBits(rv, 10)
+			budget -= 11
+		}
+	}
+	b.AssertEqual(cur, out)
+
+	sys := b.Build()
+	secret := []ff.Element{xVal, yVal, f.FromUint64(rangeVal % 1024)}
+	// Solve once with a placeholder public value to learn the output wire.
+	probe, err := sys.Solve([]ff.Element{f.Zero()}, secret)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	outVal := r1cs.EvalLC(f, cur, probe)
+	_ = out
+	return sys, []ff.Element{outVal}, secret, nil
+}
+
+func log2(n int) int {
+	l := 0
+	for 1<<l < n {
+		l++
+	}
+	return l
+}

@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"testing"
+
+	"gzkp/internal/curve"
+	"gzkp/internal/ff"
+)
+
+func TestTables(t *testing.T) {
+	// Sizes must match the paper's rows.
+	sizes2 := map[string]int{"AES": 16383, "SHA-256": 32767, "RSAEnc": 98303,
+		"RSASigVer": 131071, "Merkle-Tree": 294911, "Auction": 557055}
+	for _, a := range Table2 {
+		if sizes2[a.Name] != a.VectorSize {
+			t.Errorf("Table2 %s size %d", a.Name, a.VectorSize)
+		}
+		if a.Curve != curve.MNT4753Sim {
+			t.Errorf("Table2 %s wrong curve", a.Name)
+		}
+	}
+	sizes3 := map[string]int{"Sapling_Output": 8191, "Sapling_Spend": 131071, "Sprout": 2097151}
+	for _, a := range Table3 {
+		if sizes3[a.Name] != a.VectorSize {
+			t.Errorf("Table3 %s size %d", a.Name, a.VectorSize)
+		}
+		if a.Curve != curve.BLS12381 {
+			t.Errorf("Table3 %s wrong curve", a.Name)
+		}
+	}
+}
+
+func TestSparseScalars(t *testing.T) {
+	f := curve.Get(curve.BLS12381).Fr
+	s := SparseScalars(f, 2000, 0.6, 1)
+	var zeros, ones int
+	for _, v := range s {
+		if f.IsZero(v) {
+			zeros++
+		} else if f.IsOne(v) {
+			ones++
+		}
+	}
+	// Mix: 0.75·s zeros, 0.125·s exact ones (s = 0.6, n = 2000).
+	if zeros < 800 || zeros > 1000 || ones < 100 || ones > 220 {
+		t.Fatalf("sparsity off: %d zeros %d ones of 2000", zeros, ones)
+	}
+	// Deterministic in seed.
+	s2 := SparseScalars(f, 2000, 0.6, 1)
+	for i := range s {
+		if !f.Equal(s[i], s2[i]) {
+			t.Fatal("not deterministic")
+		}
+	}
+	s3 := SparseScalars(f, 2000, 0.6, 2)
+	same := 0
+	for i := range s {
+		if f.Equal(s[i], s3[i]) {
+			same++
+		}
+	}
+	if same == 2000 {
+		t.Fatal("different seeds identical")
+	}
+}
+
+func TestPointsOnCurve(t *testing.T) {
+	for _, id := range []curve.ID{curve.BN254, curve.MNT4753Sim} {
+		g := curve.Get(id).G1
+		pts := Points(g, 50, 3)
+		if len(pts) != 50 {
+			t.Fatal("wrong count")
+		}
+		for i, p := range pts {
+			if !g.IsOnCurve(p) {
+				t.Fatalf("%v: point %d off curve", id, i)
+			}
+		}
+		if g.EqualAffine(pts[0], pts[1]) {
+			t.Fatal("walk did not advance")
+		}
+	}
+}
+
+func TestBuildPipeline(t *testing.T) {
+	p, err := BuildPipeline(Table3[0], 1<<10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N > 1<<10 || p.N&(p.N-1) != 0 {
+		t.Fatalf("bad domain size %d", p.N)
+	}
+	f := curve.Get(p.App.Curve).Fr
+	// C must equal A∘B (the exact-division witness property).
+	for i := 0; i < p.N; i++ {
+		want := f.Mul(f.New(), p.A[i], p.B[i])
+		if !f.Equal(p.C[i], want) {
+			t.Fatalf("C != A∘B at %d", i)
+		}
+	}
+	if len(p.U) != p.N || len(p.Points) != p.N {
+		t.Fatal("vector sizes mismatch")
+	}
+	// Full paper size when maxN = 0.
+	p2, err := BuildPipeline(Table3[0], 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.N != 8192 {
+		t.Fatalf("paper size rounds 8191 → 8192, got %d", p2.N)
+	}
+}
+
+func TestSyntheticR1CS(t *testing.T) {
+	f := curve.Get(curve.BN254).Fr
+	for _, size := range []int{16, 200, 1000} {
+		sys, pub, sec, err := SyntheticR1CS(f, size, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(sys.Constraints); got < size/2 || got > size*2 {
+			t.Fatalf("asked %d constraints, got %d", size, got)
+		}
+		w, err := sys.Solve(pub, sec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.IsSatisfied(w); err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		// Witness should contain plenty of 0/1 wires (range-check bits).
+		if size >= 200 {
+			var sparse int
+			for _, v := range w {
+				if f.IsZero(v) || f.IsOne(v) {
+					sparse++
+				}
+			}
+			if float64(sparse)/float64(len(w)) < 0.2 {
+				t.Fatalf("witness not sparse: %d/%d", sparse, len(w))
+			}
+		}
+	}
+}
+
+func TestDenseScalars(t *testing.T) {
+	f := curve.Get(curve.BN254).Fr
+	s := DenseScalars(f, 500, 5)
+	var trivial int
+	for _, v := range s {
+		if f.IsZero(v) || f.IsOne(v) {
+			trivial++
+		}
+	}
+	if trivial > 2 {
+		t.Fatalf("dense vector has %d trivial entries", trivial)
+	}
+	var _ []ff.Element = s
+}
