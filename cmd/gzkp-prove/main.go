@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"gzkp/internal/curve"
 	"gzkp/internal/ff"
 	"gzkp/internal/frontend"
+	"gzkp/internal/gpusim"
 	"gzkp/internal/groth16"
 	"gzkp/internal/msm"
 	"gzkp/internal/ntt"
@@ -33,6 +35,9 @@ func main() {
 		circuitPath = flag.String("circuit", "", "circuit source file (frontend language); overrides -constraints")
 		publicVals  = flag.String("public", "", "comma-separated public inputs for -circuit")
 		secretVals  = flag.String("secret", "", "comma-separated secret inputs for -circuit")
+		timeout     = flag.Duration("timeout", 0, "abort preprocessing+proving after this duration (0 = no limit)")
+		faultSpec   = flag.String("inject-faults", "", `deterministic fault plan, e.g. "transient:0@8x2,oom:0@7" (kinds kill|transient|oom|panic, format KIND:DEV@STEP[xN], @? = seeded random step)`)
+		faultSeed   = flag.Int64("fault-seed", 1, "seed resolving @? fault steps")
 	)
 	flag.Parse()
 
@@ -57,6 +62,17 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "gzkp-prove: unknown prover %q\n", *prover)
 		os.Exit(2)
+	}
+	if *faultSpec != "" {
+		plan, err := gpusim.ParseFaultPlan(*faultSpec, *faultSeed)
+		die(err)
+		cfg.Faults = plan
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	c := curve.Get(id)
@@ -91,14 +107,14 @@ func main() {
 
 	if *prover == "gzkp" {
 		t0 = time.Now()
-		die(pk.Preprocess(cfg.MSM))
+		die(pk.PreprocessCtx(ctx, cfg.MSM))
 		fmt.Printf("GZKP MSM preprocessing (Algorithm 1, one-time): %.2fs\n", time.Since(t0).Seconds())
 	}
 
 	w, err := sys.Solve(pub, sec)
 	die(err)
 
-	proof, stats, err := groth16.Prove(pk, sys, w, cfg, nil)
+	proof, stats, err := groth16.ProveCtx(ctx, pk, sys, w, cfg, nil)
 	die(err)
 	fmt.Printf("prove: POLY %.2fms (%d NTTs) + MSM %.2fms (%d MSMs) = %.2fms\n",
 		float64(stats.PolyNS)/1e6, stats.NTTOps,

@@ -23,6 +23,7 @@
 package gzkp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/big"
@@ -305,7 +306,14 @@ func (pk *ProvingKey) Preprocess() error {
 
 // Prove generates a proof for a solved witness.
 func (pk *ProvingKey) Prove(w *Witness, opts ProverOptions) (*Proof, *Stats, error) {
-	proof, st, err := groth16.Prove(pk.pk, pk.sys, w.values, groth16.ProveConfig{
+	return pk.ProveContext(context.Background(), w, opts)
+}
+
+// ProveContext is Prove with cooperative cancellation: when ctx is
+// cancelled or its deadline passes, proving unwinds at the next chunk
+// boundary and returns ctx's error.
+func (pk *ProvingKey) ProveContext(ctx context.Context, w *Witness, opts ProverOptions) (*Proof, *Stats, error) {
+	proof, st, err := groth16.ProveCtx(ctx, pk.pk, pk.sys, w.values, groth16.ProveConfig{
 		NTT: opts.NTT, MSM: opts.MSM,
 	}, nil)
 	if err != nil {

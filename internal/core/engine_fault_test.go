@@ -1,0 +1,266 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"gzkp/internal/curve"
+	"gzkp/internal/ff"
+	"gzkp/internal/gpusim"
+	"gzkp/internal/resilience"
+	"gzkp/internal/workload"
+)
+
+func elemBits(x, y ff.Element) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func affineBits(a, b curve.Affine) bool {
+	if a.Inf != b.Inf {
+		return false
+	}
+	if a.Inf {
+		return true
+	}
+	return elemBits(a.X, b.X) && elemBits(a.Y, b.Y)
+}
+
+func outputsBitIdentical(t *testing.T, label string, want, got []curve.Affine) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d outputs, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if !affineBits(want[i], got[i]) {
+			t.Fatalf("%s: output %d not bit-identical", label, i)
+		}
+	}
+}
+
+// Devices ∈ {1,2,4,7} must produce bit-identical outputs: partitioning is
+// a pure execution-plan choice, including a device count that does not
+// divide the point vector (512 = 7·74 - 6) and the small-vector fallback
+// where len(points) < 2·Devices collapses to one partition.
+func TestDeviceCountsBitIdentical(t *testing.T) {
+	p := smallPipeline(t, curve.BN254)
+	base, err := NewGZKP(curve.BN254).ProvePipeline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []int{2, 4, 7, 300} { // 300: 2·300 > 512 → fallback
+		e := NewGZKP(curve.BN254)
+		e.Devices = d
+		res, err := e.ProvePipeline(p)
+		if err != nil {
+			t.Fatalf("devices=%d: %v", d, err)
+		}
+		outputsBitIdentical(t, "devices", base.Outputs, res.Outputs)
+	}
+}
+
+// A device killed mid-MSM is removed for the run; its partition fails over
+// to a survivor and the outputs stay bit-identical. With 4 devices the NTT
+// stage round-robins 7 launches (device 1 gets steps 0-1), so step 4 on
+// device 1 lands inside the third MSM.
+func TestDeviceLostMidMSMFailsOver(t *testing.T) {
+	p := smallPipeline(t, curve.BN254)
+	base, err := NewGZKP(curve.BN254).ProvePipeline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewGZKP(curve.BN254)
+	e.Devices = 4
+	e.Faults = gpusim.NewFaultPlan(1, gpusim.Fault{Kind: gpusim.FaultDeviceLost, Device: 1, Step: 4})
+	res, err := e.ProvePipeline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outputsBitIdentical(t, "failover", base.Outputs, res.Outputs)
+	if res.Failovers != 1 {
+		t.Fatalf("Failovers = %d, want 1", res.Failovers)
+	}
+	if len(res.LostDevices) != 1 || res.LostDevices[0] != 1 {
+		t.Fatalf("LostDevices = %v, want [1]", res.LostDevices)
+	}
+}
+
+// Losing every device is fatal, not a hang.
+func TestAllDevicesLostIsFatal(t *testing.T) {
+	p := smallPipeline(t, curve.BN254)
+	e := NewGZKP(curve.BN254)
+	e.Devices = 2
+	e.Faults = gpusim.NewFaultPlan(1,
+		gpusim.Fault{Kind: gpusim.FaultDeviceLost, Device: 0, Step: 0},
+		gpusim.Fault{Kind: gpusim.FaultDeviceLost, Device: 1, Step: 0},
+	)
+	if _, err := e.ProvePipeline(p); err == nil {
+		t.Fatal("pipeline succeeded with every device dead")
+	}
+}
+
+// Transient launch failures retry in place with the configured backoff and
+// leave no trace but the retry counter.
+func TestTransientLaunchRetries(t *testing.T) {
+	p := smallPipeline(t, curve.BN254)
+	base, err := NewGZKP(curve.BN254).ProvePipeline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewGZKP(curve.BN254)
+	e.Faults = gpusim.NewFaultPlan(1, gpusim.Fault{Kind: gpusim.FaultTransient, Device: 0, Step: 2, Times: 2})
+	sleeps := 0
+	e.Retry.Sleep = func(context.Context, time.Duration) error { sleeps++; return nil }
+	res, err := e.ProvePipeline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outputsBitIdentical(t, "transient", base.Outputs, res.Outputs)
+	if res.Retries != 2 || sleeps != 2 {
+		t.Fatalf("Retries = %d, sleeps = %d, want 2 and 2", res.Retries, sleeps)
+	}
+}
+
+// A transient fault that outlasts the retry budget surfaces the error.
+func TestTransientRetriesExhausted(t *testing.T) {
+	p := smallPipeline(t, curve.BN254)
+	e := NewGZKP(curve.BN254)
+	e.Faults = gpusim.NewFaultPlan(1, gpusim.Fault{Kind: gpusim.FaultTransient, Device: 0, Step: 0, Times: 100})
+	e.Retry.MaxAttempts = 3
+	e.Retry.Sleep = func(context.Context, time.Duration) error { return nil }
+	_, err := e.ProvePipeline(p)
+	if err == nil || resilience.Classify(err) != resilience.Transient {
+		t.Fatalf("want transient exhaustion, got %v", err)
+	}
+}
+
+// A modeled OOM on the GZKP strategy degrades that partition to the
+// checkpointed table: the quartered budget forces AutoCheckpoint to a
+// larger M (fewer checkpoints, more merge-time doublings, less memory) and
+// the run completes with identical outputs. With one device the NTT stage
+// uses steps 0-6, so step 7 is the first MSM launch.
+func TestOOMDegradesToCheckpointedPath(t *testing.T) {
+	p := smallPipeline(t, curve.BN254)
+	mk := func() *Engine {
+		e := NewGZKP(curve.BN254)
+		e.MSM.MemoryBudget = 2 << 20 // roomy: AutoCheckpoint picks M=1
+		return e
+	}
+	base, err := mk().ProvePipeline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := mk()
+	e.Faults = gpusim.NewFaultPlan(1, gpusim.Fault{Kind: gpusim.FaultOOM, Device: 0, Step: 7})
+	res, err := e.ProvePipeline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outputsBitIdentical(t, "oom", base.Outputs, res.Outputs)
+	if res.Degrades != 1 {
+		t.Fatalf("Degrades = %d, want 1", res.Degrades)
+	}
+	if got, was := res.MSMStats[0].Checkpoint, base.MSMStats[0].Checkpoint; got <= was {
+		t.Fatalf("degraded checkpoint interval M=%d not larger than fault-free M=%d", got, was)
+	}
+}
+
+// An injected panic — whether it fires on the pipeline goroutine (NTT
+// launch accounting) or inside a par worker (MSM partition) — returns as a
+// *resilience.PanicError from ProvePipeline instead of crashing.
+func TestInjectedPanicSurfacesAsError(t *testing.T) {
+	p := smallPipeline(t, curve.BN254)
+	for _, step := range []int{3, 8} { // 3: NTT stage; 8: second MSM
+		e := NewGZKP(curve.BN254)
+		e.Faults = gpusim.NewFaultPlan(1, gpusim.Fault{Kind: gpusim.FaultPanic, Device: 0, Step: step})
+		res, err := e.ProvePipeline(p)
+		var pe *resilience.PanicError
+		if err == nil || !errors.As(err, &pe) {
+			t.Fatalf("step %d: want PanicError, got res=%v err=%v", step, res, err)
+		}
+	}
+}
+
+// Cancelling mid-pipeline returns ctx.Err() promptly and leaks no worker
+// goroutines.
+func TestCancellationMidPipeline(t *testing.T) {
+	app := workload.App{Name: "cancel", VectorSize: 8000, Curve: curve.BN254, Sparsity: 0.6}
+	p, err := workload.BuildPipeline(app, 8192, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewGZKP(curve.BN254)
+	e.MSM.MemoryBudget = 1 // single checkpoint: no heavy table build
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := e.ProvePipelineCtx(ctx, p)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got res=%v err=%v", res, err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("cancellation took %v", el)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+1 {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, n)
+	}
+}
+
+func TestPreCanceledContext(t *testing.T) {
+	p := smallPipeline(t, curve.BN254)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewGZKP(curve.BN254).ProvePipelineCtx(ctx, p); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// Mutating Devices between preprocessing and the MSMs must not mis-slice:
+// the bounds frozen in the table set win, and a scalar vector that does
+// not match them is rejected instead of silently mis-partitioned.
+func TestPartitionBoundsFrozen(t *testing.T) {
+	p := smallPipeline(t, curve.BN254)
+	base, err := NewGZKP(curve.BN254).ProvePipeline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewGZKP(curve.BN254)
+	e.Devices = 4
+	ctx := context.Background()
+	g := e.Curve.G1
+	var res Result
+	ts, err := e.prepareTables(ctx, g, p.Points, &res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Devices = 8 // would re-chunk differently if bounds were re-derived
+	rs := newRunState(8, nil)
+	out, _, err := e.runMSM(ctx, g, p.Points, p.U, ts, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !affineBits(base.Outputs[0], out) {
+		t.Fatal("frozen bounds did not preserve the MSM result")
+	}
+	if _, _, err := e.runMSM(ctx, g, p.Points, p.U[:100], ts, rs); err == nil {
+		t.Fatal("mismatched scalar length accepted")
+	}
+}

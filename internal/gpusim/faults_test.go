@@ -1,0 +1,130 @@
+package gpusim
+
+import (
+	"errors"
+	"testing"
+
+	"gzkp/internal/resilience"
+)
+
+func TestFaultPlanFiresAtStep(t *testing.T) {
+	p := NewFaultPlan(1,
+		Fault{Kind: FaultTransient, Device: 0, Step: 1, Times: 2},
+		Fault{Kind: FaultOOM, Device: 1, Step: 0},
+	)
+	// Device 0: ok, transient, transient, ok.
+	wants := []resilience.Class{resilience.Transient, resilience.Transient}
+	if err := p.BeforeLaunch(0); err != nil {
+		t.Fatalf("step 0: %v", err)
+	}
+	for i, w := range wants {
+		err := p.BeforeLaunch(0)
+		if err == nil || resilience.Classify(err) != w {
+			t.Fatalf("step %d: got %v, want %v", i+1, err, w)
+		}
+	}
+	if err := p.BeforeLaunch(0); err != nil {
+		t.Fatalf("transient did not clear: %v", err)
+	}
+	// Device 1: OOM once, then clean.
+	if err := p.BeforeLaunch(1); resilience.Classify(err) != resilience.OOM {
+		t.Fatalf("oom missing: %v", err)
+	}
+	if err := p.BeforeLaunch(1); err != nil {
+		t.Fatalf("oom did not clear: %v", err)
+	}
+}
+
+func TestDeviceLostIsSticky(t *testing.T) {
+	p := NewFaultPlan(1, Fault{Kind: FaultDeviceLost, Device: 2, Step: 1})
+	if err := p.BeforeLaunch(2); err != nil {
+		t.Fatalf("step 0: %v", err)
+	}
+	for step := 1; step < 5; step++ {
+		err := p.BeforeLaunch(2)
+		var de *resilience.DeviceLostError
+		if !errors.As(err, &de) || de.Device != 2 {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+	// Other devices unaffected.
+	if err := p.BeforeLaunch(0); err != nil {
+		t.Fatalf("healthy device failed: %v", err)
+	}
+	if got := p.Launches(2); got != 5 {
+		t.Fatalf("launch accounting: %d, want 5", got)
+	}
+}
+
+func TestSeededRandomStepDeterministic(t *testing.T) {
+	fire := func(seed int64) int {
+		p := NewFaultPlan(seed, Fault{Kind: FaultTransient, Device: 0, Step: -1})
+		for step := 0; step < 16; step++ {
+			if p.BeforeLaunch(0) != nil {
+				return step
+			}
+		}
+		return -1
+	}
+	a, b := fire(42), fire(42)
+	if a != b || a < 0 || a >= 8 {
+		t.Fatalf("seeded step not deterministic/in range: %d vs %d", a, b)
+	}
+}
+
+func TestFaultPlanReset(t *testing.T) {
+	p := NewFaultPlan(1, Fault{Kind: FaultDeviceLost, Device: 0, Step: 0})
+	if err := p.BeforeLaunch(0); resilience.Classify(err) != resilience.DeviceLost {
+		t.Fatalf("kill missing: %v", err)
+	}
+	p.Reset()
+	if err := p.BeforeLaunch(0); resilience.Classify(err) != resilience.DeviceLost {
+		t.Fatalf("schedule lost on reset: %v", err)
+	}
+	if got := p.Launches(0); got != 1 {
+		t.Fatalf("counter not reset: %d", got)
+	}
+}
+
+func TestParseFaultPlan(t *testing.T) {
+	p, err := ParseFaultPlan("kill:1@2, transient:0@1x3, oom:2@0, panic:3@?", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.faults) != 4 {
+		t.Fatalf("parsed %d faults", len(p.faults))
+	}
+	if f := p.faults[1]; f.Kind != FaultTransient || f.Device != 0 || f.Step != 1 || f.Times != 3 {
+		t.Fatalf("transient entry parsed as %+v", f)
+	}
+	if f := p.faults[3]; f.Step < 0 || f.Step >= 8 {
+		t.Fatalf("random step unresolved: %+v", f)
+	}
+	for _, bad := range []string{"", "frob:0@1", "kill:x@1", "kill:0", "kill:0@-2", "transient:0@1x0"} {
+		if _, err := ParseFaultPlan(bad, 1); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestDeviceRunConsultsPlan(t *testing.T) {
+	d := V100()
+	d.Faults = NewFaultPlan(1, Fault{Kind: FaultTransient, Device: 0, Step: 0})
+	k := Kernel{Name: "k", Blocks: 4, ThreadsPerBlock: 128}
+	if _, err := d.Run(k); resilience.Classify(err) != resilience.Transient {
+		t.Fatalf("fault not injected into Run: %v", err)
+	}
+	if _, err := d.Run(k); err != nil {
+		t.Fatalf("clean launch failed: %v", err)
+	}
+}
+
+func TestInjectedPanicPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FaultPanic did not panic")
+		}
+	}()
+	p := NewFaultPlan(1, Fault{Kind: FaultPanic, Device: 0, Step: 0})
+	_ = p.BeforeLaunch(0)
+}

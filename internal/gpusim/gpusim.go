@@ -45,6 +45,12 @@ type Device struct {
 	BlockOverheadCycles float64
 	// Global memory capacity (for OOM checks, Fig. 9 / Table 7).
 	MemBytes int64
+
+	// Faults, when non-nil, injects scheduled faults into Run: every
+	// kernel launch consults the plan as logical device Index.
+	Faults *FaultPlan
+	// Index is this device's logical index in a FaultPlan / cluster.
+	Index int
 }
 
 // V100 returns the NVIDIA Tesla V100 model used in the paper's main rig.
@@ -131,6 +137,11 @@ type Result struct {
 
 // Run prices one kernel on the device.
 func (d *Device) Run(k Kernel) (Result, error) {
+	if d.Faults != nil {
+		if err := d.Faults.BeforeLaunch(d.Index); err != nil {
+			return Result{}, fmt.Errorf("gpusim: kernel %q: %w", k.Name, err)
+		}
+	}
 	if k.Blocks <= 0 || k.ThreadsPerBlock <= 0 {
 		return Result{}, fmt.Errorf("gpusim: kernel %q has empty grid", k.Name)
 	}

@@ -1,0 +1,118 @@
+package groth16
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"gzkp/internal/curve"
+	"gzkp/internal/ff"
+	"gzkp/internal/gpusim"
+	"gzkp/internal/msm"
+	"gzkp/internal/ntt"
+	"gzkp/internal/r1cs"
+	"gzkp/internal/resilience"
+)
+
+// faultFixture sets up a medium circuit with preprocessed GZKP tables and
+// returns everything a fault-injected Prove needs. budget caps the table
+// memory so an OOM degradation has room to move the checkpoint interval.
+func faultFixture(t *testing.T, budget int64) (*ProvingKey, *VerifyingKey, *r1cs.System, []ff.Element, ff.Element, ProveConfig) {
+	t.Helper()
+	c := curve.Get(curve.BN254)
+	f := c.Fr
+	sys, m := mediumCircuit(f, 2)
+	pk, vk, err := Setup(sys, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ProveConfig{
+		NTT: ntt.Config{Strategy: ntt.GZKP},
+		MSM: msm.Config{Strategy: msm.GZKP, MemoryBudget: budget},
+	}
+	if err := pk.Preprocess(cfg.MSM); err != nil {
+		t.Fatal(err)
+	}
+	x := f.FromUint64(7)
+	out := m.Hash2(m.Hash2(x, f.FromUint64(0)), f.FromUint64(1))
+	w, err := sys.Solve([]ff.Element{out}, []ff.Element{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pk, vk, sys, w, out, cfg
+}
+
+// A forced OOM on the first MSM (launch step 7: the 7 NTTs use steps 0-6)
+// degrades the A-query table to a larger checkpoint interval and the proof
+// still verifies.
+func TestProveOOMDegradesAndVerifies(t *testing.T) {
+	pk, vk, sys, w, out, cfg := faultFixture(t, 1<<17)
+	baseM := pk.tables["A"].Checkpoint()
+	cfg.Faults = gpusim.NewFaultPlan(1, gpusim.Fault{Kind: gpusim.FaultOOM, Device: 0, Step: 7})
+	proof, stats, err := Prove(pk, sys, w, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(vk, proof, []ff.Element{out}); err != nil {
+		t.Fatalf("proof after OOM degradation rejected: %v", err)
+	}
+	if gotM := pk.tables["A"].Checkpoint(); gotM <= baseM {
+		t.Fatalf("degraded checkpoint interval M=%d not larger than original M=%d", gotM, baseM)
+	}
+	if stats.MSMOps != 5 {
+		t.Fatalf("MSM stage ran %d MSMs after recovery, want 5", stats.MSMOps)
+	}
+}
+
+// Transient launch faults retry with the configured backoff and the proof
+// verifies.
+func TestProveTransientRetriesAndVerifies(t *testing.T) {
+	pk, vk, sys, w, out, cfg := faultFixture(t, 1<<20)
+	cfg.Faults = gpusim.NewFaultPlan(1, gpusim.Fault{Kind: gpusim.FaultTransient, Device: 0, Step: 8, Times: 2})
+	sleeps := 0
+	cfg.Retry.Sleep = func(context.Context, time.Duration) error { sleeps++; return nil }
+	proof, _, err := Prove(pk, sys, w, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sleeps != 2 {
+		t.Fatalf("retried %d times, want 2", sleeps)
+	}
+	if err := Verify(vk, proof, []ff.Element{out}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The single-device prover has nowhere to fail over: a lost device is a
+// real error, not a hang or a crash.
+func TestProveDeviceLostIsFatal(t *testing.T) {
+	pk, _, sys, w, _, cfg := faultFixture(t, 1<<20)
+	cfg.Faults = gpusim.NewFaultPlan(1, gpusim.Fault{Kind: gpusim.FaultDeviceLost, Device: 0, Step: 9})
+	_, _, err := Prove(pk, sys, w, cfg, nil)
+	if err == nil || resilience.Classify(err) != resilience.DeviceLost {
+		t.Fatalf("want device-lost error, got %v", err)
+	}
+}
+
+// An injected panic in either stage returns as *resilience.PanicError.
+func TestProvePanicSurfacesAsError(t *testing.T) {
+	for _, step := range []int{2, 10} { // NTT stage; fourth MSM
+		pk, _, sys, w, _, cfg := faultFixture(t, 1<<20)
+		cfg.Faults = gpusim.NewFaultPlan(1, gpusim.Fault{Kind: gpusim.FaultPanic, Device: 0, Step: step})
+		_, _, err := Prove(pk, sys, w, cfg, nil)
+		var pe *resilience.PanicError
+		if err == nil || !errors.As(err, &pe) {
+			t.Fatalf("step %d: want PanicError, got %v", step, err)
+		}
+	}
+}
+
+func TestProvePreCanceled(t *testing.T) {
+	pk, _, sys, w, _, cfg := faultFixture(t, 1<<20)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := ProveCtx(ctx, pk, sys, w, cfg, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}

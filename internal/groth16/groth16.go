@@ -10,18 +10,22 @@
 package groth16
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/big"
+	"runtime/debug"
 	"time"
 
 	"gzkp/internal/curve"
 	"gzkp/internal/ff"
+	"gzkp/internal/gpusim"
 	"gzkp/internal/msm"
 	"gzkp/internal/ntt"
 	"gzkp/internal/pairing"
 	"gzkp/internal/poly"
 	"gzkp/internal/r1cs"
+	"gzkp/internal/resilience"
 )
 
 // ProvingKey carries the per-wire query points of the Groth16 CRS.
@@ -68,6 +72,56 @@ type ProveConfig struct {
 	MSM msm.Config
 	// CheckSatisfied verifies the witness against the system first.
 	CheckSatisfied bool
+	// Faults, when non-nil, is consulted before every modeled kernel launch
+	// (the 7 NTTs, then the 5 MSMs, all as logical device 0). Transient
+	// faults retry per Retry; an OOM degrades the affected GZKP table to a
+	// thriftier checkpoint interval; a device loss is fatal for the
+	// single-device prover.
+	Faults *gpusim.FaultPlan
+	// Retry bounds transient-fault retries (zero value = defaults).
+	Retry resilience.Policy
+}
+
+// launch accounts one modeled kernel launch against the fault plan and
+// drives its recovery: bounded transient retries, an oom hook (nil = OOM
+// is fatal), everything else propagated.
+func (cfg ProveConfig) launch(ctx context.Context, op string, oom func() error) error {
+	if cfg.Faults == nil {
+		return nil
+	}
+	pol := cfg.Retry.WithDefaults()
+	attempts, ooms := 0, 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := cfg.Faults.BeforeLaunch(0)
+		if err == nil {
+			return nil
+		}
+		switch resilience.Classify(err) {
+		case resilience.Transient:
+			attempts++
+			if attempts >= pol.MaxAttempts {
+				return fmt.Errorf("groth16: %s: retries exhausted: %w", op, err)
+			}
+			if serr := pol.Sleep(ctx, pol.Backoff(attempts-1)); serr != nil {
+				return serr
+			}
+		case resilience.OOM:
+			ooms++
+			if oom == nil || ooms > 2 {
+				return fmt.Errorf("groth16: %s: %w", op, err)
+			}
+			if derr := oom(); derr != nil {
+				return derr
+			}
+		case resilience.Canceled:
+			return err
+		default: // Fatal, DeviceLost: nowhere to fail over to
+			return fmt.Errorf("groth16: %s: %w", op, err)
+		}
+	}
 }
 
 // ProveStats reports the stage breakdown the paper's Tables 2-4 use.
@@ -249,10 +303,16 @@ func Setup(sys *r1cs.System, c *curve.Curve, rand io.Reader) (*ProvingKey, *Veri
 	return pk, vk, nil
 }
 
-// Preprocess builds and caches the GZKP MSM tables (Algorithm 1) for every
-// proving-key query. Mirrors the paper's deployment: the point vectors are
-// fixed at setup, so preprocessing happens once, off the proving path.
+// Preprocess is PreprocessCtx without cancellation.
 func (pk *ProvingKey) Preprocess(cfg msm.Config) error {
+	return pk.PreprocessCtx(context.Background(), cfg)
+}
+
+// PreprocessCtx builds and caches the GZKP MSM tables (Algorithm 1) for
+// every proving-key query. Mirrors the paper's deployment: the point
+// vectors are fixed at setup, so preprocessing happens once, off the
+// proving path.
+func (pk *ProvingKey) PreprocessCtx(ctx context.Context, cfg msm.Config) error {
 	c := curve.Get(pk.CurveID)
 	pk.tables = map[string]*msm.Table{}
 	for _, q := range []struct {
@@ -266,7 +326,7 @@ func (pk *ProvingKey) Preprocess(cfg msm.Config) error {
 		if len(q.pts) == 0 {
 			continue
 		}
-		t, err := msm.Preprocess(q.g, q.pts, cfg)
+		t, err := msm.PreprocessCtx(ctx, q.g, q.pts, cfg)
 		if err != nil {
 			return fmt.Errorf("groth16: preprocess %s: %w", q.name, err)
 		}
@@ -275,18 +335,71 @@ func (pk *ProvingKey) Preprocess(cfg msm.Config) error {
 	return nil
 }
 
-func (pk *ProvingKey) msmRun(name string, g *curve.Group, pts []curve.Affine, scalars []ff.Element, cfg msm.Config) (curve.Affine, msm.Stats, error) {
-	if cfg.Strategy == msm.GZKP && pk.tables != nil {
+func (pk *ProvingKey) msmRun(ctx context.Context, name string, g *curve.Group, pts []curve.Affine, scalars []ff.Element, cfg ProveConfig) (curve.Affine, msm.Stats, error) {
+	// OOM recovery: rebuild this query's table on a quartered budget so
+	// msm.AutoCheckpoint picks a larger (memory-thriftier) interval M.
+	oom := func() error {
+		if cfg.MSM.Strategy != msm.GZKP || pk.tables == nil {
+			return nil // nothing to shrink: retry as-is
+		}
+		dcfg := cfg.MSM
+		dcfg.CheckpointInterval = 0
+		if dcfg.MemoryBudget <= 0 {
+			dcfg.MemoryBudget = 1 << 30
+		}
+		dcfg.MemoryBudget /= 4
+		t, err := msm.PreprocessCtx(ctx, g, pts, dcfg)
+		if err != nil {
+			return err
+		}
+		pk.tables[name] = t
+		return nil
+	}
+	if err := cfg.launch(ctx, "MSM "+name, oom); err != nil {
+		return curve.Affine{}, msm.Stats{}, err
+	}
+	var (
+		res  curve.Affine
+		ms   msm.Stats
+		err  error
+		done bool
+	)
+	if cfg.MSM.Strategy == msm.GZKP && pk.tables != nil {
 		if t, ok := pk.tables[name]; ok {
-			return t.Compute(scalars, cfg)
+			res, ms, err = t.ComputeCtx(ctx, scalars, cfg.MSM)
+			done = true
 		}
 	}
-	return msm.Compute(g, pts, scalars, cfg)
+	if !done {
+		res, ms, err = msm.ComputeCtx(ctx, g, pts, scalars, cfg.MSM)
+	}
+	if err != nil {
+		return curve.Affine{}, msm.Stats{}, fmt.Errorf("groth16: MSM %s: %w", name, err)
+	}
+	return res, ms, nil
 }
 
-// Prove generates a proof for witness w (as produced by System.Solve).
-// rand supplies the blinding factors r, s (nil = crypto/rand).
+// Prove is ProveCtx without cancellation.
 func Prove(pk *ProvingKey, sys *r1cs.System, w []ff.Element, cfg ProveConfig, rand io.Reader) (*Proof, *ProveStats, error) {
+	return ProveCtx(context.Background(), pk, sys, w, cfg, rand)
+}
+
+// ProveCtx generates a proof for witness w (as produced by System.Solve).
+// rand supplies the blinding factors r, s (nil = crypto/rand). ctx is
+// honored cooperatively at chunk boundaries throughout both stages;
+// injected faults (ProveConfig.Faults) are recovered per class, and panics
+// below the prover return as a *resilience.PanicError.
+func ProveCtx(ctx context.Context, pk *ProvingKey, sys *r1cs.System, w []ff.Element, cfg ProveConfig, rand io.Reader) (proof *Proof, stats *ProveStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			proof, stats = nil, nil
+			if pe, ok := r.(*resilience.PanicError); ok {
+				err = pe
+			} else {
+				err = &resilience.PanicError{Value: r, Stack: debug.Stack()}
+			}
+		}
+	}()
 	c := curve.Get(pk.CurveID)
 	f := c.Fr
 	if len(w) != sys.NumVars {
@@ -306,13 +419,18 @@ func Prove(pk *ProvingKey, sys *r1cs.System, w []ff.Element, cfg ProveConfig, ra
 	if err != nil {
 		return nil, nil, err
 	}
+	for i := 0; i < poly.NTTCount; i++ {
+		if lerr := cfg.launch(ctx, fmt.Sprintf("NTT %d", i), nil); lerr != nil {
+			return nil, nil, lerr
+		}
+	}
 	av, bv, cv := f.NewVector(n), f.NewVector(n), f.NewVector(n)
 	for j, cons := range sys.Constraints {
 		copy(av[j], r1cs.EvalLC(f, cons.A, w))
 		copy(bv[j], r1cs.EvalLC(f, cons.B, w))
 		copy(cv[j], r1cs.EvalLC(f, cons.C, w))
 	}
-	polyRes, err := poly.ComputeH(dom, av, bv, cv, cfg.NTT)
+	polyRes, err := poly.ComputeHCtx(ctx, dom, av, bv, cv, cfg.NTT)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -332,9 +450,9 @@ func Prove(pk *ProvingKey, sys *r1cs.System, w []ff.Element, cfg ProveConfig, ra
 		return nil, nil, err
 	}
 	runMSM := func(name string, g *curve.Group, pts []curve.Affine, scalars []ff.Element) (curve.Affine, error) {
-		res, ms, err := pk.msmRun(name, g, pts, scalars, cfg.MSM)
+		res, ms, err := pk.msmRun(ctx, name, g, pts, scalars, cfg)
 		if err != nil {
-			return curve.Affine{}, fmt.Errorf("groth16: MSM %s: %w", name, err)
+			return curve.Affine{}, err // msmRun already names the query
 		}
 		st.MSMStats = append(st.MSMStats, ms)
 		st.MSMOps++

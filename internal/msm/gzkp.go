@@ -1,6 +1,7 @@
 package msm
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sort"
@@ -48,8 +49,13 @@ func AutoCheckpoint(coordWords, n, k, scalarBits int, budget int64) int {
 	return nw // single checkpoint: just the original points
 }
 
-// Preprocess builds the weighted-point table for a point vector.
+// Preprocess is PreprocessCtx without cancellation.
 func Preprocess(g *curve.Group, points []curve.Affine, cfg Config) (*Table, error) {
+	return PreprocessCtx(context.Background(), g, points, cfg)
+}
+
+// PreprocessCtx builds the weighted-point table for a point vector.
+func PreprocessCtx(ctx context.Context, g *curve.Group, points []curve.Affine, cfg Config) (*Table, error) {
 	n := len(points)
 	if n == 0 {
 		return nil, fmt.Errorf("msm: empty point vector")
@@ -84,9 +90,9 @@ func Preprocess(g *curve.Group, points []curve.Affine, cfg Config) (*Table, erro
 	for c := 1; c < checkpoints; c++ {
 		prev := t.pre[c-1]
 		next := make([]curve.Jacobian, n)
-		par.Items(n, cfg.workers(),
+		err := par.ItemsErr(ctx, n, cfg.workers(),
 			func() interface{} { return g.NewOps() },
-			func(state interface{}, i int) {
+			func(state interface{}, i int) error {
 				ops := state.(*curve.Ops)
 				var acc curve.Jacobian
 				ops.FromAffine(&acc, prev[i])
@@ -94,7 +100,11 @@ func Preprocess(g *curve.Group, points []curve.Affine, cfg Config) (*Table, erro
 					ops.DoubleAssign(&acc)
 				}
 				next[i] = acc
+				return nil
 			})
+		if err != nil {
+			return nil, err
+		}
 		t.pre[c] = g.BatchToAffine(next)
 	}
 	return t, nil
@@ -105,11 +115,17 @@ func (t *Table) WindowBits() int { return t.k }
 func (t *Table) Checkpoint() int { return t.m }
 func (t *Table) Bytes() int64    { return t.bytes }
 
-// Compute runs the GZKP MSM for one scalar vector against the table:
+// Compute is ComputeCtx without cancellation.
+func (t *Table) Compute(scalars []ff.Element, cfg Config) (curve.Affine, Stats, error) {
+	return t.ComputeCtx(context.Background(), scalars, cfg)
+}
+
+// ComputeCtx runs the GZKP MSM for one scalar vector against the table:
 // bucket-info construction (counting sort of all (window, point) pairs by
 // digit), cross-window point merging with load-grouped scheduling, and the
-// parallel-prefix bucket reduction. No window-reduction step remains.
-func (t *Table) Compute(scalars []ff.Element, cfg Config) (curve.Affine, Stats, error) {
+// parallel-prefix bucket reduction. No window-reduction step remains. ctx
+// is checked at bucket-task boundaries.
+func (t *Table) ComputeCtx(ctx context.Context, scalars []ff.Element, cfg Config) (curve.Affine, Stats, error) {
 	g := t.g
 	n := len(t.pre[0])
 	if len(scalars) != n {
@@ -181,7 +197,7 @@ func (t *Table) Compute(scalars []ff.Element, cfg Config) (curve.Affine, Stats, 
 	// costing (M-1)·k doublings per *bucket* rather than per entry — the
 	// formulation that keeps Algorithm 1's time/space knob usable at
 	// paper scales.
-	merge := func(state interface{}, j int) {
+	merge := func(state interface{}, j int) error {
 		ops := state.(*curve.Ops)
 		var localAdds, localDoubles int64
 		subs := make([]curve.Jacobian, t.m)
@@ -225,19 +241,27 @@ func (t *Table) Compute(scalars []ff.Element, cfg Config) (curve.Affine, Stats, 
 		buckets[j] = acc
 		atomic.AddInt64(&adds, localAdds)
 		atomic.AddInt64(&doubles, localDoubles)
+		return nil
 	}
+	var mergeErr error
 	if cfg.NoLoadBalance {
-		par.StaticItems(numBuckets, cfg.workers(),
+		mergeErr = par.StaticItemsErr(ctx, numBuckets, cfg.workers(),
 			func() interface{} { return g.NewOps() },
-			func(state interface{}, idx int) { merge(state, idx+1) })
+			func(state interface{}, idx int) error { return merge(state, idx+1) })
 	} else {
-		par.ItemsOrdered(numBuckets, cfg.workers(), order,
+		mergeErr = par.ItemsOrderedErr(ctx, numBuckets, cfg.workers(), order,
 			func() interface{} { return g.NewOps() },
 			merge)
 	}
+	if mergeErr != nil {
+		return curve.Affine{}, Stats{}, mergeErr
+	}
 
 	// --- Parallel-prefix bucket reduction: Σ j·B_j over j ∈ [1, 2^k).
-	result := t.reduceBuckets(buckets, cfg)
+	result, err := t.reduceBuckets(ctx, buckets, cfg)
+	if err != nil {
+		return curve.Affine{}, Stats{}, err
+	}
 
 	// --- Stats (Fig. 6's histogram and spread).
 	loads := make([]int64, numBuckets+1)
@@ -269,7 +293,7 @@ func (t *Table) Compute(scalars []ff.Element, cfg Config) (curve.Affine, Stats, 
 // chunk [a,b) contributes Σ (j-a+1)·B_j + (a-1)·Σ B_j, each chunk built
 // with the running-sum trick and combined with one small scalar multiple —
 // the parallel-prefix formulation of §4.1's final step.
-func (t *Table) reduceBuckets(buckets []curve.Jacobian, cfg Config) curve.Affine {
+func (t *Table) reduceBuckets(ctx context.Context, buckets []curve.Jacobian, cfg Config) (curve.Affine, error) {
 	g := t.g
 	numBuckets := len(buckets) - 1 // index 0 unused
 	workers := cfg.workers()
@@ -282,9 +306,9 @@ func (t *Table) reduceBuckets(buckets []curve.Jacobian, cfg Config) curve.Affine
 	}
 	size := (numBuckets + chunks - 1) / chunks
 	partial := make([]curve.Jacobian, chunks)
-	par.Items(chunks, workers,
+	err := par.ItemsErr(ctx, chunks, workers,
 		func() interface{} { return g.NewOps() },
-		func(state interface{}, c int) {
+		func(state interface{}, c int) error {
 			ops := state.(*curve.Ops)
 			a := 1 + c*size
 			b := a + size
@@ -293,7 +317,7 @@ func (t *Table) reduceBuckets(buckets []curve.Jacobian, cfg Config) curve.Affine
 			}
 			if a >= b {
 				ops.SetInfinity(&partial[c])
-				return
+				return nil
 			}
 			var running, local curve.Jacobian
 			ops.SetInfinity(&running)
@@ -308,12 +332,16 @@ func (t *Table) reduceBuckets(buckets []curve.Jacobian, cfg Config) curve.Affine
 				ops.AddAssign(&local, scaled)
 			}
 			partial[c] = local
+			return nil
 		})
+	if err != nil {
+		return curve.Affine{}, err
+	}
 	ops := g.NewOps()
 	var total curve.Jacobian
 	ops.SetInfinity(&total)
 	for i := range partial {
 		ops.AddAssign(&total, &partial[i])
 	}
-	return ops.ToAffine(&total)
+	return ops.ToAffine(&total), nil
 }

@@ -18,6 +18,7 @@
 package msm
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"runtime"
@@ -151,8 +152,10 @@ func ProfileWindow(g *curve.Group, points []curve.Affine, scalars []ff.Element, 
 	return best, nil
 }
 
-// Compute evaluates Σ scalars[i]·points[i] on group g with cfg.
-func Compute(g *curve.Group, points []curve.Affine, scalars []ff.Element, cfg Config) (curve.Affine, Stats, error) {
+// ComputeCtx evaluates Σ scalars[i]·points[i] on group g with cfg. ctx is
+// checked cooperatively at task boundaries; on cancellation the MSM aborts
+// with ctx.Err().
+func ComputeCtx(ctx context.Context, g *curve.Group, points []curve.Affine, scalars []ff.Element, cfg Config) (curve.Affine, Stats, error) {
 	if len(points) != len(scalars) {
 		return curve.Affine{}, Stats{}, fmt.Errorf("msm: %d points vs %d scalars", len(points), len(scalars))
 	}
@@ -161,20 +164,25 @@ func Compute(g *curve.Group, points []curve.Affine, scalars []ff.Element, cfg Co
 	}
 	switch cfg.Strategy {
 	case Reference:
-		return reference(g, points, scalars)
+		return reference(ctx, g, points, scalars)
 	case Straus:
-		return straus(g, points, scalars, cfg)
+		return straus(ctx, g, points, scalars, cfg)
 	case PippengerWindows:
-		return pippengerWindows(g, points, scalars, cfg)
+		return pippengerWindows(ctx, g, points, scalars, cfg)
 	case GZKP:
-		table, err := Preprocess(g, points, cfg)
+		table, err := PreprocessCtx(ctx, g, points, cfg)
 		if err != nil {
 			return curve.Affine{}, Stats{}, err
 		}
-		return table.Compute(scalars, cfg)
+		return table.ComputeCtx(ctx, scalars, cfg)
 	default:
 		return curve.Affine{}, Stats{}, fmt.Errorf("msm: unknown strategy %d", cfg.Strategy)
 	}
+}
+
+// Compute is ComputeCtx without cancellation.
+func Compute(g *curve.Group, points []curve.Affine, scalars []ff.Element, cfg Config) (curve.Affine, Stats, error) {
+	return ComputeCtx(context.Background(), g, points, scalars, cfg)
 }
 
 // digits provides windowed base-2^k digit access to canonicalized scalars.
@@ -223,11 +231,14 @@ func (d *digits) digit(i, t int) uint32 {
 }
 
 // reference is the serial double-and-add oracle.
-func reference(g *curve.Group, points []curve.Affine, scalars []ff.Element) (curve.Affine, Stats, error) {
+func reference(ctx context.Context, g *curve.Group, points []curve.Affine, scalars []ff.Element) (curve.Affine, Stats, error) {
 	ops := g.NewOps()
 	var acc curve.Jacobian
 	ops.SetInfinity(&acc)
 	for i := range points {
+		if err := ctx.Err(); err != nil {
+			return curve.Affine{}, Stats{}, err
+		}
 		p := ops.ScalarMulElement(points[i], scalars[i])
 		ops.AddAssign(&acc, p)
 	}

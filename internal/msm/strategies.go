@@ -1,6 +1,7 @@
 package msm
 
 import (
+	"context"
 	"fmt"
 
 	"gzkp/internal/curve"
@@ -12,7 +13,7 @@ import (
 // for j < 2^k, then a windowed walk from the top adding table entries. The
 // tables make each window cheap but cost N·(2^k-1) stored points — the
 // memory wall of Fig. 9 / Table 7 (MINA fails beyond 2^22).
-func straus(g *curve.Group, points []curve.Affine, scalars []ff.Element, cfg Config) (curve.Affine, Stats, error) {
+func straus(ctx context.Context, g *curve.Group, points []curve.Affine, scalars []ff.Element, cfg Config) (curve.Affine, Stats, error) {
 	k := cfg.WindowBits
 	if k <= 0 {
 		k = 4 // MINA's small fixed window: table growth forbids more
@@ -29,9 +30,9 @@ func straus(g *curve.Group, points []curve.Affine, scalars []ff.Element, cfg Con
 	stats.WindowBits = k
 	stats.Windows = dg.windows
 	stats.TableBytes = int64(n) * int64(tableWidth) * int64(2*g.K.Words()*8)
-	par.Items(n, cfg.workers(),
+	err := par.ItemsErr(ctx, n, cfg.workers(),
 		func() interface{} { return g.NewOps() },
-		func(state interface{}, i int) {
+		func(state interface{}, i int) error {
 			ops := state.(*curve.Ops)
 			jacs := make([]curve.Jacobian, tableWidth)
 			var acc curve.Jacobian
@@ -41,15 +42,19 @@ func straus(g *curve.Group, points []curve.Affine, scalars []ff.Element, cfg Con
 				ops.Copy(&jacs[j], &acc)
 			}
 			tables[i] = g.BatchToAffine(jacs)
+			return nil
 		})
+	if err != nil {
+		return curve.Affine{}, stats, err
+	}
 
 	// Walk windows from the top across horizontal chunks.
 	workers := cfg.workers()
 	partial := make([]curve.Jacobian, workers)
 	chunk := (n + workers - 1) / workers
-	par.Items(workers, workers,
+	err = par.ItemsErr(ctx, workers, workers,
 		func() interface{} { return g.NewOps() },
-		func(state interface{}, w int) {
+		func(state interface{}, w int) error {
 			ops := state.(*curve.Ops)
 			lo, hi := w*chunk, (w+1)*chunk
 			if hi > n {
@@ -58,6 +63,9 @@ func straus(g *curve.Group, points []curve.Affine, scalars []ff.Element, cfg Con
 			var acc curve.Jacobian
 			ops.SetInfinity(&acc)
 			for t := dg.windows - 1; t >= 0; t-- {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
 				if t != dg.windows-1 {
 					for b := 0; b < k; b++ {
 						ops.DoubleAssign(&acc)
@@ -72,7 +80,11 @@ func straus(g *curve.Group, points []curve.Affine, scalars []ff.Element, cfg Con
 				}
 			}
 			partial[w] = acc
+			return nil
 		})
+	if err != nil {
+		return curve.Affine{}, stats, err
+	}
 	ops := g.NewOps()
 	var total curve.Jacobian
 	ops.SetInfinity(&total)
@@ -87,7 +99,7 @@ func straus(g *curve.Group, points []curve.Affine, scalars []ff.Element, cfg Con
 // pair accumulates its own 2^k-1 buckets and reduces them; per-window
 // partials are summed and combined with k doublings between windows
 // (the window-reduction step GZKP eliminates).
-func pippengerWindows(g *curve.Group, points []curve.Affine, scalars []ff.Element, cfg Config) (curve.Affine, Stats, error) {
+func pippengerWindows(ctx context.Context, g *curve.Group, points []curve.Affine, scalars []ff.Element, cfg Config) (curve.Affine, Stats, error) {
 	n := len(points)
 	k := cfg.WindowBits
 	if k <= 0 {
@@ -115,14 +127,14 @@ func pippengerWindows(g *curve.Group, points []curve.Affine, scalars []ff.Elemen
 	// One task per (sub, window): bucket accumulate + running-sum reduce.
 	windowSums := make([]curve.Jacobian, numSub*nw)
 	tasks := numSub * nw
-	par.Items(tasks, cfg.workers(),
+	err := par.ItemsErr(ctx, tasks, cfg.workers(),
 		func() interface{} {
 			return &pippengerScratch{
 				ops:     g.NewOps(),
 				buckets: make([]curve.Jacobian, 1<<k-1),
 			}
 		},
-		func(state interface{}, task int) {
+		func(state interface{}, task int) error {
 			s := state.(*pippengerScratch)
 			ops := s.ops
 			sub, t := task/nw, task%nw
@@ -149,7 +161,11 @@ func pippengerWindows(g *curve.Group, points []curve.Affine, scalars []ff.Elemen
 				ops.AddAssign(&acc, &running)
 			}
 			windowSums[task] = acc
+			return nil
 		})
+	if err != nil {
+		return curve.Affine{}, stats, err
+	}
 
 	// Sum sub-MSM partials per window, then the serial window reduction.
 	ops := g.NewOps()

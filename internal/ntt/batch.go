@@ -1,19 +1,21 @@
 package ntt
 
 import (
+	"context"
 	"fmt"
 
 	"gzkp/internal/ff"
 	"gzkp/internal/par"
 )
 
-// TransformBatch runs many independent same-size transforms concurrently —
+// TransformBatchCtx runs many independent same-size transforms concurrently —
 // the throughput-oriented mode the paper's §7 sketches for homomorphic-
 // encryption workloads ("NTT batching"): ZKP wants one low-latency
 // transform using the whole device, HE wants many smaller transforms
 // saturating it. Each vector gets the same direction and (serial-precomp)
-// plan; vectors are distributed over the worker pool.
-func (d *Domain) TransformBatch(vecs [][]ff.Element, dir Direction, cfg Config) ([]Stats, error) {
+// plan; vectors are distributed over the worker pool. Cancellation is
+// checked between vectors and between iterations of each serial transform.
+func (d *Domain) TransformBatchCtx(ctx context.Context, vecs [][]ff.Element, dir Direction, cfg Config) ([]Stats, error) {
 	cfg = cfg.withDefaults()
 	for i, v := range vecs {
 		if len(v) != d.N {
@@ -21,24 +23,31 @@ func (d *Domain) TransformBatch(vecs [][]ff.Element, dir Direction, cfg Config) 
 		}
 	}
 	stats := make([]Stats, len(vecs))
-	errs := make([]error, len(vecs))
-	par.Items(len(vecs), cfg.Workers,
+	err := par.ItemsErr(ctx, len(vecs), cfg.Workers,
 		func() interface{} { return nil },
-		func(_ interface{}, i int) {
+		func(_ interface{}, i int) error {
 			// Per-vector serial plan: batching trades per-transform
 			// parallelism for cross-transform throughput.
-			stats[i] = d.serial(vecs[i], dir, true)
+			st, err := d.serial(ctx, vecs[i], dir, true)
+			if err != nil {
+				return err
+			}
+			stats[i] = st
 			if dir == Inverse {
 				f := d.F
 				for j := range vecs[i] {
 					f.Mul(vecs[i][j], vecs[i][j], d.NInv)
 				}
 			}
+			return nil
 		})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err != nil {
+		return nil, err
 	}
 	return stats, nil
+}
+
+// TransformBatch is TransformBatchCtx without cancellation.
+func (d *Domain) TransformBatch(vecs [][]ff.Element, dir Direction, cfg Config) ([]Stats, error) {
+	return d.TransformBatchCtx(context.Background(), vecs, dir, cfg)
 }

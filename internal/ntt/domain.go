@@ -16,6 +16,7 @@
 package ntt
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -160,9 +161,12 @@ func bitReverse(a []ff.Element, logN uint) {
 	}
 }
 
-// Transform runs an in-place NTT (Forward: coefficients in natural order →
-// evaluations in natural order) or INTT per cfg.
-func (d *Domain) Transform(a []ff.Element, dir Direction, cfg Config) (Stats, error) {
+// TransformCtx runs an in-place NTT (Forward: coefficients in natural
+// order → evaluations in natural order) or INTT per cfg. ctx is checked
+// cooperatively at batch/chunk boundaries; on cancellation the transform
+// aborts with ctx.Err() and the input is left in an unspecified
+// intermediate state.
+func (d *Domain) TransformCtx(ctx context.Context, a []ff.Element, dir Direction, cfg Config) (Stats, error) {
 	if len(a) != d.N {
 		return Stats{}, fmt.Errorf("ntt: input length %d != domain size %d", len(a), d.N)
 	}
@@ -171,13 +175,13 @@ func (d *Domain) Transform(a []ff.Element, dir Direction, cfg Config) (Stats, er
 	var err error
 	switch cfg.Strategy {
 	case Serial:
-		st = d.serial(a, dir, false)
+		st, err = d.serial(ctx, a, dir, false)
 	case SerialPrecomp:
-		st = d.serial(a, dir, true)
+		st, err = d.serial(ctx, a, dir, true)
 	case ShuffleBaseline:
-		st, err = d.shuffleBaseline(a, dir, cfg)
+		st, err = d.shuffleBaseline(ctx, a, dir, cfg)
 	case GZKP:
-		st, err = d.gzkp(a, dir, cfg)
+		st, err = d.gzkp(ctx, a, dir, cfg)
 	default:
 		err = fmt.Errorf("ntt: unknown strategy %d", cfg.Strategy)
 	}
@@ -185,19 +189,36 @@ func (d *Domain) Transform(a []ff.Element, dir Direction, cfg Config) (Stats, er
 		return st, err
 	}
 	if dir == Inverse {
-		d.scale(a, d.NInv, cfg)
+		if err := d.scale(ctx, a, d.NInv, cfg); err != nil {
+			return st, err
+		}
 	}
 	return st, nil
 }
 
+// Transform is TransformCtx without cancellation.
+func (d *Domain) Transform(a []ff.Element, dir Direction, cfg Config) (Stats, error) {
+	return d.TransformCtx(context.Background(), a, dir, cfg)
+}
+
 // NTT is shorthand for a forward transform.
 func (d *Domain) NTT(a []ff.Element, cfg Config) (Stats, error) {
-	return d.Transform(a, Forward, cfg)
+	return d.TransformCtx(context.Background(), a, Forward, cfg)
+}
+
+// NTTCtx is shorthand for a cancellable forward transform.
+func (d *Domain) NTTCtx(ctx context.Context, a []ff.Element, cfg Config) (Stats, error) {
+	return d.TransformCtx(ctx, a, Forward, cfg)
 }
 
 // INTT is shorthand for an inverse transform.
 func (d *Domain) INTT(a []ff.Element, cfg Config) (Stats, error) {
-	return d.Transform(a, Inverse, cfg)
+	return d.TransformCtx(context.Background(), a, Inverse, cfg)
+}
+
+// INTTCtx is shorthand for a cancellable inverse transform.
+func (d *Domain) INTTCtx(ctx context.Context, a []ff.Element, cfg Config) (Stats, error) {
+	return d.TransformCtx(ctx, a, Inverse, cfg)
 }
 
 // CosetNTT evaluates the polynomial on the coset g·⟨ω⟩: scales
@@ -205,17 +226,31 @@ func (d *Domain) INTT(a []ff.Element, cfg Config) (Stats, error) {
 // polynomial in the POLY stage (H = (A·B - C)/Z is computed on a coset
 // because Z vanishes on the base domain).
 func (d *Domain) CosetNTT(a []ff.Element, cfg Config) (Stats, error) {
-	d.scaleByPowers(a, d.coset, cfg)
-	return d.Transform(a, Forward, cfg)
+	return d.CosetNTTCtx(context.Background(), a, cfg)
+}
+
+// CosetNTTCtx is the cancellable CosetNTT.
+func (d *Domain) CosetNTTCtx(ctx context.Context, a []ff.Element, cfg Config) (Stats, error) {
+	if err := d.scaleByPowers(ctx, a, d.coset, cfg); err != nil {
+		return Stats{}, err
+	}
+	return d.TransformCtx(ctx, a, Forward, cfg)
 }
 
 // CosetINTT interpolates from coset evaluations back to coefficients.
 func (d *Domain) CosetINTT(a []ff.Element, cfg Config) (Stats, error) {
-	st, err := d.Transform(a, Inverse, cfg)
+	return d.CosetINTTCtx(context.Background(), a, cfg)
+}
+
+// CosetINTTCtx is the cancellable CosetINTT.
+func (d *Domain) CosetINTTCtx(ctx context.Context, a []ff.Element, cfg Config) (Stats, error) {
+	st, err := d.TransformCtx(ctx, a, Inverse, cfg)
 	if err != nil {
 		return st, err
 	}
-	d.scaleByPowers(a, d.cosetInv, cfg)
+	if err := d.scaleByPowers(ctx, a, d.cosetInv, cfg); err != nil {
+		return st, err
+	}
 	return st, nil
 }
 
@@ -229,22 +264,24 @@ func (d *Domain) ZOnCoset() ff.Element {
 }
 
 // scale multiplies every element by c.
-func (d *Domain) scale(a []ff.Element, c ff.Element, cfg Config) {
-	par.Range(len(a), cfg.Workers, func(lo, hi int) {
+func (d *Domain) scale(ctx context.Context, a []ff.Element, c ff.Element, cfg Config) error {
+	return par.RangeErr(ctx, len(a), cfg.Workers, func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			d.F.Mul(a[i], a[i], c)
 		}
+		return nil
 	})
 }
 
 // scaleByPowers multiplies a[i] by base^i.
-func (d *Domain) scaleByPowers(a []ff.Element, base ff.Element, cfg Config) {
-	par.Range(len(a), cfg.Workers, func(lo, hi int) {
+func (d *Domain) scaleByPowers(ctx context.Context, a []ff.Element, base ff.Element, cfg Config) error {
+	return par.RangeErr(ctx, len(a), cfg.Workers, func(lo, hi int) error {
 		f := d.F
 		p := f.Exp(base, bigFromInt(lo))
 		for i := lo; i < hi; i++ {
 			f.Mul(a[i], a[i], p)
 			f.Mul(p, p, base)
 		}
+		return nil
 	})
 }

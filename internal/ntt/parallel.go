@@ -1,6 +1,7 @@
 package ntt
 
 import (
+	"context"
 	"time"
 
 	"gzkp/internal/ff"
@@ -73,7 +74,7 @@ type groupScratch struct {
 // order; each "block" claims G consecutive groups, gathers their members
 // into a local (shared-memory-like) buffer with coalesced chunked reads,
 // runs the batch's butterflies locally, and scatters back.
-func (d *Domain) gzkp(a []ff.Element, dir Direction, cfg Config) (Stats, error) {
+func (d *Domain) gzkp(ctx context.Context, a []ff.Element, dir Direction, cfg Config) (Stats, error) {
 	start := time.Now()
 	bitReverse(a, d.LogN)
 	roots := d.roots
@@ -95,14 +96,14 @@ func (d *Domain) gzkp(a []ff.Element, dir Direction, cfg Config) (Stats, error) 
 		}
 		blocks := (groups + g - 1) / g
 		sdoneB, bbB := sdone, bb
-		par.Items(blocks, cfg.Workers,
+		err := par.ItemsErr(ctx, blocks, cfg.Workers,
 			func() interface{} {
 				return &groupScratch{
 					local: d.F.NewVector(g * size),
 					t:     d.F.New(), u: d.F.New(),
 				}
 			},
-			func(state interface{}, blk int) {
+			func(state interface{}, blk int) error {
 				s := state.(*groupScratch)
 				g0 := blk * g
 				gn := g0 + g
@@ -127,7 +128,11 @@ func (d *Domain) gzkp(a []ff.Element, dir Direction, cfg Config) (Stats, error) 
 						copy(a[groupIndex(gi, t, sdoneB, bbB)], s.local[(gi-g0)*size+t])
 					}
 				}
+				return nil
 			})
+		if err != nil {
+			return st, err
+		}
 		sdone += bb
 		st.Batches++
 	}
@@ -142,7 +147,7 @@ func (d *Domain) gzkp(a []ff.Element, dir Direction, cfg Config) (Stats, error) 
 // contiguous compute. The data stays in the shuffled layout between batches
 // (each shuffle maps the previous layout to the next), and a final pass
 // restores canonical order.
-func (d *Domain) shuffleBaseline(a []ff.Element, dir Direction, cfg Config) (Stats, error) {
+func (d *Domain) shuffleBaseline(ctx context.Context, a []ff.Element, dir Direction, cfg Config) (Stats, error) {
 	startAll := time.Now()
 	bitReverse(a, d.LogN)
 	roots := d.roots
@@ -169,7 +174,7 @@ func (d *Domain) shuffleBaseline(a []ff.Element, dir Direction, cfg Config) (Sta
 			t0 := time.Now()
 			sdB, bbB, psd, pbb := sdone, bb, prevSdone, prevBb
 			src, dst := cur, oth
-			par.Range(d.N, cfg.Workers, func(lo, hi int) {
+			err := par.RangeErr(ctx, d.N, cfg.Workers, func(lo, hi int) error {
 				for pos := lo; pos < hi; pos++ {
 					g := pos >> bbB
 					t := pos & (1<<bbB - 1)
@@ -180,7 +185,11 @@ func (d *Domain) shuffleBaseline(a []ff.Element, dir Direction, cfg Config) (Sta
 					}
 					copy(dst[pos], src[srcPos])
 				}
+				return nil
 			})
+			if err != nil {
+				return st, err
+			}
 			cur, oth = oth, cur
 			st.ShuffleNS += time.Since(t0).Nanoseconds()
 		}
@@ -189,53 +198,57 @@ func (d *Domain) shuffleBaseline(a []ff.Element, dir Direction, cfg Config) (Sta
 		loMask := 1<<sdone - 1
 		sdB, bbB := sdone, bb
 		data := cur
-		par.Items(groups, cfg.Workers,
+		err := par.ItemsErr(ctx, groups, cfg.Workers,
 			func() interface{} {
 				return &groupScratch{t: d.F.New(), u: d.F.New()}
 			},
-			func(state interface{}, g int) {
+			func(state interface{}, g int) error {
 				s := state.(*groupScratch)
 				sub := data[g*size : (g+1)*size]
 				d.processGroup(sub, sdB, bbB, g&loMask, roots, s.t, s.u)
+				return nil
 			})
+		if err != nil {
+			return st, err
+		}
 		st.ButterflyNS += time.Since(t1).Nanoseconds()
 		prevSdone, prevBb = sdone, bb
 		sdone += bb
 		st.Batches++
 	}
+	copyRange := func(dst, src []ff.Element, mapIdx func(int) int) error {
+		return par.RangeErr(ctx, d.N, cfg.Workers, func(lo, hi int) error {
+			for idx := lo; idx < hi; idx++ {
+				copy(dst[idx], src[mapIdx(idx)])
+			}
+			return nil
+		})
+	}
+	ident := func(idx int) int { return idx }
 	// Restore canonical order into a.
 	needRestore := prevSdone != 0 // a single batch at sdone 0 is identity
 	if needRestore {
 		t0 := time.Now()
 		psd, pbb := prevSdone, prevBb
+		fromPhys := func(idx int) int { return physPos(idx, psd, pbb) }
 		if sameVector(cur, a) {
 			// Restore through the spare buffer, then copy values back.
-			src, dst := cur, oth
-			par.Range(d.N, cfg.Workers, func(lo, hi int) {
-				for idx := lo; idx < hi; idx++ {
-					copy(dst[idx], src[physPos(idx, psd, pbb)])
-				}
-			})
-			par.Range(d.N, cfg.Workers, func(lo, hi int) {
-				for idx := lo; idx < hi; idx++ {
-					copy(a[idx], dst[idx])
-				}
-			})
+			if err := copyRange(oth, cur, fromPhys); err != nil {
+				return st, err
+			}
+			if err := copyRange(a, oth, ident); err != nil {
+				return st, err
+			}
 		} else {
-			src := cur
-			par.Range(d.N, cfg.Workers, func(lo, hi int) {
-				for idx := lo; idx < hi; idx++ {
-					copy(a[idx], src[physPos(idx, psd, pbb)])
-				}
-			})
+			if err := copyRange(a, cur, fromPhys); err != nil {
+				return st, err
+			}
 		}
 		st.ShuffleNS += time.Since(t0).Nanoseconds()
 	} else if !sameVector(cur, a) {
-		par.Range(d.N, cfg.Workers, func(lo, hi int) {
-			for idx := lo; idx < hi; idx++ {
-				copy(a[idx], cur[idx])
-			}
-		})
+		if err := copyRange(a, cur, ident); err != nil {
+			return st, err
+		}
 	}
 	st.TotalNS = time.Since(startAll).Nanoseconds()
 	return st, nil

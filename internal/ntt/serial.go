@@ -1,6 +1,7 @@
 package ntt
 
 import (
+	"context"
 	"math/big"
 	"time"
 
@@ -12,8 +13,9 @@ import (
 // criticizes (§5.3): the per-iteration step root ω_m is re-derived by
 // exponentiation and each butterfly's twiddle by a running product, an
 // extra multiply per butterfly and no reuse across calls. With precomp=true
-// twiddles come from the domain's table.
-func (d *Domain) serial(a []ff.Element, dir Direction, precomp bool) Stats {
+// twiddles come from the domain's table. Cancellation is checked once per
+// iteration (stage), the serial analogue of the batch boundary.
+func (d *Domain) serial(ctx context.Context, a []ff.Element, dir Direction, precomp bool) (Stats, error) {
 	start := time.Now()
 	f := d.F
 	bitReverse(a, d.LogN)
@@ -26,6 +28,9 @@ func (d *Domain) serial(a []ff.Element, dir Direction, precomp bool) Stats {
 	t := f.New()
 	u := f.New()
 	for s := uint(1); s <= d.LogN; s++ {
+		if err := ctx.Err(); err != nil {
+			return Stats{}, err
+		}
 		m := 1 << s
 		half := m >> 1
 		if precomp {
@@ -56,5 +61,5 @@ func (d *Domain) serial(a []ff.Element, dir Direction, precomp bool) Stats {
 		}
 	}
 	ns := time.Since(start).Nanoseconds()
-	return Stats{Batches: 1, ButterflyNS: ns, TotalNS: ns}
+	return Stats{Batches: 1, ButterflyNS: ns, TotalNS: ns}, nil
 }

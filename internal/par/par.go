@@ -2,12 +2,24 @@
 // range splitting, dynamic (work-stealing) item scheduling with per-worker
 // state, and explicitly ordered scheduling used by GZKP's load-grouped
 // heaviest-first bucket dispatch (§4.2).
+//
+// Every pool is cancellable and panic-safe: the *Err variants take a
+// context checked at chunk/item boundaries, the first worker error cancels
+// the remaining work, and a worker panic is recovered into a
+// *resilience.PanicError instead of crashing the process. The legacy
+// error-less entry points are wrappers that re-raise a recovered panic on
+// the caller's goroutine, where a pipeline-level recover can contain it.
 package par
 
 import (
+	"context"
+	"errors"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"gzkp/internal/resilience"
 )
 
 // Workers normalizes a worker-count hint.
@@ -18,33 +30,122 @@ func Workers(w int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// Range splits [0, n) into contiguous chunks across workers.
-func Range(n, workers int, fn func(lo, hi int)) {
+// recovering runs fn, converting a panic into a *resilience.PanicError.
+func recovering(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(*resilience.PanicError); ok {
+				err = pe
+				return
+			}
+			err = &resilience.PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// runGroup spawns `workers` goroutines running body and joins them. The
+// first error (or recovered panic) cancels the group's context; external
+// cancellation is reported as ctx.Err() when no worker failed first.
+func runGroup(ctx context.Context, workers int, body func(ctx context.Context) error) error {
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	record := func(err error) {
+		mu.Lock()
+		if first == nil {
+			first = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := recovering(func() error { return body(gctx) }); err != nil {
+				record(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		return first
+	}
+	return ctx.Err()
+}
+
+// reraise converts an error from a legacy (error-less) wrapper back into a
+// panic on the caller's goroutine. Only panics can reach here: the wrapped
+// bodies return no errors and the context is never cancelled.
+func reraise(err error) {
+	if err == nil {
+		return
+	}
+	var pe *resilience.PanicError
+	if errors.As(err, &pe) {
+		panic(pe)
+	}
+	panic(err)
+}
+
+// RangeErr splits [0, n) into contiguous chunks across workers. Each chunk
+// is a cancellation point; fn's first error cancels the remaining chunks.
+func RangeErr(ctx context.Context, n, workers int, fn func(lo, hi int) error) error {
 	workers = Workers(workers)
 	if workers > n {
 		workers = n
 	}
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	if workers <= 1 {
-		fn(0, n)
-		return
+		return recovering(func() error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			return fn(0, n)
+		})
 	}
-	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+	var next int64
+	return runGroup(ctx, workers, func(gctx context.Context) error {
+		for {
+			if gctx.Err() != nil {
+				return nil // group unwinding; runGroup reports the cause
+			}
+			lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+			if lo >= n {
+				return nil
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			if err := fn(lo, hi); err != nil {
+				return err
+			}
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	})
+}
+
+// Range splits [0, n) into contiguous chunks across workers.
+func Range(n, workers int, fn func(lo, hi int)) {
+	reraise(RangeErr(context.Background(), n, workers, func(lo, hi int) error {
+		fn(lo, hi)
+		return nil
+	}))
+}
+
+// ItemsErr schedules n independent items dynamically over a pool; mkState
+// builds per-worker scratch once per worker. Item boundaries are
+// cancellation points and the first error cancels the remaining items.
+func ItemsErr(ctx context.Context, n, workers int, mkState func() interface{}, fn func(state interface{}, item int) error) error {
+	return ItemsOrderedErr(ctx, n, workers, nil, mkState, fn)
 }
 
 // Items schedules n independent items dynamically over a pool; mkState
@@ -53,18 +154,18 @@ func Items(n, workers int, mkState func() interface{}, fn func(state interface{}
 	ItemsOrdered(n, workers, nil, mkState, fn)
 }
 
-// ItemsOrdered is Items with an explicit dispatch order: order[pos] is the
-// item to hand out pos-th (nil = natural order). Dynamic dispatch plus a
-// heaviest-first order is the CPU analogue of GZKP's fine-grained task
-// mapping: stragglers are started first, so no worker is left holding a
-// heavy bucket at the tail.
-func ItemsOrdered(n, workers int, order []int, mkState func() interface{}, fn func(state interface{}, item int)) {
+// ItemsOrderedErr is ItemsErr with an explicit dispatch order: order[pos]
+// is the item to hand out pos-th (nil = natural order). Dynamic dispatch
+// plus a heaviest-first order is the CPU analogue of GZKP's fine-grained
+// task mapping: stragglers are started first, so no worker is left holding
+// a heavy bucket at the tail.
+func ItemsOrderedErr(ctx context.Context, n, workers int, order []int, mkState func() interface{}, fn func(state interface{}, item int) error) error {
 	workers = Workers(workers)
 	if workers > n {
 		workers = n
 	}
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	item := func(pos int) int {
 		if order == nil {
@@ -73,64 +174,102 @@ func ItemsOrdered(n, workers int, order []int, mkState func() interface{}, fn fu
 		return order[pos]
 	}
 	if workers <= 1 {
-		st := mkState()
-		for i := 0; i < n; i++ {
-			fn(st, item(i))
-		}
-		return
+		return recovering(func() error {
+			st := mkState()
+			for i := 0; i < n; i++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				if err := fn(st, item(i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
 	}
 	var next int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			st := mkState()
-			for {
-				pos := int(atomic.AddInt64(&next, 1)) - 1
-				if pos >= n {
-					return
-				}
-				fn(st, item(pos))
+	return runGroup(ctx, workers, func(gctx context.Context) error {
+		st := mkState()
+		for {
+			if gctx.Err() != nil {
+				return nil
 			}
-		}()
-	}
-	wg.Wait()
+			pos := int(atomic.AddInt64(&next, 1)) - 1
+			if pos >= n {
+				return nil
+			}
+			if err := fn(st, item(pos)); err != nil {
+				return err
+			}
+		}
+	})
 }
 
-// StaticItems assigns items in fixed contiguous chunks with no stealing —
-// the naive scheduling GZKP's load balancing is compared against
-// (the "GZKP-no-LB" ablation): a worker stuck with heavy items straggles.
-func StaticItems(n, workers int, mkState func() interface{}, fn func(state interface{}, item int)) {
+// ItemsOrdered is Items with an explicit dispatch order (nil = natural).
+func ItemsOrdered(n, workers int, order []int, mkState func() interface{}, fn func(state interface{}, item int)) {
+	reraise(ItemsOrderedErr(context.Background(), n, workers, order, mkState,
+		func(st interface{}, i int) error {
+			fn(st, i)
+			return nil
+		}))
+}
+
+// StaticItemsErr assigns items in fixed contiguous chunks with no stealing
+// — the naive scheduling GZKP's load balancing is compared against (the
+// "GZKP-no-LB" ablation): a worker stuck with heavy items straggles. Items
+// remain cancellation points and panics are contained.
+func StaticItemsErr(ctx context.Context, n, workers int, mkState func() interface{}, fn func(state interface{}, item int) error) error {
 	workers = Workers(workers)
 	if workers > n {
 		workers = n
 	}
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	if workers <= 1 {
-		st := mkState()
-		for i := 0; i < n; i++ {
-			fn(st, i)
-		}
-		return
+		return recovering(func() error {
+			st := mkState()
+			for i := 0; i < n; i++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				if err := fn(st, i); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
 	}
-	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
-	for lo := 0; lo < n; lo += chunk {
+	var nextChunk int64
+	return runGroup(ctx, workers, func(gctx context.Context) error {
+		// Each worker claims exactly one static chunk (no stealing).
+		lo := int(atomic.AddInt64(&nextChunk, int64(chunk))) - chunk
+		if lo >= n {
+			return nil
+		}
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			st := mkState()
-			for i := lo; i < hi; i++ {
-				fn(st, i)
+		st := mkState()
+		for i := lo; i < hi; i++ {
+			if gctx.Err() != nil {
+				return nil
 			}
-		}(lo, hi)
-	}
-	wg.Wait()
+			if err := fn(st, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// StaticItems assigns items in fixed contiguous chunks with no stealing.
+func StaticItems(n, workers int, mkState func() interface{}, fn func(state interface{}, item int)) {
+	reraise(StaticItemsErr(context.Background(), n, workers, mkState,
+		func(st interface{}, i int) error {
+			fn(st, i)
+			return nil
+		}))
 }

@@ -1,9 +1,15 @@
 package par
 
 import (
+	"context"
+	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"gzkp/internal/resilience"
 )
 
 func TestWorkers(t *testing.T) {
@@ -111,5 +117,118 @@ func TestZeroItems(t *testing.T) {
 	Range(0, 4, func(lo, hi int) { called = true })
 	if called {
 		t.Fatal("work executed for n=0")
+	}
+}
+
+func TestItemsErrPanicRecovered(t *testing.T) {
+	err := ItemsErr(context.Background(), 100, 4,
+		func() interface{} { return nil },
+		func(_ interface{}, item int) error {
+			if item == 37 {
+				panic("injected worker panic")
+			}
+			return nil
+		})
+	var pe *resilience.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("panic not recovered into error: %v", err)
+	}
+	if pe.Value != "injected worker panic" || len(pe.Stack) == 0 {
+		t.Fatalf("panic value/stack lost: %+v", pe)
+	}
+	// Single-worker inline path recovers too.
+	err = ItemsErr(context.Background(), 3, 1,
+		func() interface{} { return nil },
+		func(_ interface{}, _ int) error { panic("inline") })
+	if !errors.As(err, &pe) || pe.Value != "inline" {
+		t.Fatalf("inline panic not recovered: %v", err)
+	}
+}
+
+func TestLegacyItemsReraisesOnCaller(t *testing.T) {
+	// A worker panic must surface as a panic on the CALLER's goroutine
+	// (catchable by a pipeline-level recover), not crash the process.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic swallowed")
+		}
+		if _, ok := r.(*resilience.PanicError); !ok {
+			t.Fatalf("re-raised value is %T, want *resilience.PanicError", r)
+		}
+	}()
+	Items(50, 4, func() interface{} { return nil }, func(_ interface{}, item int) {
+		if item == 10 {
+			panic("boom")
+		}
+	})
+}
+
+func TestFirstErrorCancelsRemaining(t *testing.T) {
+	boom := errors.New("boom")
+	var executed int64
+	err := ItemsErr(context.Background(), 10000, 4,
+		func() interface{} { return nil },
+		func(_ interface{}, item int) error {
+			atomic.AddInt64(&executed, 1)
+			if item == 5 {
+				return boom
+			}
+			time.Sleep(50 * time.Microsecond)
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("first error lost: %v", err)
+	}
+	if n := atomic.LoadInt64(&executed); n == 10000 {
+		t.Fatal("error did not cancel remaining items")
+	}
+}
+
+func TestCancellationStopsWorkAndJoins(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	var executed int64
+	done := make(chan error, 1)
+	go func() {
+		done <- ItemsErr(ctx, 100000, 4, func() interface{} { return nil },
+			func(_ interface{}, _ int) error {
+				atomic.AddInt64(&executed, 1)
+				time.Sleep(200 * time.Microsecond)
+				return nil
+			})
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	err := <-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled pool returned %v", err)
+	}
+	// Workers must all have joined: goroutine count settles back.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before+2 {
+		t.Fatalf("goroutines leaked: before=%d after=%d", before, g)
+	}
+}
+
+func TestErrVariantsPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	fn := func(_ interface{}, _ int) error { called = true; return nil }
+	if err := ItemsErr(ctx, 10, 4, func() interface{} { return nil }, fn); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ItemsErr: %v", err)
+	}
+	if err := StaticItemsErr(ctx, 10, 4, func() interface{} { return nil }, fn); !errors.Is(err, context.Canceled) {
+		t.Fatalf("StaticItemsErr: %v", err)
+	}
+	if err := RangeErr(ctx, 10, 4, func(_, _ int) error { called = true; return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RangeErr: %v", err)
+	}
+	if called {
+		t.Fatal("work ran under a pre-canceled context")
 	}
 }

@@ -10,6 +10,7 @@
 package poly
 
 import (
+	"context"
 	"fmt"
 
 	"gzkp/internal/ff"
@@ -23,18 +24,20 @@ type Result struct {
 	Stats []ntt.Stats
 }
 
-// ComputeH consumes a, b, c (length = domain size; overwritten as scratch)
-// and returns the quotient coefficients. It is the prover's hot path for
-// the POLY stage; cfg selects the NTT execution strategy.
-func ComputeH(dom *ntt.Domain, a, b, c []ff.Element, cfg ntt.Config) (*Result, error) {
+// ComputeHCtx consumes a, b, c (length = domain size; overwritten as
+// scratch) and returns the quotient coefficients. It is the prover's hot
+// path for the POLY stage; cfg selects the NTT execution strategy. ctx is
+// checked cooperatively inside every transform and between stages; on
+// cancellation the scratch vectors are left in an unspecified state.
+func ComputeHCtx(ctx context.Context, dom *ntt.Domain, a, b, c []ff.Element, cfg ntt.Config) (*Result, error) {
 	n := dom.N
 	if len(a) != n || len(b) != n || len(c) != n {
 		return nil, fmt.Errorf("poly: vector lengths (%d,%d,%d) != domain %d", len(a), len(b), len(c), n)
 	}
 	f := dom.F
 	res := &Result{}
-	run := func(fn func([]ff.Element, ntt.Config) (ntt.Stats, error), v []ff.Element) error {
-		st, err := fn(v, cfg)
+	run := func(fn func(context.Context, []ff.Element, ntt.Config) (ntt.Stats, error), v []ff.Element) error {
+		st, err := fn(ctx, v, cfg)
 		if err != nil {
 			return err
 		}
@@ -43,17 +46,20 @@ func ComputeH(dom *ntt.Domain, a, b, c []ff.Element, cfg ntt.Config) (*Result, e
 	}
 	// 3 INTTs: evaluations on ⟨ω⟩ → coefficients.
 	for _, v := range [][]ff.Element{a, b, c} {
-		if err := run(dom.INTT, v); err != nil {
+		if err := run(dom.INTTCtx, v); err != nil {
 			return nil, err
 		}
 	}
 	// 3 coset-NTTs: coefficients → evaluations on g·⟨ω⟩.
 	for _, v := range [][]ff.Element{a, b, c} {
-		if err := run(dom.CosetNTT, v); err != nil {
+		if err := run(dom.CosetNTTCtx, v); err != nil {
 			return nil, err
 		}
 	}
 	// Pointwise (a·b - c)/Z on the coset; Z(g·ωⁱ) = gⁿ - 1 is constant.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	zInv := f.Inverse(dom.ZOnCoset())
 	tmp := f.New()
 	for i := 0; i < n; i++ {
@@ -62,11 +68,16 @@ func ComputeH(dom *ntt.Domain, a, b, c []ff.Element, cfg ntt.Config) (*Result, e
 		f.Mul(a[i], tmp, zInv)
 	}
 	// 1 coset-INTT back to coefficients. Total: 7 NTT operations (§5.2).
-	if err := run(dom.CosetINTT, a); err != nil {
+	if err := run(dom.CosetINTTCtx, a); err != nil {
 		return nil, err
 	}
 	res.H = a[:n-1]
 	return res, nil
+}
+
+// ComputeH is ComputeHCtx without cancellation.
+func ComputeH(dom *ntt.Domain, a, b, c []ff.Element, cfg ntt.Config) (*Result, error) {
+	return ComputeHCtx(context.Background(), dom, a, b, c, cfg)
 }
 
 // NTTCount is the §5.2 constant: transforms per proof.

@@ -1,0 +1,222 @@
+// Package resilience is the fault-handling substrate of the proving
+// pipeline: it classifies failures by the recovery action they admit and
+// applies bounded retry with capped exponential backoff.
+//
+// The taxonomy mirrors what a long-running multi-accelerator prover
+// actually sees (the operational gap ZK-Flex calls out): kernel launches
+// fail transiently and succeed on retry; a device runs out of memory and
+// the plan must degrade to a memory-thriftier configuration (the OOM rows
+// of the paper's Table 7 / Fig. 9); a device dies outright and its shard
+// must move to a survivor; the caller cancels and everything must unwind
+// promptly. Everything else — bad input, logic errors, worker panics — is
+// fatal and aborts the pipeline with a real error instead of a process
+// crash.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Class buckets an error by the recovery action it admits.
+type Class int
+
+const (
+	// Fatal aborts the pipeline: bad input, logic errors, worker panics.
+	Fatal Class = iota
+	// Transient failures (launch hiccups, contended resources) are retried
+	// in place with backoff.
+	Transient
+	// OOM triggers degradation to a memory-thriftier plan (for MSM, the
+	// checkpointed table of Algorithm 1 with a tighter budget).
+	OOM
+	// DeviceLost triggers failover: the device is removed for the rest of
+	// the run and its shard re-partitioned across survivors.
+	DeviceLost
+	// Canceled means the caller gave up (context cancellation or deadline).
+	Canceled
+)
+
+func (c Class) String() string {
+	switch c {
+	case Fatal:
+		return "fatal"
+	case Transient:
+		return "transient"
+	case OOM:
+		return "oom"
+	case DeviceLost:
+		return "device-lost"
+	case Canceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// TransientError marks a retryable failure.
+type TransientError struct {
+	Op  string
+	Err error
+}
+
+func (e *TransientError) Error() string {
+	if e.Err == nil {
+		return fmt.Sprintf("transient failure: %s", e.Op)
+	}
+	return fmt.Sprintf("transient failure: %s: %v", e.Op, e.Err)
+}
+
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// OOMError reports that a plan exceeded its memory budget. Need/Limit are
+// informational (0 = unknown).
+type OOMError struct {
+	Op          string
+	Need, Limit int64
+}
+
+func (e *OOMError) Error() string {
+	if e.Need > 0 || e.Limit > 0 {
+		return fmt.Sprintf("out of memory: %s (need %d B, limit %d B)", e.Op, e.Need, e.Limit)
+	}
+	return fmt.Sprintf("out of memory: %s", e.Op)
+}
+
+// DeviceLostError reports a device that died and stays dead for the run.
+type DeviceLostError struct {
+	Device int
+}
+
+func (e *DeviceLostError) Error() string {
+	return fmt.Sprintf("device %d lost", e.Device)
+}
+
+// PanicError wraps a panic recovered from a worker goroutine, preserving
+// the panic value and the stack where it fired. It classifies as Fatal.
+type PanicError struct {
+	Value interface{}
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("worker panic: %v", e.Value)
+}
+
+// Classify maps a non-nil error to its recovery class by unwrapping. A
+// wrapped context cancellation classifies as Canceled even when wrapped by
+// a typed error.
+func Classify(err error) Class {
+	if err == nil {
+		return Fatal // callers must not classify nil; treat as a logic error
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return Canceled
+	}
+	var te *TransientError
+	if errors.As(err, &te) {
+		return Transient
+	}
+	var oe *OOMError
+	if errors.As(err, &oe) {
+		return OOM
+	}
+	var de *DeviceLostError
+	if errors.As(err, &de) {
+		return DeviceLost
+	}
+	return Fatal
+}
+
+// Policy bounds transient-failure retries with capped exponential backoff.
+// The zero value selects the defaults, so it can live directly on a config
+// struct.
+type Policy struct {
+	// MaxAttempts is the total number of attempts per operation
+	// (default 4: one try plus three retries).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 1ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 50ms).
+	MaxDelay time.Duration
+	// Multiplier grows the backoff per retry (default 2).
+	Multiplier float64
+	// Sleep overrides the backoff wait — tests inject a recorder. The
+	// default waits on a timer or the context, whichever fires first.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// WithDefaults returns the policy with unset fields filled in, for callers
+// that drive their own retry loop with Backoff/Sleep.
+func (p Policy) WithDefaults() Policy { return p.withDefaults() }
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 50 * time.Millisecond
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Sleep == nil {
+		p.Sleep = sleepCtx
+	}
+	return p
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Backoff returns the capped delay before retry number retry (0-based).
+func (p Policy) Backoff(retry int) time.Duration {
+	p = p.withDefaults()
+	d := float64(p.BaseDelay)
+	for i := 0; i < retry; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			return p.MaxDelay
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		return p.MaxDelay
+	}
+	return time.Duration(d)
+}
+
+// Do runs op, retrying Transient failures per the policy. Any other class
+// returns immediately; context cancellation wins over remaining retries.
+// The last transient error is returned when attempts are exhausted.
+func (p Policy) Do(ctx context.Context, op func() error) error {
+	p = p.withDefaults()
+	var err error
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		err = op()
+		if err == nil || Classify(err) != Transient {
+			return err
+		}
+		if attempt == p.MaxAttempts-1 {
+			break
+		}
+		if serr := p.Sleep(ctx, p.Backoff(attempt)); serr != nil {
+			return serr
+		}
+	}
+	return err
+}
