@@ -20,6 +20,7 @@ func main() {
 		maxScale   = flag.Int("maxscale", 0, "cap log2(N) for wall-clock measurements (0 = defaults)")
 		quick      = flag.Bool("quick", false, "fast smoke pass")
 		list       = flag.Bool("list", false, "list experiments and exit")
+		jsonPath   = flag.String("json", "", "also write machine-readable results (experiment, scale, ns/op, operation counts) to this file")
 	)
 	flag.Parse()
 
@@ -30,8 +31,12 @@ func main() {
 		return
 	}
 	opts := bench.Options{Out: os.Stdout, MaxScale: *maxScale, Quick: *quick}
+	if *jsonPath != "" {
+		opts.Rec = &bench.Recorder{}
+	}
 	run := func(e bench.Experiment) {
 		fmt.Printf("\n#### %s — %s\n", e.Name, e.Paper)
+		opts.Rec.Begin(e.Name)
 		if err := e.Run(opts); err != nil {
 			fmt.Fprintf(os.Stderr, "gzkp-bench: %s: %v\n", e.Name, err)
 			os.Exit(1)
@@ -44,9 +49,23 @@ func main() {
 			os.Exit(2)
 		}
 		run(e)
-		return
+	} else {
+		for _, e := range bench.All() {
+			run(e)
+		}
 	}
-	for _, e := range bench.All() {
-		run(e)
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err == nil {
+			err = opts.Rec.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gzkp-bench: write json:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d samples to %s\n", len(opts.Rec.Samples()), *jsonPath)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -23,6 +24,7 @@ import (
 	"gzkp/internal/msm"
 	"gzkp/internal/ntt"
 	"gzkp/internal/r1cs"
+	"gzkp/internal/telemetry"
 	"gzkp/internal/workload"
 )
 
@@ -38,6 +40,10 @@ func main() {
 		timeout     = flag.Duration("timeout", 0, "abort preprocessing+proving after this duration (0 = no limit)")
 		faultSpec   = flag.String("inject-faults", "", `deterministic fault plan, e.g. "transient:0@8x2,oom:0@7" (kinds kill|transient|oom|panic, format KIND:DEV@STEP[xN], @? = seeded random step)`)
 		faultSeed   = flag.Int64("fault-seed", 1, "seed resolving @? fault steps")
+		tracePath   = flag.String("trace", "", "write a Chrome trace_event JSON timeline here (load in Perfetto or chrome://tracing)")
+		jsonlPath   = flag.String("jsonl", "", "write the span/event/metric log as JSON lines here")
+		showStats   = flag.Bool("stats", false, "print the telemetry summary and aggregated MSM totals after proving")
+		debugAddr   = flag.String("debug-addr", "", `serve /debug/vars (expvar) and /debug/pprof on this address during the run (e.g. "localhost:6060")`)
 	)
 	flag.Parse()
 
@@ -73,6 +79,20 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	// One tracer serves every telemetry sink; proving code records into it
+	// through the context.
+	var tracer *telemetry.Tracer
+	if *tracePath != "" || *jsonlPath != "" || *showStats || *debugAddr != "" {
+		tracer = telemetry.New()
+		ctx = telemetry.NewContext(ctx, tracer)
+	}
+	if *debugAddr != "" {
+		srv, addr, err := telemetry.ServeDebug(*debugAddr, tracer.Registry())
+		die(err)
+		defer srv.Close()
+		fmt.Printf("debug server: http://%s/debug/vars (expvar), /debug/pprof\n", addr)
 	}
 
 	c := curve.Get(id)
@@ -120,12 +140,43 @@ func main() {
 		float64(stats.PolyNS)/1e6, stats.NTTOps,
 		float64(stats.MSMNS)/1e6, stats.MSMOps,
 		float64(stats.PolyNS+stats.MSMNS)/1e6)
+	if *showStats {
+		tot := stats.Totals()
+		fmt.Printf("msm totals: %d point adds, %d doubles, %d table bytes, %d traffic bytes\n",
+			tot.PointAdds, tot.Doubles, tot.TableBytes, tot.TrafficBytes)
+	}
 
 	blob, err := proof.MarshalBinary()
 	die(err)
 	t0 = time.Now()
 	die(groth16.Verify(vk, proof, pub))
 	fmt.Printf("verify: ok in %.1fms (proof %d bytes)\n", time.Since(t0).Seconds()*1e3, len(blob))
+
+	if *tracePath != "" {
+		die(writeFileWith(*tracePath, tracer.WriteChromeTrace))
+		fmt.Printf("trace: wrote %s (open in https://ui.perfetto.dev)\n", *tracePath)
+	}
+	if *jsonlPath != "" {
+		die(writeFileWith(*jsonlPath, tracer.WriteJSONL))
+		fmt.Printf("jsonl: wrote %s\n", *jsonlPath)
+	}
+	if *showStats {
+		fmt.Println("telemetry summary:")
+		die(tracer.WriteSummary(os.Stdout))
+	}
+}
+
+// writeFileWith streams one exporter into path.
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func die(err error) {

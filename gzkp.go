@@ -35,6 +35,7 @@ import (
 	"gzkp/internal/msm"
 	"gzkp/internal/ntt"
 	"gzkp/internal/r1cs"
+	"gzkp/internal/telemetry"
 )
 
 // Curve selects the elliptic curve. BN254 and BLS12381 support the full
@@ -281,11 +282,83 @@ type Proof struct {
 	p *groth16.Proof
 }
 
-// Stats reports the stage breakdown of one proof generation.
+// Stats reports the stage breakdown of one proof generation, including the
+// whole-proof operation aggregates (summed over the five MSMs).
 type Stats struct {
 	PolyNS, MSMNS int64
 	NTTOps        int
 	MSMOps        int
+	// Aggregated MSM totals: PADD count, doublings, preprocessed-table
+	// footprint and estimated streamed traffic across all five queries.
+	PointAdds    int64
+	Doubles      int64
+	TableBytes   int64
+	TrafficBytes int64
+}
+
+// Trace collects the telemetry of one or more proving runs: nested spans
+// over the pipeline stages, instant events from the resilience machinery,
+// and the aggregated metrics registry. Create one with NewTrace, thread it
+// through ProveContext via Context, then export with WriteChromeTrace
+// (Perfetto / chrome://tracing), WriteJSONL, or WriteSummary. A nil *Trace
+// is valid everywhere and disables collection.
+type Trace struct {
+	tr *telemetry.Tracer
+}
+
+// NewTrace returns an empty trace ready to record.
+func NewTrace() *Trace { return &Trace{tr: telemetry.New()} }
+
+// Context attaches the trace to ctx so proving code records into it.
+func (t *Trace) Context(ctx context.Context) context.Context {
+	if t == nil || t.tr == nil {
+		return ctx
+	}
+	return telemetry.NewContext(ctx, t.tr)
+}
+
+// WriteChromeTrace exports the timeline as Chrome trace_event JSON, with
+// one track per simulated device — load the file in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("gzkp: nil trace")
+	}
+	return t.tr.WriteChromeTrace(w)
+}
+
+// WriteJSONL exports spans, events and final metrics as one JSON object per
+// line.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("gzkp: nil trace")
+	}
+	return t.tr.WriteJSONL(w)
+}
+
+// WriteSummary writes a human-readable report: the span tree, per-track
+// busy time, incidents, and metrics.
+func (t *Trace) WriteSummary(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("gzkp: nil trace")
+	}
+	return t.tr.WriteSummary(w)
+}
+
+// Counters returns a snapshot of the trace's counter metrics.
+func (t *Trace) Counters() map[string]int64 {
+	if t == nil || t.tr == nil {
+		return nil
+	}
+	return t.tr.Registry().Snapshot().Counters
+}
+
+// Gauges returns a snapshot of the trace's gauge metrics.
+func (t *Trace) Gauges() map[string]float64 {
+	if t == nil || t.tr == nil {
+		return nil
+	}
+	return t.tr.Registry().Snapshot().Gauges
 }
 
 // Setup runs the trusted setup (rand nil = crypto/rand).
@@ -319,9 +392,12 @@ func (pk *ProvingKey) ProveContext(ctx context.Context, w *Witness, opts ProverO
 	if err != nil {
 		return nil, nil, err
 	}
+	tot := st.Totals()
 	return &Proof{p: proof}, &Stats{
 		PolyNS: st.PolyNS, MSMNS: st.MSMNS,
 		NTTOps: st.NTTOps, MSMOps: st.MSMOps,
+		PointAdds: tot.PointAdds, Doubles: tot.Doubles,
+		TableBytes: tot.TableBytes, TrafficBytes: tot.TrafficBytes,
 	}, nil
 }
 

@@ -27,7 +27,13 @@ type Options struct {
 	MaxScale int
 	// Quick further shrinks measured work (used by `go test -short`).
 	Quick bool
+	// Rec, when non-nil, collects each table cell as a machine-readable
+	// Sample (gzkp-bench -json).
+	Rec *Recorder
 }
+
+// record forwards a sample to the recorder (no-op without one).
+func (o Options) record(s Sample) { o.Rec.Add(s) }
 
 func (o Options) out() io.Writer {
 	if o.Out == nil {

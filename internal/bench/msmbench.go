@@ -39,9 +39,13 @@ func msmScalingTable(o Options, dev *gpusim.Device, paperName string) error {
 		if err != nil {
 			return "", 0, err
 		}
+		name := fmt.Sprintf("%sb-%s", curveBits, v)
 		if mr.OOM {
+			o.record(Sample{Section: "modeled", Name: name, Scale: logn, OOM: true})
 			return "OOM", 0, nil
 		}
+		o.record(Sample{Section: "modeled", Name: name, Scale: logn,
+			NSOp: int64(r.Time * 1e9), TrafficBytes: r.TrafficB, TableBytes: mr.MemBytes})
 		return fmtDur(r.Time), r.Time, nil
 	}
 	for logn := 14; logn <= maxLog; logn += 2 {
@@ -96,26 +100,43 @@ func msmScalingTable(o Options, dev *gpusim.Device, paperName string) error {
 		if err != nil {
 			return err
 		}
+		var stStraus, stBG, stGZ msm.Stats
 		tStraus, err := measure(func() error {
-			_, _, err := msm.Compute(g, points, scalars, msm.Config{Strategy: msm.Straus})
+			var err error
+			_, stStraus, err = msm.Compute(g, points, scalars, msm.Config{Strategy: msm.Straus})
 			return err
 		})
 		if err != nil {
 			return err
 		}
 		tBG, err := measure(func() error {
-			_, _, err := msm.Compute(g, points, scalars, msm.Config{Strategy: msm.PippengerWindows})
+			var err error
+			_, stBG, err = msm.Compute(g, points, scalars, msm.Config{Strategy: msm.PippengerWindows})
 			return err
 		})
 		if err != nil {
 			return err
 		}
 		tGZ, err := measure(func() error {
-			_, _, err := table.Compute(scalars, msm.Config{})
+			var err error
+			_, stGZ, err = table.Compute(scalars, msm.Config{})
 			return err
 		})
 		if err != nil {
 			return err
+		}
+		for _, m := range []struct {
+			name string
+			sec  float64
+			st   msm.Stats
+		}{
+			{"straus", tStraus, stStraus},
+			{"pippenger-windows", tBG, stBG},
+			{"gzkp", tGZ, stGZ},
+		} {
+			o.record(Sample{Section: "measured", Name: m.name, Scale: logn, N: n,
+				NSOp: int64(m.sec * 1e9), PointAdds: m.st.PointAdds, Doubles: m.st.Doubles,
+				TableBytes: m.st.TableBytes, TrafficBytes: m.st.TrafficBytes})
 		}
 		tw.row(fmt.Sprintf("2^%d", logn),
 			fmtDur(tStraus), fmtDur(tBG), fmtDur(tGZ), fmtX(tBG/tGZ))

@@ -42,6 +42,15 @@ func nttScalingTable(o Options, dev *gpusim.Device, paperName string) error {
 		if err != nil {
 			return err
 		}
+		for _, m := range []struct {
+			name string
+			sec  float64
+		}{
+			{"753b-bg", t753bg.Time}, {"753b-gzkp", t753gz.Time},
+			{"256b-bg", t256bg.Time}, {"256b-gzkp", t256gz.Time},
+		} {
+			o.record(Sample{Section: "modeled", Name: m.name, Scale: logn, NSOp: int64(m.sec * 1e9)})
+		}
 		tm.row(fmt.Sprintf("2^%d", logn),
 			fmtDur(t753bg.Time), fmtDur(t753gz.Time), fmtX(t753bg.Time/t753gz.Time),
 			fmtDur(t256bg.Time), fmtDur(t256gz.Time), fmtX(t256bg.Time/t256gz.Time))
@@ -76,6 +85,8 @@ func nttScalingTable(o Options, dev *gpusim.Device, paperName string) error {
 				return err
 			}
 			times[s] = sec
+			o.record(Sample{Section: "measured", Name: s.String(), Scale: logn, N: d.N,
+				NSOp: int64(sec * 1e9)})
 		}
 		tw.row(fmt.Sprintf("2^%d", logn),
 			fmtDur(times[ntt.Serial]), fmtDur(times[ntt.SerialPrecomp]),

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Sample is one machine-readable measurement: a single cell of a regenerated
+// table, tagged with the experiment and section it came from. NSOp is the
+// modeled or measured time of the operation; the operation-count fields are
+// populated where the run produced real msm.Stats (the measured sections).
+type Sample struct {
+	Experiment   string `json:"experiment"`
+	Section      string `json:"section"` // modeled | measured
+	Name         string `json:"name"`    // variant / strategy / application
+	Scale        int    `json:"scale,omitempty"`
+	N            int    `json:"n,omitempty"`
+	NSOp         int64  `json:"ns_op"`
+	PointAdds    int64  `json:"point_adds,omitempty"`
+	Doubles      int64  `json:"doubles,omitempty"`
+	TableBytes   int64  `json:"table_bytes,omitempty"`
+	TrafficBytes int64  `json:"traffic_bytes,omitempty"`
+	OOM          bool   `json:"oom,omitempty"`
+}
+
+// Recorder accumulates samples across a bench run for machine-readable
+// export (gzkp-bench -json). A nil *Recorder discards everything, so
+// experiments record unconditionally.
+type Recorder struct {
+	current string
+	samples []Sample
+}
+
+// Begin tags subsequent samples with the experiment name.
+func (r *Recorder) Begin(experiment string) {
+	if r == nil {
+		return
+	}
+	r.current = experiment
+}
+
+// Add appends a sample, stamping the current experiment when the sample
+// does not name one.
+func (r *Recorder) Add(s Sample) {
+	if r == nil {
+		return
+	}
+	if s.Experiment == "" {
+		s.Experiment = r.current
+	}
+	r.samples = append(r.samples, s)
+}
+
+// Samples returns the recorded samples in insertion order.
+func (r *Recorder) Samples() []Sample {
+	if r == nil {
+		return nil
+	}
+	return r.samples
+}
+
+// WriteJSON renders the collected samples as one indented JSON document.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	type doc struct {
+		Source  string   `json:"source"`
+		Samples []Sample `json:"samples"`
+	}
+	samples := r.Samples()
+	if samples == nil {
+		samples = []Sample{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc{Source: "gzkp-bench", Samples: samples})
+}

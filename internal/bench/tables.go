@@ -58,6 +58,22 @@ func runE2E(o Options, tb *table, app workload.App, maxN int, seed int64) error 
 	if err != nil {
 		return err
 	}
+	for _, m := range []struct {
+		name string
+		r    *core.Result
+	}{
+		{"best-cpu", rc}, {"best-gpu", rg}, {"gzkp", rz},
+	} {
+		s := Sample{Section: "measured", Name: app.Name + "/" + m.name, N: p.N,
+			NSOp: m.r.TotalNS()}
+		for _, ms := range m.r.MSMStats {
+			s.PointAdds += ms.PointAdds
+			s.Doubles += ms.Doubles
+			s.TableBytes += ms.TableBytes
+			s.TrafficBytes += ms.TrafficBytes
+		}
+		o.record(s)
+	}
 	tb.row(app.Name, fmt.Sprintf("%d", p.N),
 		fmtNS(rc.PolyNS), fmtNS(rc.MSMNS),
 		fmtNS(rg.PolyNS), fmtNS(rg.MSMNS),

@@ -34,6 +34,7 @@ import (
 	"gzkp/internal/par"
 	"gzkp/internal/poly"
 	"gzkp/internal/resilience"
+	"gzkp/internal/telemetry"
 	"gzkp/internal/workload"
 )
 
@@ -202,18 +203,24 @@ func (e *Engine) runOnDevice(ctx context.Context, rs *runState, unit int, degrad
 				return fmt.Errorf("core: unit %d on device %d: retries exhausted: %w", unit, dev, err)
 			}
 			rs.note(&rs.retries)
+			resilience.Record(ctx, telemetry.DeviceTrack(dev), resilience.Transient,
+				telemetry.Int("unit", int64(unit)), telemetry.Int("attempt", int64(attempts)))
 			if serr := pol.Sleep(ctx, pol.Backoff(attempts-1)); serr != nil {
 				return serr
 			}
 		case resilience.DeviceLost:
 			rs.kill(dev)
 			rs.note(&rs.failovers)
+			resilience.Record(ctx, telemetry.DeviceTrack(dev), resilience.DeviceLost,
+				telemetry.Int("unit", int64(unit)), telemetry.Int("device", int64(dev)))
 			attempts = 0 // fresh transient budget on the new device
 		case resilience.OOM:
 			ooms++
 			if degrade == nil || ooms > 2 {
 				return fmt.Errorf("core: unit %d on device %d: %w", unit, dev, err)
 			}
+			resilience.Record(ctx, telemetry.DeviceTrack(dev), resilience.OOM,
+				telemetry.Int("unit", int64(unit)), telemetry.Int("device", int64(dev)))
 			if derr := degrade(dev); derr != nil {
 				return derr
 			}
@@ -261,6 +268,13 @@ func (e *Engine) ProvePipelineCtx(ctx context.Context, p *workload.Pipeline) (re
 	f := e.Curve.Fr
 	res = &Result{}
 
+	// Root span on the host track; partition work lands on per-device
+	// tracks inside runMSM.
+	root, ctx := telemetry.StartSpan(ctx, "pipeline")
+	root.SetInt("n", int64(p.N))
+	root.SetInt("devices", int64(devices))
+	defer root.End()
+
 	// ---- POLY stage (internal/poly: the 7-NTT schedule). The seven
 	// transform launches are accounted round-robin against the fault plan
 	// (the multi-device NTT split of Table 4) before the host-side compute
@@ -277,13 +291,25 @@ func (e *Engine) ProvePipelineCtx(ctx context.Context, p *workload.Pipeline) (re
 		rs.kill(dev)
 		return nil
 	}
+	spPoly, pctx := telemetry.StartSpan(ctx, "poly")
+	spPoly.SetInt("n", int64(p.N))
+	defer spPoly.End()
 	for i := 0; i < poly.NTTCount; i++ {
-		if lerr := e.runOnDevice(ctx, rs, i, nttOOM, func(int) error { return nil }); lerr != nil {
+		op := i
+		lerr := e.runOnDevice(pctx, rs, i, nttOOM, func(dev int) error {
+			// The admitted launch is the device-timeline marker for the
+			// round-robin NTT split; the transform itself runs host-side.
+			telemetry.FromContext(pctx).Emit(telemetry.DeviceTrack(dev),
+				"kernel", "ntt-launch", telemetry.Int("op", int64(op)))
+			return nil
+		})
+		if lerr != nil {
 			return nil, fmt.Errorf("core: ntt launch %d: %w", i, lerr)
 		}
 	}
 	a, b, c := f.CopyVector(p.A), f.CopyVector(p.B), f.CopyVector(p.C)
-	polyRes, err := poly.ComputeHCtx(ctx, dom, a, b, c, e.NTT)
+	polyRes, err := poly.ComputeHCtx(pctx, dom, a, b, c, e.NTT)
+	spPoly.End()
 	if err != nil {
 		return nil, err
 	}
@@ -302,15 +328,18 @@ func (e *Engine) ProvePipelineCtx(ctx context.Context, p *workload.Pipeline) (re
 
 	// ---- MSM stage: 4 sparse-ū MSMs + 1 dense-h̄ MSM.
 	t1 := time.Now()
+	spMSM, mctx := telemetry.StartSpan(ctx, "msm-stage")
+	defer spMSM.End()
 	for i := 0; i < 4; i++ {
-		out, st, err := e.runMSM(ctx, g, p.Points, p.U, tables, rs)
+		out, st, err := e.runMSM(mctx, g, p.Points, p.U, tables, rs)
 		if err != nil {
 			return nil, err
 		}
 		res.Outputs = append(res.Outputs, out)
 		res.MSMStats = append(res.MSMStats, st)
 	}
-	out, st, err := e.runMSM(ctx, g, p.Points, h, tables, rs)
+	out, st, err := e.runMSM(mctx, g, p.Points, h, tables, rs)
+	spMSM.End()
 	if err != nil {
 		return nil, err
 	}
@@ -376,6 +405,9 @@ func (e *Engine) prepareTables(ctx context.Context, g *curve.Group, points []cur
 		return ts, nil
 	}
 	t0 := time.Now()
+	sp, ctx := telemetry.StartSpan(ctx, "preprocess")
+	sp.SetInt("partitions", int64(len(ts.bounds)-1))
+	defer sp.End()
 	ts.tables = make([]*msm.Table, len(ts.bounds)-1)
 	for i := range ts.tables {
 		lo, hi := ts.bounds[i], ts.bounds[i+1]
@@ -434,12 +466,20 @@ func (e *Engine) runMSM(ctx context.Context, g *curve.Group, points []curve.Affi
 		func(_ interface{}, i int) error {
 			lo, hi := ts.bounds[i], ts.bounds[i+1]
 			degrade := func(int) error { return e.degradePartition(ctx, g, points, ts, i) }
-			return e.runOnDevice(ctx, rs, i, degrade, func(int) error {
+			return e.runOnDevice(ctx, rs, i, degrade, func(dev int) error {
+				// The partition span sits on the executing device's track, so
+				// the exported trace shows which device did which slice (and
+				// failovers show up as partitions migrating between tracks).
+				sp, sctx := telemetry.StartSpanOn(ctx, telemetry.DeviceTrack(dev), "partition")
+				sp.SetInt("index", int64(i))
+				sp.SetInt("lo", int64(lo))
+				sp.SetInt("hi", int64(hi))
+				defer sp.End()
 				var cerr error
 				if t := ts.table(i); t != nil {
-					partials[i], stats[i], cerr = t.ComputeCtx(ctx, scalars[lo:hi], e.MSM)
+					partials[i], stats[i], cerr = t.ComputeCtx(sctx, scalars[lo:hi], e.MSM)
 				} else {
-					partials[i], stats[i], cerr = msm.ComputeCtx(ctx, g, points[lo:hi], scalars[lo:hi], e.MSM)
+					partials[i], stats[i], cerr = msm.ComputeCtx(sctx, g, points[lo:hi], scalars[lo:hi], e.MSM)
 				}
 				return cerr
 			})
@@ -458,11 +498,15 @@ func (e *Engine) runMSM(ctx context.Context, g *curve.Group, points []curve.Affi
 		agg.PointAdds += s.PointAdds
 		agg.Doubles += s.Doubles
 		agg.TableBytes += s.TableBytes
+		agg.TrafficBytes += s.TrafficBytes
 		agg.ZeroDigits += s.ZeroDigits
 		agg.NonzeroDigit += s.NonzeroDigit
 		agg.WindowBits = s.WindowBits
 		agg.Windows = s.Windows
 		agg.Checkpoint = s.Checkpoint
+		if s.LoadSpread > agg.LoadSpread {
+			agg.LoadSpread = s.LoadSpread
+		}
 	}
 	return ops.ToAffine(&total), agg, nil
 }

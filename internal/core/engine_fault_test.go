@@ -11,6 +11,7 @@ import (
 	"gzkp/internal/ff"
 	"gzkp/internal/gpusim"
 	"gzkp/internal/resilience"
+	"gzkp/internal/telemetry"
 	"gzkp/internal/workload"
 )
 
@@ -262,5 +263,83 @@ func TestPartitionBoundsFrozen(t *testing.T) {
 	}
 	if _, _, err := e.runMSM(ctx, g, p.Points, p.U[:100], ts, rs); err == nil {
 		t.Fatal("mismatched scalar length accepted")
+	}
+}
+
+// Every recovery path must leave a telemetry record that matches the
+// Result accounting: transient retries emit "retry" events, a lost device
+// emits "failover", and an OOM recovery emits "oom-degrade", each tallied
+// under its resilience.<class> counter.
+func TestFaultEventsRecorded(t *testing.T) {
+	p := smallPipeline(t, curve.BN254)
+	cases := []struct {
+		name    string
+		mk      func() *Engine
+		event   string
+		counter string
+		tally   func(*Result) int
+	}{
+		{
+			name: "transient-retry",
+			mk: func() *Engine {
+				e := NewGZKP(curve.BN254)
+				e.Faults = gpusim.NewFaultPlan(1, gpusim.Fault{Kind: gpusim.FaultTransient, Device: 0, Step: 2, Times: 2})
+				e.Retry.Sleep = func(context.Context, time.Duration) error { return nil }
+				return e
+			},
+			event:   "retry",
+			counter: "resilience.transient",
+			tally:   func(r *Result) int { return r.Retries },
+		},
+		{
+			name: "device-lost-failover",
+			mk: func() *Engine {
+				e := NewGZKP(curve.BN254)
+				e.Devices = 4
+				e.Faults = gpusim.NewFaultPlan(1, gpusim.Fault{Kind: gpusim.FaultDeviceLost, Device: 1, Step: 4})
+				return e
+			},
+			event:   "failover",
+			counter: "resilience.device-lost",
+			tally:   func(r *Result) int { return r.Failovers },
+		},
+		{
+			name: "oom-degrade",
+			mk: func() *Engine {
+				e := NewGZKP(curve.BN254)
+				e.MSM.MemoryBudget = 2 << 20
+				e.Faults = gpusim.NewFaultPlan(1, gpusim.Fault{Kind: gpusim.FaultOOM, Device: 0, Step: 7})
+				return e
+			},
+			event:   "oom-degrade",
+			counter: "resilience.oom",
+			tally:   func(r *Result) int { return r.Degrades },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := telemetry.New()
+			ctx := telemetry.NewContext(context.Background(), tr)
+			res, err := tc.mk().ProvePipelineCtx(ctx, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := tc.tally(res)
+			if want == 0 {
+				t.Fatalf("fault plan produced no %s recoveries", tc.name)
+			}
+			got := 0
+			for _, ev := range tr.Events() {
+				if ev.Cat == "resilience" && ev.Name == tc.event {
+					got++
+				}
+			}
+			if got != want {
+				t.Fatalf("recorded %d %q events, Result reports %d", got, tc.event, want)
+			}
+			if c := tr.Registry().Snapshot().Counters[tc.counter]; c != int64(want) {
+				t.Fatalf("counter %s = %d, want %d", tc.counter, c, want)
+			}
+		})
 	}
 }

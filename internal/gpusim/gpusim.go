@@ -25,6 +25,8 @@ package gpusim
 import (
 	"fmt"
 	"math"
+
+	"gzkp/internal/telemetry"
 )
 
 // Device models one GPU.
@@ -51,6 +53,11 @@ type Device struct {
 	Faults *FaultPlan
 	// Index is this device's logical index in a FaultPlan / cluster.
 	Index int
+	// Telemetry, when non-nil, records every priced kernel launch as an
+	// instant event on this device's track plus traffic/occupancy
+	// counters (coalesced DRAM bytes actually moved vs. the useful bytes
+	// requested — §2.2's strided-access gap, made observable).
+	Telemetry *telemetry.Tracer
 }
 
 // V100 returns the NVIDIA Tesla V100 model used in the paper's main rig.
@@ -220,10 +227,41 @@ func (d *Device) Run(k Kernel) (Result, error) {
 	overhead := float64(k.Blocks) * d.BlockOverheadCycles / (float64(d.SMs) * d.ClockHz)
 
 	t := math.Max(computeTime, memTime) + overhead
-	return Result{
+	res := Result{
 		Time: t, ComputeTime: computeTime, MemTime: memTime,
 		Overhead: overhead, TrafficB: traffic, Occupancy: occupancy,
-	}, nil
+	}
+	if d.Telemetry != nil {
+		d.recordKernel(k, res)
+	}
+	return res, nil
+}
+
+// recordKernel publishes one priced launch to the attached tracer: an
+// instant event on the device's track carrying the modeled time, plus
+// counters separating the DRAM bytes actually moved (line-granular) from
+// the useful bytes the access pattern asked for.
+func (d *Device) recordKernel(k Kernel, r Result) {
+	useful := int64(0)
+	for _, a := range k.Loads {
+		useful += a.Count * a.SegmentBytes
+	}
+	for _, a := range k.Stores {
+		useful += a.Count * a.SegmentBytes
+	}
+	tr := d.Telemetry
+	tr.Emit(telemetry.DeviceTrack(d.Index), "kernel", k.Name,
+		telemetry.Int("modeled_ns", int64(r.Time*1e9)),
+		telemetry.Int("traffic_bytes", r.TrafficB),
+		telemetry.Int("useful_bytes", useful),
+		telemetry.Int("occupancy_pct", int64(r.Occupancy*100)),
+	)
+	reg := tr.Registry()
+	reg.Counter("gpusim.kernels").Add(1)
+	reg.Counter("gpusim.modeled_ns").Add(int64(r.Time * 1e9))
+	reg.Counter("gpusim.bytes_moved").Add(r.TrafficB)
+	reg.Counter("gpusim.bytes_useful").Add(useful)
+	reg.Gauge("gpusim.occupancy").Set(r.Occupancy)
 }
 
 // RunSeq prices a dependent kernel sequence (one stream: times add).

@@ -26,6 +26,7 @@ import (
 	"gzkp/internal/poly"
 	"gzkp/internal/r1cs"
 	"gzkp/internal/resilience"
+	"gzkp/internal/telemetry"
 )
 
 // ProvingKey carries the per-wire query points of the Groth16 CRS.
@@ -105,6 +106,8 @@ func (cfg ProveConfig) launch(ctx context.Context, op string, oom func() error) 
 			if attempts >= pol.MaxAttempts {
 				return fmt.Errorf("groth16: %s: retries exhausted: %w", op, err)
 			}
+			resilience.Record(ctx, telemetry.DeviceTrack(0), resilience.Transient,
+				telemetry.Str("op", op), telemetry.Int("attempt", int64(attempts)))
 			if serr := pol.Sleep(ctx, pol.Backoff(attempts-1)); serr != nil {
 				return serr
 			}
@@ -113,6 +116,8 @@ func (cfg ProveConfig) launch(ctx context.Context, op string, oom func() error) 
 			if oom == nil || ooms > 2 {
 				return fmt.Errorf("groth16: %s: %w", op, err)
 			}
+			resilience.Record(ctx, telemetry.DeviceTrack(0), resilience.OOM,
+				telemetry.Str("op", op))
 			if derr := oom(); derr != nil {
 				return derr
 			}
@@ -131,6 +136,32 @@ type ProveStats struct {
 	MSMOps        int // 5
 	NTTStats      []ntt.Stats
 	MSMStats      []msm.Stats
+}
+
+// MSMTotals aggregates the five MSM executions of one proof into the
+// whole-proof operation counts the paper's tables quote.
+type MSMTotals struct {
+	PointAdds    int64
+	Doubles      int64
+	TableBytes   int64
+	TrafficBytes int64
+}
+
+// Totals sums the per-query MSM stats. The per-query breakdown in MSMStats
+// was previously recorded but never aggregated, so callers wanting the
+// whole-proof PADD count or table footprint had to fold it themselves.
+func (st *ProveStats) Totals() MSMTotals {
+	var t MSMTotals
+	if st == nil {
+		return t
+	}
+	for _, ms := range st.MSMStats {
+		t.PointAdds += ms.PointAdds
+		t.Doubles += ms.Doubles
+		t.TableBytes += ms.TableBytes
+		t.TrafficBytes += ms.TrafficBytes
+	}
+	return t
 }
 
 // Setup runs the trusted setup for sys over curve c. rand is the toxic-
@@ -412,6 +443,14 @@ func ProveCtx(ctx context.Context, pk *ProvingKey, sys *r1cs.System, w []ff.Elem
 	}
 	st := &ProveStats{}
 
+	// Root span on the host track; the two stage spans below sit on device
+	// 0's track because the single-device prover models every NTT and MSM as
+	// a logical device-0 kernel (see ProveConfig.Faults).
+	root, ctx := telemetry.StartSpan(ctx, "prove")
+	root.SetInt("domain_n", int64(pk.DomainN))
+	root.SetInt("num_vars", int64(sys.NumVars))
+	defer root.End()
+
 	// ---- POLY stage: 7 NTT operations (internal/poly).
 	t0 := time.Now()
 	n := pk.DomainN
@@ -419,8 +458,11 @@ func ProveCtx(ctx context.Context, pk *ProvingKey, sys *r1cs.System, w []ff.Elem
 	if err != nil {
 		return nil, nil, err
 	}
+	spPoly, pctx := telemetry.StartSpanOn(ctx, telemetry.DeviceTrack(0), "poly")
+	spPoly.SetInt("n", int64(n))
+	defer spPoly.End()
 	for i := 0; i < poly.NTTCount; i++ {
-		if lerr := cfg.launch(ctx, fmt.Sprintf("NTT %d", i), nil); lerr != nil {
+		if lerr := cfg.launch(pctx, fmt.Sprintf("NTT %d", i), nil); lerr != nil {
 			return nil, nil, lerr
 		}
 	}
@@ -430,7 +472,8 @@ func ProveCtx(ctx context.Context, pk *ProvingKey, sys *r1cs.System, w []ff.Elem
 		copy(bv[j], r1cs.EvalLC(f, cons.B, w))
 		copy(cv[j], r1cs.EvalLC(f, cons.C, w))
 	}
-	polyRes, err := poly.ComputeHCtx(ctx, dom, av, bv, cv, cfg.NTT)
+	polyRes, err := poly.ComputeHCtx(pctx, dom, av, bv, cv, cfg.NTT)
+	spPoly.End()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -449,8 +492,13 @@ func ProveCtx(ctx context.Context, pk *ProvingKey, sys *r1cs.System, w []ff.Elem
 	if err != nil {
 		return nil, nil, err
 	}
+	spMSM, mctx := telemetry.StartSpanOn(ctx, telemetry.DeviceTrack(0), "msm-stage")
+	defer spMSM.End()
 	runMSM := func(name string, g *curve.Group, pts []curve.Affine, scalars []ff.Element) (curve.Affine, error) {
-		res, ms, err := pk.msmRun(ctx, name, g, pts, scalars, cfg)
+		sp, sctx := telemetry.StartSpan(mctx, "msm-"+name)
+		sp.SetInt("n", int64(len(pts)))
+		res, ms, err := pk.msmRun(sctx, name, g, pts, scalars, cfg)
+		sp.End()
 		if err != nil {
 			return curve.Affine{}, err // msmRun already names the query
 		}

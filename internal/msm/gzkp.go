@@ -10,6 +10,7 @@ import (
 	"gzkp/internal/curve"
 	"gzkp/internal/ff"
 	"gzkp/internal/par"
+	"gzkp/internal/telemetry"
 )
 
 // Table holds GZKP's checkpoint-preprocessed weighted points (§4.1,
@@ -56,6 +57,9 @@ func Preprocess(g *curve.Group, points []curve.Affine, cfg Config) (*Table, erro
 
 // PreprocessCtx builds the weighted-point table for a point vector.
 func PreprocessCtx(ctx context.Context, g *curve.Group, points []curve.Affine, cfg Config) (*Table, error) {
+	sp, ctx := telemetry.StartSpan(ctx, "msm preprocess")
+	sp.SetInt("n", int64(len(points)))
+	defer sp.End()
 	n := len(points)
 	if n == 0 {
 		return nil, fmt.Errorf("msm: empty point vector")
@@ -131,6 +135,10 @@ func (t *Table) ComputeCtx(ctx context.Context, scalars []ff.Element, cfg Config
 	if len(scalars) != n {
 		return curve.Affine{}, Stats{}, fmt.Errorf("msm: %d scalars for %d-point table", len(scalars), n)
 	}
+	sp, ctx := telemetry.StartSpan(ctx, "msm")
+	sp.SetStr("strategy", GZKP.String())
+	sp.SetInt("n", int64(n))
+	defer sp.End()
 	dg := newDigits(g.Fr, scalars, t.k)
 	if dg.windows != t.windows {
 		return curve.Affine{}, Stats{}, fmt.Errorf("msm: window mismatch: table %d, scalars %d", t.windows, dg.windows)
@@ -285,7 +293,13 @@ func (t *Table) ComputeCtx(ctx context.Context, scalars []ff.Element, cfg Config
 		TableBytes:  t.bytes + int64(len(pindex))*4,
 		BucketLoads: loads, LoadSpread: spread,
 		ZeroDigits: zeros, NonzeroDigit: nonzeros,
+		// Table-point loads per nonzero digit, one canonical scalar read
+		// per input, and the bucket-index array written then re-read.
+		TrafficBytes: nonzeros*pointBytes(g) +
+			int64(n)*int64(g.Fr.Limbs()*8) +
+			int64(len(pindex))*8,
 	}
+	recordMSM(ctx, sp, st)
 	return result, st, nil
 }
 

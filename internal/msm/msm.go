@@ -26,6 +26,7 @@ import (
 
 	"gzkp/internal/curve"
 	"gzkp/internal/ff"
+	"gzkp/internal/telemetry"
 )
 
 // StrategyID selects the MSM plan.
@@ -90,6 +91,11 @@ type Stats struct {
 	LoadSpread   float64 // max/min over nonzero bucket loads (Fig. 6)
 	ZeroDigits   int64   // skipped work (sparse ū)
 	NonzeroDigit int64
+	// TrafficBytes estimates the global bytes the execution streamed:
+	// point/table loads plus canonical scalar reads plus index traffic.
+	// It is the CPU substrate's analogue of the model's DRAM accounting,
+	// so stage totals stay comparable across strategies.
+	TrafficBytes int64
 }
 
 func (c Config) workers() int {
@@ -163,12 +169,28 @@ func ComputeCtx(ctx context.Context, g *curve.Group, points []curve.Affine, scal
 		return g.Infinity(), Stats{}, nil
 	}
 	switch cfg.Strategy {
-	case Reference:
-		return reference(ctx, g, points, scalars)
-	case Straus:
-		return straus(ctx, g, points, scalars, cfg)
-	case PippengerWindows:
-		return pippengerWindows(ctx, g, points, scalars, cfg)
+	case Reference, Straus, PippengerWindows:
+		sp, ctx := telemetry.StartSpan(ctx, "msm")
+		sp.SetStr("strategy", cfg.Strategy.String())
+		sp.SetInt("n", int64(len(points)))
+		defer sp.End()
+		var (
+			res curve.Affine
+			st  Stats
+			err error
+		)
+		switch cfg.Strategy {
+		case Reference:
+			res, st, err = reference(ctx, g, points, scalars)
+		case Straus:
+			res, st, err = straus(ctx, g, points, scalars, cfg)
+		default:
+			res, st, err = pippengerWindows(ctx, g, points, scalars, cfg)
+		}
+		if err == nil {
+			recordMSM(ctx, sp, st)
+		}
+		return res, st, err
 	case GZKP:
 		table, err := PreprocessCtx(ctx, g, points, cfg)
 		if err != nil {
@@ -178,6 +200,34 @@ func ComputeCtx(ctx context.Context, g *curve.Group, points []curve.Affine, scal
 	default:
 		return curve.Affine{}, Stats{}, fmt.Errorf("msm: unknown strategy %d", cfg.Strategy)
 	}
+}
+
+// pointBytes is the affine footprint on g's coordinate field.
+func pointBytes(g *curve.Group) int64 { return int64(2 * g.K.Words() * 8) }
+
+// recordMSM publishes one MSM execution to the ctx tracer: span attributes
+// for the trace plus the aggregate counters the paper's tables break down
+// (PADDs, doubles, table memory, streamed traffic, digit sparsity) and the
+// Fig. 6 load-spread gauge.
+func recordMSM(ctx context.Context, sp telemetry.Span, st Stats) {
+	reg := telemetry.FromContext(ctx).Registry()
+	if reg == nil {
+		return
+	}
+	reg.Counter("msm.ops").Add(1)
+	reg.Counter("msm.point_adds").Add(st.PointAdds)
+	reg.Counter("msm.doubles").Add(st.Doubles)
+	reg.Counter("msm.table_bytes").Add(st.TableBytes)
+	reg.Counter("msm.traffic_bytes").Add(st.TrafficBytes)
+	reg.Counter("msm.zero_digits").Add(st.ZeroDigits)
+	reg.Counter("msm.nonzero_digits").Add(st.NonzeroDigit)
+	if st.LoadSpread > 0 {
+		reg.Gauge("msm.load_spread").Max(st.LoadSpread)
+	}
+	sp.SetInt("point_adds", st.PointAdds)
+	sp.SetInt("doubles", st.Doubles)
+	sp.SetInt("table_bytes", st.TableBytes)
+	sp.SetInt("traffic_bytes", st.TrafficBytes)
 }
 
 // Compute is ComputeCtx without cancellation.

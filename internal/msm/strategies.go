@@ -30,6 +30,10 @@ func straus(ctx context.Context, g *curve.Group, points []curve.Affine, scalars 
 	stats.WindowBits = k
 	stats.Windows = dg.windows
 	stats.TableBytes = int64(n) * int64(tableWidth) * int64(2*g.K.Words()*8)
+	// One table-entry load per (point, window) plus canonical scalar reads
+	// plus writing the tables once during the build.
+	stats.TrafficBytes = int64(n)*int64(dg.windows)*pointBytes(g) +
+		int64(n)*int64(g.Fr.Limbs()*8) + stats.TableBytes
 	err := par.ItemsErr(ctx, n, cfg.workers(),
 		func() interface{} { return g.NewOps() },
 		func(state interface{}, i int) error {
@@ -123,6 +127,10 @@ func pippengerWindows(ctx context.Context, g *curve.Group, points []curve.Affine
 	stats.WindowBits = k
 	stats.Windows = nw
 	stats.TableBytes = int64(numSub) * int64(nw) * int64(1<<k-1) * int64(3*g.K.Words()*8)
+	// Every (sub-MSM, window) task re-streams its point slice, so each point
+	// is loaded once per window; scalars are read once in canonical form.
+	stats.TrafficBytes = int64(n)*int64(nw)*pointBytes(g) +
+		int64(n)*int64(g.Fr.Limbs()*8)
 
 	// One task per (sub, window): bucket accumulate + running-sum reduce.
 	windowSums := make([]curve.Jacobian, numSub*nw)

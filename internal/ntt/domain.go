@@ -22,6 +22,7 @@ import (
 
 	"gzkp/internal/ff"
 	"gzkp/internal/par"
+	"gzkp/internal/telemetry"
 )
 
 // Domain is a power-of-two evaluation domain over Fr with precomputed
@@ -171,6 +172,10 @@ func (d *Domain) TransformCtx(ctx context.Context, a []ff.Element, dir Direction
 		return Stats{}, fmt.Errorf("ntt: input length %d != domain size %d", len(a), d.N)
 	}
 	cfg = cfg.withDefaults()
+	sp, ctx := telemetry.StartSpan(ctx, "ntt")
+	sp.SetStr("strategy", cfg.Strategy.String())
+	sp.SetInt("n", int64(d.N))
+	defer sp.End()
 	var st Stats
 	var err error
 	switch cfg.Strategy {
@@ -191,6 +196,15 @@ func (d *Domain) TransformCtx(ctx context.Context, a []ff.Element, dir Direction
 	if dir == Inverse {
 		if err := d.scale(ctx, a, d.NInv, cfg); err != nil {
 			return st, err
+		}
+	}
+	if reg := telemetry.FromContext(ctx).Registry(); reg != nil {
+		reg.Counter("ntt.transforms").Add(1)
+		reg.Counter("ntt.shuffle_ns").Add(st.ShuffleNS)
+		reg.Counter("ntt.butterfly_ns").Add(st.ButterflyNS)
+		sp.SetInt("butterfly_ns", st.ButterflyNS)
+		if st.ShuffleNS > 0 {
+			sp.SetInt("shuffle_ns", st.ShuffleNS)
 		}
 	}
 	return st, nil

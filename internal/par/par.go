@@ -20,7 +20,22 @@ import (
 	"sync/atomic"
 
 	"gzkp/internal/resilience"
+	"gzkp/internal/telemetry"
 )
+
+// account notes one pool dispatch in the ctx tracer's registry (no-op
+// without one): how many work units the stages fan out, how many pools
+// were spun up, and the widest pool seen. One context lookup plus a few
+// atomic ops per pool spin-up — never per item.
+func account(ctx context.Context, units, workers int) {
+	reg := telemetry.FromContext(ctx).Registry()
+	if reg == nil {
+		return
+	}
+	reg.Counter("par.units").Add(int64(units))
+	reg.Counter("par.dispatches").Add(1)
+	reg.Gauge("par.max_workers").Max(float64(workers))
+}
 
 // Workers normalizes a worker-count hint.
 func Workers(w int) int {
@@ -103,6 +118,7 @@ func RangeErr(ctx context.Context, n, workers int, fn func(lo, hi int) error) er
 	if n <= 0 {
 		return ctx.Err()
 	}
+	account(ctx, n, workers)
 	if workers <= 1 {
 		return recovering(func() error {
 			if err := ctx.Err(); err != nil {
@@ -167,6 +183,7 @@ func ItemsOrderedErr(ctx context.Context, n, workers int, order []int, mkState f
 	if n <= 0 {
 		return ctx.Err()
 	}
+	account(ctx, n, workers)
 	item := func(pos int) int {
 		if order == nil {
 			return pos
@@ -226,6 +243,7 @@ func StaticItemsErr(ctx context.Context, n, workers int, mkState func() interfac
 	if n <= 0 {
 		return ctx.Err()
 	}
+	account(ctx, n, workers)
 	if workers <= 1 {
 		return recovering(func() error {
 			st := mkState()

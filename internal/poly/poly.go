@@ -15,6 +15,7 @@ import (
 
 	"gzkp/internal/ff"
 	"gzkp/internal/ntt"
+	"gzkp/internal/telemetry"
 )
 
 // Result carries H's coefficients and the per-NTT stats.
@@ -36,23 +37,29 @@ func ComputeHCtx(ctx context.Context, dom *ntt.Domain, a, b, c []ff.Element, cfg
 	}
 	f := dom.F
 	res := &Result{}
-	run := func(fn func(context.Context, []ff.Element, ntt.Config) (ntt.Stats, error), v []ff.Element) error {
-		st, err := fn(ctx, v, cfg)
+	// Each of the seven ops gets a named span so the exported trace shows
+	// the §5.2 schedule; the inner "ntt" span from TransformCtx nests under
+	// it (a coset op also covers its scale-by-powers pass).
+	run := func(name string, fn func(context.Context, []ff.Element, ntt.Config) (ntt.Stats, error), v []ff.Element) error {
+		sp, sctx := telemetry.StartSpan(ctx, name)
+		st, err := fn(sctx, v, cfg)
+		sp.End()
 		if err != nil {
 			return err
 		}
 		res.Stats = append(res.Stats, st)
 		return nil
 	}
+	vecName := [...]string{"a", "b", "c"}
 	// 3 INTTs: evaluations on ⟨ω⟩ → coefficients.
-	for _, v := range [][]ff.Element{a, b, c} {
-		if err := run(dom.INTTCtx, v); err != nil {
+	for i, v := range [][]ff.Element{a, b, c} {
+		if err := run("intt-"+vecName[i], dom.INTTCtx, v); err != nil {
 			return nil, err
 		}
 	}
 	// 3 coset-NTTs: coefficients → evaluations on g·⟨ω⟩.
-	for _, v := range [][]ff.Element{a, b, c} {
-		if err := run(dom.CosetNTTCtx, v); err != nil {
+	for i, v := range [][]ff.Element{a, b, c} {
+		if err := run("coset-ntt-"+vecName[i], dom.CosetNTTCtx, v); err != nil {
 			return nil, err
 		}
 	}
@@ -68,7 +75,7 @@ func ComputeHCtx(ctx context.Context, dom *ntt.Domain, a, b, c []ff.Element, cfg
 		f.Mul(a[i], tmp, zInv)
 	}
 	// 1 coset-INTT back to coefficients. Total: 7 NTT operations (§5.2).
-	if err := run(dom.CosetINTTCtx, a); err != nil {
+	if err := run("coset-intt-h", dom.CosetINTTCtx, a); err != nil {
 		return nil, err
 	}
 	res.H = a[:n-1]

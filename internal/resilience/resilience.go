@@ -18,6 +18,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"gzkp/internal/telemetry"
 )
 
 // Class buckets an error by the recovery action it admits.
@@ -199,7 +201,9 @@ func (p Policy) Backoff(retry int) time.Duration {
 
 // Do runs op, retrying Transient failures per the policy. Any other class
 // returns immediately; context cancellation wins over remaining retries.
-// The last transient error is returned when attempts are exhausted.
+// The last transient error is returned when attempts are exhausted. Every
+// retry is recorded against the telemetry tracer in ctx, if any, so
+// recovery is visible in traces instead of silent.
 func (p Policy) Do(ctx context.Context, op func() error) error {
 	p = p.withDefaults()
 	var err error
@@ -214,9 +218,37 @@ func (p Policy) Do(ctx context.Context, op func() error) error {
 		if attempt == p.MaxAttempts-1 {
 			break
 		}
+		Record(ctx, telemetry.TrackHost, Transient, telemetry.Int("attempt", int64(attempt+1)))
 		if serr := p.Sleep(ctx, p.Backoff(attempt)); serr != nil {
 			return serr
 		}
 	}
 	return err
+}
+
+// Event names for the telemetry incident log, by recovery action. Keyed by
+// Class so every recovery site reports the same vocabulary.
+func eventName(c Class) string {
+	switch c {
+	case Transient:
+		return "retry"
+	case OOM:
+		return "oom-degrade"
+	case DeviceLost:
+		return "failover"
+	}
+	return "fault"
+}
+
+// Record notes one recovery action of class c on the given telemetry track
+// (use telemetry.DeviceTrack(dev) for device-scoped incidents): an instant
+// event in the trace plus a per-class counter "resilience.<class>". It is
+// a no-op without a tracer in ctx, costing one context lookup.
+func Record(ctx context.Context, track int, c Class, attrs ...telemetry.Attr) {
+	tr := telemetry.FromContext(ctx)
+	if tr == nil {
+		return
+	}
+	tr.Emit(track, "resilience", eventName(c), append(attrs, telemetry.Str("class", c.String()))...)
+	tr.Counter("resilience." + c.String()).Add(1)
 }

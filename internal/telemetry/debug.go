@@ -1,0 +1,51 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// debugReg holds the registry the expvar "gzkp" var reads; swapping it
+// lets tests (and repeated CLI runs in one process) rebind the endpoint
+// without hitting expvar's publish-once panic.
+var (
+	debugReg    atomic.Value // *Registry
+	publishOnce sync.Once
+)
+
+// DebugHandler returns an http.Handler exposing the registry's snapshot as
+// the expvar "gzkp" at /debug/vars plus the pprof suite at /debug/pprof/.
+func DebugHandler(reg *Registry) http.Handler {
+	debugReg.Store(reg)
+	publishOnce.Do(func() {
+		expvar.Publish("gzkp", expvar.Func(func() any {
+			r, _ := debugReg.Load().(*Registry)
+			return r.Snapshot()
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug starts the debug server on addr (e.g. "localhost:6060" or
+// ":0") in a background goroutine and returns the server with its bound
+// address. Callers own shutdown via srv.Close.
+func ServeDebug(addr string, reg *Registry) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: DebugHandler(reg)}
+	go srv.Serve(ln)
+	return srv, ln.Addr(), nil
+}

@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically accumulating int64 metric. A nil *Counter
+// (from a nil Registry) is a no-op, so producers add unconditionally.
+type Counter struct {
+	v int64
+}
+
+// Add accumulates d (no-op on nil).
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		atomic.AddInt64(&c.v, d)
+	}
+}
+
+// Value reads the current total (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&c.v)
+}
+
+// Gauge is a float64 metric with last-write and running-max semantics.
+// A nil *Gauge is a no-op.
+type Gauge struct {
+	bits uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		atomic.StoreUint64(&g.bits, math.Float64bits(v))
+	}
+}
+
+// Max raises the gauge to v if v is larger.
+func (g *Gauge) Max(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := atomic.LoadUint64(&g.bits)
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if atomic.CompareAndSwapUint64(&g.bits, old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(atomic.LoadUint64(&g.bits))
+}
+
+// Registry names counters and gauges. Metric handles are created on first
+// use and stable thereafter, so hot loops can cache them; updates are
+// atomic and lock-free. A nil *Registry hands out nil (no-op) metrics.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: map[string]*Counter{}, gauges: map[string]*Gauge{}}
+}
+
+// Counter returns the named counter, creating it if needed (nil for a nil
+// registry).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	r.mu.Unlock()
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed (nil for a nil
+// registry).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	r.mu.Unlock()
+	return g
+}
+
+// Snapshot is a point-in-time copy of every metric, the aggregation the
+// exporters and the expvar debug endpoint publish.
+type Snapshot struct {
+	Counters map[string]int64   `json:"counters"`
+	Gauges   map[string]float64 `json:"gauges"`
+}
+
+// Snapshot copies all current metric values (empty maps for nil).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{Counters: map[string]int64{}, Gauges: map[string]float64{}}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	return s
+}
+
+// sortedKeys returns map keys in lexical order (for deterministic output).
+func sortedKeys[M map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,313 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanNestingAndContext(t *testing.T) {
+	tr := New()
+	ctx := NewContext(context.Background(), tr)
+
+	root, ctx := StartSpan(ctx, "prove")
+	poly, pctx := StartSpan(ctx, "poly")
+	intt, _ := StartSpan(pctx, "intt-a")
+	dev, _ := StartSpanOn(pctx, DeviceTrack(0), "partition 0")
+	intt.End()
+	dev.End()
+	poly.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	byName := map[string]SpanInfo{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["prove"].Parent != 0 {
+		t.Errorf("prove should be a root span, parent=%d", byName["prove"].Parent)
+	}
+	if byName["poly"].Parent != byName["prove"].ID {
+		t.Errorf("poly parent = %d, want prove %d", byName["poly"].Parent, byName["prove"].ID)
+	}
+	if byName["intt-a"].Parent != byName["poly"].ID {
+		t.Errorf("intt-a parent = %d, want poly %d", byName["intt-a"].Parent, byName["poly"].ID)
+	}
+	if byName["intt-a"].Track != TrackHost {
+		t.Errorf("intt-a track = %d, want host", byName["intt-a"].Track)
+	}
+	if byName["partition 0"].Track != DeviceTrack(0) {
+		t.Errorf("partition track = %d, want %d", byName["partition 0"].Track, DeviceTrack(0))
+	}
+	if byName["partition 0"].Parent != byName["poly"].ID {
+		t.Errorf("cross-track child should keep its parent")
+	}
+	for name, s := range byName {
+		if s.EndNS < s.StartNS {
+			t.Errorf("%s: end %d < start %d", name, s.EndNS, s.StartNS)
+		}
+	}
+	// Nesting implies containment.
+	if byName["intt-a"].StartNS < byName["poly"].StartNS || byName["intt-a"].EndNS > byName["poly"].EndNS {
+		t.Errorf("child span not contained in parent")
+	}
+}
+
+// Start timestamps are taken under the tracer lock, so record order equals
+// timestamp order — globally, hence per track too — even under heavy
+// concurrent span traffic.
+func TestTimestampsMonotonicPerTrack(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := tr.Root(DeviceTrack(g%3), "work")
+				sp.SetInt("i", int64(i))
+				sp.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	last := map[int]int64{}
+	for _, s := range tr.Spans() {
+		if s.StartNS < last[s.Track] {
+			t.Fatalf("track %d: start %d < previous %d", s.Track, s.StartNS, last[s.Track])
+		}
+		last[s.Track] = s.StartNS
+	}
+}
+
+func TestChromeTraceParses(t *testing.T) {
+	tr := New()
+	tr.NameTrack(DeviceTrack(1), "device 1")
+	root := tr.Root(TrackHost, "prove")
+	msm := root.ChildOn(DeviceTrack(1), "msm A")
+	msm.SetInt("point_adds", 123)
+	tr.Emit(DeviceTrack(1), "resilience", "retry", Int("attempt", 1), Str("class", "transient"))
+	msm.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   *float64       `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			PID  *int           `json:"pid"`
+			TID  *int           `json:"tid"`
+			S    string         `json:"s"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var sawSpan, sawInstant, sawMeta bool
+	for _, e := range parsed.TraceEvents {
+		if e.Name == "" || e.Ph == "" || e.PID == nil || e.TID == nil {
+			t.Fatalf("malformed trace event: %+v", e)
+		}
+		switch e.Ph {
+		case "X":
+			sawSpan = true
+			if e.Dur == nil || *e.Dur < 0 || e.TS == nil || *e.TS < 0 {
+				t.Fatalf("complete event missing ts/dur: %+v", e)
+			}
+		case "i":
+			sawInstant = true
+			if e.S == "" {
+				t.Fatalf("instant event missing scope: %+v", e)
+			}
+		case "M":
+			sawMeta = true
+		}
+	}
+	if !sawSpan || !sawInstant || !sawMeta {
+		t.Fatalf("trace missing event kinds: span=%v instant=%v meta=%v", sawSpan, sawInstant, sawMeta)
+	}
+}
+
+// An open span must still export with a well-formed duration.
+func TestOpenSpanExport(t *testing.T) {
+	tr := New()
+	_ = tr.Root(TrackHost, "still-open")
+	time.Sleep(time.Millisecond)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "still-open") {
+		t.Fatal("open span missing from export")
+	}
+}
+
+func TestJSONLLinesParse(t *testing.T) {
+	tr := New()
+	sp := tr.Root(TrackHost, "prove")
+	tr.Counter("msm.point_adds").Add(42)
+	tr.Gauge("msm.load_spread").Max(3.5)
+	tr.Emit(TrackHost, "resilience", "failover", Int("device", 1))
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 4 { // span + event + counter + gauge
+		t.Fatalf("got %d JSONL lines, want ≥ 4", len(lines))
+	}
+	types := map[string]bool{}
+	for i, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", i, err)
+		}
+		types[rec["type"].(string)] = true
+	}
+	for _, want := range []string{"span", "event", "counter", "gauge"} {
+		if !types[want] {
+			t.Errorf("JSONL log missing %q records", want)
+		}
+	}
+}
+
+func TestSummaryMentionsSpansAndMetrics(t *testing.T) {
+	tr := New()
+	root := tr.Root(TrackHost, "prove")
+	dev := root.ChildOn(DeviceTrack(0), "msm partition 0")
+	dev.End()
+	root.End()
+	tr.Counter("resilience.retries").Add(2)
+
+	var buf bytes.Buffer
+	if err := tr.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"prove", "msm partition 0", "resilience.retries", "device 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(1)
+	r.Counter("a").Add(2)
+	r.Gauge("g").Max(1.5)
+	r.Gauge("g").Max(0.5) // must not lower
+	s := r.Snapshot()
+	if s.Counters["a"] != 3 {
+		t.Errorf("counter a = %d, want 3", s.Counters["a"])
+	}
+	if s.Gauges["g"] != 1.5 {
+		t.Errorf("gauge g = %v, want 1.5", s.Gauges["g"])
+	}
+}
+
+// The disabled (nil) tracer must be free: no allocations on the span
+// start/end hot path, nil-safe metric chains, inert exports refused.
+func TestDisabledTracerZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp, ctx2 := StartSpan(ctx, "hot")
+		sp.SetInt("n", 1)
+		sp2, _ := StartSpanOn(ctx2, DeviceTrack(0), "dev")
+		sp2.End()
+		sp.End()
+		ContextCounter(ctx, "par.tasks").Add(5)
+		FromContext(ctx).Counter("x").Add(1)
+		FromContext(ctx).Gauge("y").Max(2)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer allocated %.1f allocs/op on the hot path, want 0", allocs)
+	}
+}
+
+func TestDisabledTracerBehaves(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	sp := tr.Root(TrackHost, "x")
+	sp.End()
+	tr.Emit(TrackHost, "c", "n")
+	if got := tr.Spans(); got != nil {
+		t.Fatalf("nil tracer returned spans: %v", got)
+	}
+	if err := tr.WriteChromeTrace(io.Discard); err == nil {
+		t.Fatal("exporting a disabled tracer should error")
+	}
+}
+
+func TestDebugServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("msm.point_adds").Add(7)
+	srv, addr, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	defer srv.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/vars", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "gzkp") || !strings.Contains(string(body), "msm.point_adds") {
+		t.Fatalf("/debug/vars missing gzkp metrics: %s", body)
+	}
+	// Rebinding a fresh registry must not panic (expvar publish-once).
+	if h := DebugHandler(NewRegistry()); h == nil {
+		t.Fatal("DebugHandler returned nil")
+	}
+}
+
+// BenchmarkDisabledSpan is the hot-path overhead guard: a nil tracer's
+// span start/end must stay allocation-free (asserted by the AllocsPerRun
+// test above; the benchmark tracks the time cost).
+func BenchmarkDisabledSpan(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp, _ := StartSpan(ctx, "hot")
+		sp.SetInt("n", int64(i))
+		sp.End()
+	}
+}
+
+func BenchmarkEnabledSpan(b *testing.B) {
+	tr := New()
+	ctx := NewContext(context.Background(), tr)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp, _ := StartSpan(ctx, "hot")
+		sp.End()
+	}
+}

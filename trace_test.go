@@ -1,0 +1,183 @@
+package gzkp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/big"
+	"strings"
+	"testing"
+)
+
+// chromeTrace mirrors the trace_event JSON document WriteChromeTrace emits.
+type chromeTrace struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		TS   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func proveTraced(t *testing.T) (*Trace, *Stats) {
+	t.Helper()
+	cc, w := buildCubic(t, BN254)
+	pk, vk, err := Setup(cc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTrace()
+	proof, stats, err := pk.ProveContext(tr.Context(context.Background()), w, FastestProver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vk.Verify(proof, []*big.Int{big.NewInt(35)}); err != nil {
+		t.Fatal(err)
+	}
+	return tr, stats
+}
+
+func TestTraceChromeExportParses(t *testing.T) {
+	tr, stats := proveTraced(t)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit == "" || len(doc.TraceEvents) == 0 {
+		t.Fatal("empty trace document")
+	}
+
+	// The prover's stage spans must be present as complete ("X") events,
+	// and every event must carry the single gzkp process id.
+	spans := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.PID != 1 {
+			t.Fatalf("event %q: pid = %d, want 1", ev.Name, ev.PID)
+		}
+		if ev.Ph == "X" {
+			spans[ev.Name]++
+		}
+	}
+	for _, want := range []string{"prove", "poly", "msm-stage", "ntt", "msm"} {
+		if spans[want] == 0 {
+			t.Errorf("no %q span in exported trace; spans: %v", want, spans)
+		}
+	}
+	// 7 NTT ops and 5 MSM stage spans per ISSUE / paper stage shape.
+	if spans["ntt"] != 7 {
+		t.Errorf("ntt spans = %d, want 7", spans["ntt"])
+	}
+	if got := spans["msm-A"] + spans["msm-B1"] + spans["msm-B2"] + spans["msm-H"] + spans["msm-K"]; got != 5 {
+		t.Errorf("per-query msm spans = %d, want 5", got)
+	}
+
+	// Timestamps must be monotonically non-decreasing per track (one tid
+	// per simulated device), so Perfetto renders clean utilization lanes.
+	last := map[int]float64{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if ev.TS < last[ev.TID] {
+			t.Fatalf("track %d: span %q starts at %v, before previous start %v",
+				ev.TID, ev.Name, ev.TS, last[ev.TID])
+		}
+		last[ev.TID] = ev.TS
+	}
+
+	// Nesting: the stage spans must sit inside the prove root's interval.
+	var root struct{ ts, end float64 }
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "prove" {
+			root.ts, root.end = ev.TS, ev.TS+ev.Dur
+		}
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || (ev.Name != "poly" && ev.Name != "msm-stage") {
+			continue
+		}
+		if ev.TS < root.ts || ev.TS+ev.Dur > root.end {
+			t.Errorf("span %q [%v,%v] escapes prove root [%v,%v]",
+				ev.Name, ev.TS, ev.TS+ev.Dur, root.ts, root.end)
+		}
+	}
+
+	// Aggregated metrics agree with the stage shape.
+	c := tr.Counters()
+	if c["msm.ops"] != 5 {
+		t.Errorf("msm.ops = %d, want 5", c["msm.ops"])
+	}
+	if c["ntt.transforms"] != 7 {
+		t.Errorf("ntt.transforms = %d, want 7", c["ntt.transforms"])
+	}
+	if stats.PointAdds <= 0 || stats.TrafficBytes <= 0 {
+		t.Errorf("aggregated stats not filled: %+v", stats)
+	}
+	if c["msm.point_adds"] != stats.PointAdds {
+		t.Errorf("counter point_adds %d != stats %d", c["msm.point_adds"], stats.PointAdds)
+	}
+}
+
+func TestTraceJSONLAndSummary(t *testing.T) {
+	tr, _ := proveTraced(t)
+
+	var jl bytes.Buffer
+	if err := tr.WriteJSONL(&jl); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(jl.String()), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("JSONL too short: %d lines", len(lines))
+	}
+	for i, ln := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", i+1, err)
+		}
+	}
+
+	var sum bytes.Buffer
+	if err := tr.WriteSummary(&sum); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"prove", "msm.ops", "ntt.transforms"} {
+		if !strings.Contains(sum.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, sum.String())
+		}
+	}
+}
+
+func TestTraceNilAndDisabled(t *testing.T) {
+	var tr *Trace
+	ctx := tr.Context(context.Background())
+
+	// A nil trace must still prove (disabled telemetry is a no-op).
+	cc, w := buildCubic(t, BN254)
+	pk, vk, err := Setup(cc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, _, err := pk.ProveContext(ctx, w, FastestProver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vk.Verify(proof, []*big.Int{big.NewInt(35)}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := tr.WriteChromeTrace(&bytes.Buffer{}); err == nil {
+		t.Error("nil trace export should error")
+	}
+	if tr.Counters() != nil || tr.Gauges() != nil {
+		t.Error("nil trace should report nil metrics")
+	}
+}
