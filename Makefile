@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: build test race fmt vet fuzz bench-baseline bench-gate
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+fuzz:
+	$(GO) test ./internal/ff -run FuzzFixedVsGeneric -fuzz FuzzFixedVsGeneric -fuzztime 30s
+
+# Refresh the committed benchmark baseline. Run on a quiet machine and
+# commit the result; the CI bench-gate job compares every run against it.
+bench-baseline:
+	$(GO) run ./cmd/gzkp-bench -quick -json BENCH_BASELINE.json
+
+# Local replica of the CI bench-gate job: fresh quick run, gate selftest,
+# then the comparison (markdown delta lands in artifacts/bench-delta.md).
+bench-gate:
+	mkdir -p artifacts
+	$(GO) run ./cmd/gzkp-bench -quick -json artifacts/bench.json
+	$(GO) run ./cmd/benchdiff -selftest
+	$(GO) run ./cmd/benchdiff -validate artifacts/bench.json
+	$(GO) run ./cmd/benchdiff -baseline BENCH_BASELINE.json -current artifacts/bench.json -md artifacts/bench-delta.md

@@ -1,0 +1,281 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"gzkp/internal/bench"
+)
+
+// doc is the gzkp-bench -json document shape (bench.Recorder.WriteJSON).
+type doc struct {
+	Source  string         `json:"source"`
+	Samples []bench.Sample `json:"samples"`
+}
+
+// status classifies one compared sample.
+type status int
+
+const (
+	statusOK status = iota
+	statusWarn
+	statusFail
+	statusNew     // sample only in current
+	statusMissing // sample only in baseline
+)
+
+func (s status) String() string {
+	switch s {
+	case statusOK:
+		return "ok"
+	case statusWarn:
+		return "warn"
+	case statusFail:
+		return "FAIL"
+	case statusNew:
+		return "new"
+	case statusMissing:
+		return "missing"
+	}
+	return "?"
+}
+
+// row is one keyed comparison.
+type row struct {
+	key       string
+	section   string
+	baseNS    int64
+	curNS     int64
+	normRatio float64 // (cur/base) / sectionCalibration
+	st        status
+}
+
+// report is the outcome of comparing a current run against the baseline.
+type report struct {
+	rows        []row
+	calibration map[string]float64 // per-section median cur/base ratio
+	fails       int
+	warns       int
+	news        int
+	missing     int
+}
+
+// sampleKey identifies a sample across runs.
+func sampleKey(s bench.Sample) string {
+	return fmt.Sprintf("%s|%s|%s|%d", s.Experiment, s.Section, s.Name, s.Scale)
+}
+
+// compare pairs samples by key and grades each pair against the thresholds.
+//
+// Baselines are produced on whatever machine last refreshed them, while CI
+// runs on arbitrary runners, so raw ns/op ratios mostly measure machine
+// speed. Each section is therefore calibrated by the median cur/base ratio
+// of its pairs: a genuine regression in a few kernels stands out against
+// the section's median, while a uniformly faster or slower machine cancels
+// out. (The flip side — a uniform slowdown of every sample at once is
+// indistinguishable from a slow runner — is documented in DESIGN.md; the
+// modeled sections are deterministic and pin that case.)
+func compare(baseline, current doc, warnTh, failTh float64) report {
+	base := make(map[string]bench.Sample, len(baseline.Samples))
+	for _, s := range baseline.Samples {
+		base[sampleKey(s)] = s
+	}
+	cur := make(map[string]bench.Sample, len(current.Samples))
+	for _, s := range current.Samples {
+		cur[sampleKey(s)] = s
+	}
+
+	// Per-section calibration from the paired samples.
+	ratios := make(map[string][]float64)
+	for k, c := range cur {
+		b, ok := base[k]
+		if !ok || b.NSOp <= 0 || c.NSOp <= 0 {
+			continue
+		}
+		ratios[b.Section] = append(ratios[b.Section], float64(c.NSOp)/float64(b.NSOp))
+	}
+	calib := make(map[string]float64, len(ratios))
+	for sec, rs := range ratios {
+		calib[sec] = median(rs)
+	}
+
+	rep := report{calibration: calib}
+	for _, s := range baseline.Samples {
+		k := sampleKey(s)
+		c, ok := cur[k]
+		if !ok {
+			rep.rows = append(rep.rows, row{key: k, section: s.Section, baseNS: s.NSOp, st: statusMissing})
+			rep.missing++
+			continue
+		}
+		r := row{key: k, section: s.Section, baseNS: s.NSOp, curNS: c.NSOp}
+		if s.NSOp > 0 && c.NSOp > 0 {
+			cal := calib[s.Section]
+			if cal <= 0 {
+				cal = 1
+			}
+			r.normRatio = float64(c.NSOp) / float64(s.NSOp) / cal
+			switch {
+			case r.normRatio > 1+failTh:
+				r.st = statusFail
+				rep.fails++
+			case r.normRatio > 1+warnTh:
+				r.st = statusWarn
+				rep.warns++
+			}
+		}
+		rep.rows = append(rep.rows, r)
+	}
+	// Samples that only exist in the current run (new experiments).
+	for _, s := range current.Samples {
+		if _, ok := base[sampleKey(s)]; !ok {
+			rep.rows = append(rep.rows, row{key: sampleKey(s), section: s.Section, curNS: s.NSOp, st: statusNew})
+			rep.news++
+		}
+	}
+	return rep
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+// writeText prints the human-readable summary.
+func (rep report) writeText(w io.Writer) {
+	var secs []string
+	for sec := range rep.calibration {
+		secs = append(secs, sec)
+	}
+	sort.Strings(secs)
+	for _, sec := range secs {
+		fmt.Fprintf(w, "calibration[%s] = %.3f (median cur/base, machine-speed normalizer)\n",
+			sec, rep.calibration[sec])
+	}
+	for _, r := range rep.rows {
+		if r.st == statusOK {
+			continue
+		}
+		switch r.st {
+		case statusNew:
+			fmt.Fprintf(w, "%-7s %s (%d ns/op, not in baseline)\n", r.st, r.key, r.curNS)
+		case statusMissing:
+			fmt.Fprintf(w, "%-7s %s (in baseline, absent from current run)\n", r.st, r.key)
+		default:
+			fmt.Fprintf(w, "%-7s %s: %d -> %d ns/op (%.2fx normalized)\n",
+				r.st, r.key, r.baseNS, r.curNS, r.normRatio)
+		}
+	}
+	fmt.Fprintf(w, "benchdiff: %d samples compared, %d fail, %d warn, %d new, %d missing\n",
+		len(rep.rows)-rep.news-rep.missing, rep.fails, rep.warns, rep.news, rep.missing)
+}
+
+// writeMarkdown renders the delta table for a CI job summary. All regressed
+// and warned rows appear; healthy rows are folded into the summary line.
+func (rep report) writeMarkdown(w io.Writer, warnTh, failTh float64) {
+	fmt.Fprintf(w, "### Benchmark regression gate\n\n")
+	fmt.Fprintf(w, "Compared %d samples (fail >%d%%, warn >%d%% after per-section machine-speed calibration): **%d fail, %d warn, %d new, %d missing**\n\n",
+		len(rep.rows)-rep.news-rep.missing, int(failTh*100), int(warnTh*100),
+		rep.fails, rep.warns, rep.news, rep.missing)
+	var secs []string
+	for sec := range rep.calibration {
+		secs = append(secs, sec)
+	}
+	sort.Strings(secs)
+	for _, sec := range secs {
+		fmt.Fprintf(w, "- calibration[%s] = %.3f\n", sec, rep.calibration[sec])
+	}
+	interesting := make([]row, 0)
+	for _, r := range rep.rows {
+		if r.st == statusWarn || r.st == statusFail {
+			interesting = append(interesting, r)
+		}
+	}
+	if len(interesting) == 0 {
+		fmt.Fprintf(w, "\nNo regressions beyond thresholds.\n")
+		return
+	}
+	sort.Slice(interesting, func(i, j int) bool { return interesting[i].normRatio > interesting[j].normRatio })
+	fmt.Fprintf(w, "\n| status | sample | baseline ns/op | current ns/op | normalized Δ |\n")
+	fmt.Fprintf(w, "|---|---|---:|---:|---:|\n")
+	for _, r := range interesting {
+		fmt.Fprintf(w, "| %s | `%s` | %d | %d | %+.1f%% |\n",
+			r.st, r.key, r.baseNS, r.curNS, (r.normRatio-1)*100)
+	}
+}
+
+// validate checks that a file is well-formed JSON, and — when it carries the
+// gzkp-bench source marker — that it matches the bench sample schema. It
+// replaces the CI python3 json.load() smoke check, and also accepts
+// non-bench JSON artifacts (e.g. Perfetto traces).
+func validate(data []byte, name string) error {
+	var generic interface{}
+	if err := json.Unmarshal(data, &generic); err != nil {
+		return fmt.Errorf("%s: invalid JSON: %w", name, err)
+	}
+	obj, ok := generic.(map[string]interface{})
+	if !ok || obj["source"] != "gzkp-bench" {
+		return nil // valid JSON, not a bench document — nothing more to check
+	}
+	var d doc
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&d); err != nil {
+		return fmt.Errorf("%s: bench document does not match schema: %w", name, err)
+	}
+	if d.Samples == nil {
+		return fmt.Errorf("%s: bench document missing samples array", name)
+	}
+	for i, s := range d.Samples {
+		if s.Experiment == "" || s.Name == "" {
+			return fmt.Errorf("%s: sample %d missing experiment/name", name, i)
+		}
+		if s.NSOp < 0 {
+			return fmt.Errorf("%s: sample %d has negative ns_op", name, i)
+		}
+	}
+	return nil
+}
+
+// selftest dry-runs the gate logic against synthetic data and returns an
+// error unless it behaves: a clean run passes, a single deliberately-slowed
+// kernel fails, and a uniformly slower machine is absorbed by calibration.
+func selftest(warnTh, failTh float64) error {
+	mk := func(scale int64) doc {
+		d := doc{Source: "gzkp-bench"}
+		for i := 0; i < 8; i++ {
+			d.Samples = append(d.Samples, bench.Sample{
+				Experiment: "field", Section: "measured",
+				Name: fmt.Sprintf("kernel-%d", i), NSOp: (100 + int64(i)*17) * scale,
+			})
+		}
+		return d
+	}
+	base := mk(1)
+
+	if rep := compare(base, mk(1), warnTh, failTh); rep.fails != 0 || rep.warns != 0 {
+		return fmt.Errorf("selftest: identical runs reported %d fails, %d warns", rep.fails, rep.warns)
+	}
+
+	slowed := mk(1)
+	slowed.Samples[3].NSOp = slowed.Samples[3].NSOp * 3 / 2 // one kernel 1.5x slower
+	if rep := compare(base, slowed, warnTh, failTh); rep.fails != 1 {
+		return fmt.Errorf("selftest: deliberately-slowed kernel not caught (fails=%d)", rep.fails)
+	}
+
+	if rep := compare(base, mk(2), warnTh, failTh); rep.fails != 0 {
+		return fmt.Errorf("selftest: uniform 2x machine slowdown not calibrated away (fails=%d)", rep.fails)
+	}
+	return nil
+}

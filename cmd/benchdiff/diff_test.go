@@ -1,0 +1,121 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"gzkp/internal/bench"
+)
+
+func mkDoc(ns ...int64) doc {
+	d := doc{Source: "gzkp-bench"}
+	for i, v := range ns {
+		d.Samples = append(d.Samples, bench.Sample{
+			Experiment: "field", Section: "measured",
+			Name: "k" + string(rune('a'+i)), NSOp: v,
+		})
+	}
+	return d
+}
+
+func TestCompareClean(t *testing.T) {
+	base := mkDoc(100, 200, 300, 400, 500)
+	rep := compare(base, mkDoc(100, 200, 300, 400, 500), 0.10, 0.20)
+	if rep.fails != 0 || rep.warns != 0 || rep.news != 0 || rep.missing != 0 {
+		t.Fatalf("clean compare flagged something: %+v", rep)
+	}
+}
+
+func TestCompareCatchesSingleRegression(t *testing.T) {
+	base := mkDoc(100, 200, 300, 400, 500)
+	rep := compare(base, mkDoc(100, 200, 450, 400, 500), 0.10, 0.20) // k'c' 1.5x
+	if rep.fails != 1 {
+		t.Fatalf("want 1 fail, got %d", rep.fails)
+	}
+	if rep.warns != 0 {
+		t.Fatalf("want 0 warns, got %d", rep.warns)
+	}
+}
+
+func TestCompareWarnBand(t *testing.T) {
+	base := mkDoc(100, 200, 300, 400, 500)
+	rep := compare(base, mkDoc(100, 200, 345, 400, 500), 0.10, 0.20) // k'c' +15%
+	if rep.fails != 0 || rep.warns != 1 {
+		t.Fatalf("want 0 fails / 1 warn, got %d / %d", rep.fails, rep.warns)
+	}
+}
+
+func TestCompareCalibratesMachineSpeed(t *testing.T) {
+	base := mkDoc(100, 200, 300, 400, 500)
+	// Every sample 3x slower — a slower runner, not a regression.
+	rep := compare(base, mkDoc(300, 600, 900, 1200, 1500), 0.10, 0.20)
+	if rep.fails != 0 || rep.warns != 0 {
+		t.Fatalf("uniform slowdown not calibrated away: %d fails, %d warns", rep.fails, rep.warns)
+	}
+	if c := rep.calibration["measured"]; c < 2.9 || c > 3.1 {
+		t.Fatalf("calibration = %v, want ~3", c)
+	}
+	// A regression on top of the slow machine must still be caught.
+	cur := mkDoc(300, 600, 900, 1200, 1500)
+	cur.Samples[1].NSOp = 900 // 4.5x vs baseline = 1.5x normalized
+	if rep := compare(base, cur, 0.10, 0.20); rep.fails != 1 {
+		t.Fatalf("regression on slow machine not caught: %d fails", rep.fails)
+	}
+}
+
+func TestCompareNewAndMissing(t *testing.T) {
+	base := mkDoc(100, 200)
+	cur := mkDoc(100)
+	cur.Samples = append(cur.Samples, bench.Sample{
+		Experiment: "field", Section: "measured", Name: "brand-new", NSOp: 7,
+	})
+	rep := compare(base, cur, 0.10, 0.20)
+	if rep.news != 1 || rep.missing != 1 {
+		t.Fatalf("want 1 new / 1 missing, got %d / %d", rep.news, rep.missing)
+	}
+	if rep.fails != 0 {
+		t.Fatalf("new/missing must not fail the gate, got %d fails", rep.fails)
+	}
+}
+
+func TestMarkdownListsRegressions(t *testing.T) {
+	base := mkDoc(100, 200, 300, 400, 500)
+	rep := compare(base, mkDoc(100, 200, 450, 400, 500), 0.10, 0.20)
+	var sb strings.Builder
+	rep.writeMarkdown(&sb, 0.10, 0.20)
+	out := sb.String()
+	if !strings.Contains(out, "FAIL") || !strings.Contains(out, "kc") {
+		t.Fatalf("markdown missing regression row:\n%s", out)
+	}
+	if !strings.Contains(out, "| status |") {
+		t.Fatalf("markdown missing table header:\n%s", out)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := `{"source":"gzkp-bench","samples":[{"experiment":"e","section":"measured","name":"n","ns_op":5}]}`
+	if err := validate([]byte(good), "good"); err != nil {
+		t.Fatalf("valid doc rejected: %v", err)
+	}
+	// Non-bench JSON (e.g. a Perfetto trace) passes the generic check.
+	if err := validate([]byte(`{"traceEvents":[]}`), "trace"); err != nil {
+		t.Fatalf("non-bench JSON rejected: %v", err)
+	}
+	if err := validate([]byte(`{"source":"gzkp-bench"`), "truncated"); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+	missingName := `{"source":"gzkp-bench","samples":[{"experiment":"e","section":"s","ns_op":5}]}`
+	if err := validate([]byte(missingName), "noname"); err == nil {
+		t.Fatal("sample without name accepted")
+	}
+	unknownField := `{"source":"gzkp-bench","samples":[],"bogus":1}`
+	if err := validate([]byte(unknownField), "unknown"); err == nil {
+		t.Fatal("unknown top-level field accepted")
+	}
+}
+
+func TestSelftest(t *testing.T) {
+	if err := selftest(0.10, 0.20); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+// Command benchdiff is the CI benchmark-regression gate. It compares a
+// fresh gzkp-bench -json run against the committed BENCH_BASELINE.json,
+// normalizing for machine speed with a per-section median ratio, and exits
+// nonzero when any sample regresses beyond the fail threshold.
+//
+//	benchdiff -baseline BENCH_BASELINE.json -current artifacts/bench.json -md delta.md
+//	benchdiff -validate artifacts/bench.json artifacts/trace.json
+//	benchdiff -selftest
+//
+// Exit codes: 0 clean (warnings allowed), 1 regression or selftest failure,
+// 2 usage or I/O error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_BASELINE.json", "committed baseline (gzkp-bench -json output)")
+		currentPath  = flag.String("current", "", "fresh run to compare against the baseline")
+		mdPath       = flag.String("md", "", "also write a markdown delta table here (for CI job summaries)")
+		warnTh       = flag.Float64("warn", 0.10, "warn when a sample regresses beyond this fraction")
+		failTh       = flag.Float64("fail", 0.20, "fail when a sample regresses beyond this fraction")
+		doValidate   = flag.Bool("validate", false, "validate the JSON artifacts named as arguments and exit")
+		doSelftest   = flag.Bool("selftest", false, "dry-run the gate against synthetic data (must catch a slowed kernel)")
+	)
+	flag.Parse()
+
+	switch {
+	case *doSelftest:
+		if err := selftest(*warnTh, *failTh); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
+		fmt.Println("benchdiff: selftest ok (clean run passes, slowed kernel fails, machine speed calibrated)")
+	case *doValidate:
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "benchdiff: -validate requires at least one file argument")
+			os.Exit(2)
+		}
+		for _, name := range flag.Args() {
+			data, err := os.ReadFile(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchdiff:", err)
+				os.Exit(2)
+			}
+			if err := validate(data, name); err != nil {
+				fmt.Fprintln(os.Stderr, "benchdiff:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("benchdiff: %s ok\n", name)
+		}
+	default:
+		if *currentPath == "" {
+			fmt.Fprintln(os.Stderr, "benchdiff: -current is required (or use -validate / -selftest)")
+			os.Exit(2)
+		}
+		base, err := readDoc(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		cur, err := readDoc(*currentPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		rep := compare(base, cur, *warnTh, *failTh)
+		rep.writeText(os.Stdout)
+		if *mdPath != "" {
+			f, err := os.Create(*mdPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchdiff:", err)
+				os.Exit(2)
+			}
+			rep.writeMarkdown(f, *warnTh, *failTh)
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "benchdiff:", err)
+				os.Exit(2)
+			}
+		}
+		if rep.fails > 0 {
+			os.Exit(1)
+		}
+	}
+}
+
+func readDoc(path string) (doc, error) {
+	var d doc
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return d, err
+	}
+	if err := json.Unmarshal(data, &d); err != nil {
+		return d, fmt.Errorf("%s: %w", path, err)
+	}
+	if d.Source != "gzkp-bench" {
+		return d, fmt.Errorf("%s: not a gzkp-bench document (source=%q)", path, d.Source)
+	}
+	return d, nil
+}

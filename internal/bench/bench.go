@@ -52,6 +52,7 @@ type Experiment struct {
 // All lists every experiment in paper order.
 func All() []Experiment {
 	return []Experiment{
+		{"field", "§4.3: field kernels, fixed fast path vs generic", Field},
 		{"table2", "Table 2: zkSNARK end-to-end, MNT4753-sim 753-bit", Table2},
 		{"table3", "Table 3: Zcash end-to-end, BLS12-381", Table3},
 		{"table4", "Table 4: Zcash on 4 devices", Table4},
@@ -135,6 +136,8 @@ func fmtDur(sec float64) string {
 	switch {
 	case sec <= 0:
 		return "-"
+	case sec < 1e-6:
+		return fmt.Sprintf("%.0fns", sec*1e9)
 	case sec < 1e-3:
 		return fmt.Sprintf("%.1fµs", sec*1e6)
 	case sec < 1:
@@ -166,8 +169,30 @@ func fmtBytes(b int64) string {
 	}
 }
 
-// measure runs fn once and returns seconds.
+// measure times fn and returns seconds. Runs shorter than repeatBelow are
+// repeated and the minimum kept: a single millisecond-scale wall clock
+// swings tens of percent with scheduler noise, which the CI benchmark
+// gate would flag as phantom regressions. Long runs amortize the noise
+// on their own and stay single-shot.
 func measure(fn func() error) (float64, error) {
+	const repeatBelow = 0.5 // seconds
+	best, err := measureOnce(fn)
+	if err != nil {
+		return best, err
+	}
+	for i := 0; i < 4 && best < repeatBelow; i++ {
+		sec, err := measureOnce(fn)
+		if err != nil {
+			return sec, err
+		}
+		if sec < best {
+			best = sec
+		}
+	}
+	return best, nil
+}
+
+func measureOnce(fn func() error) (float64, error) {
 	t0 := time.Now()
 	err := fn()
 	return time.Since(t0).Seconds(), err

@@ -86,7 +86,9 @@ func TestTablePrinter(t *testing.T) {
 func TestFormatters(t *testing.T) {
 	cases := map[float64]string{
 		0:      "-",
-		5e-7:   "0.5µs",
+		3e-9:   "3ns",
+		5e-7:   "500ns",
+		5e-6:   "5.0µs",
 		0.0042: "4.20ms",
 		3.5:    "3.50s",
 	}

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	mrand "math/rand"
+	"time"
+
+	"gzkp/internal/ff"
+)
+
+// fieldWidths are the three fixed-path limb counts, exercised through the
+// production curve moduli (ALT-BN128 Fq, BLS12-381 Fq, MNT4753-sim Fq).
+var fieldWidths = []struct {
+	label string
+	mod   string
+}{
+	{"4limb", "21888242871839275222246405745257275088696311157297823662689037894645226208583"},
+	{"6limb", "0x1a0111ea397fe69a4b1ba7b6434bacd764774b84f38512bf6730d2a0f6b0f6241eabfffeb153ffffb9feffffffffaaab"},
+	{"12limb", "0x1000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000003db"},
+}
+
+// Field measures the §4.3 field-arithmetic kernels: ns/op for mul, square,
+// add and inverse at each fixed-path width, on both the fixed-limb fast
+// path and the generic variable-width reference. These are the samples the
+// CI benchmark-regression gate watches most closely — every NTT butterfly
+// and PADD reduces to them.
+func Field(o Options) error {
+	w := o.out()
+	section(w, "measured: field kernels (fixed fast path vs generic reference)")
+	tbl := newTable(w, "op", "width", "fixed ns/op", "generic ns/op", "speedup")
+
+	for _, fw := range fieldWidths {
+		fast := ff.MustField(fw.label, fw.mod)
+		ref := fast.WithoutFastPath()
+		rng := mrand.New(mrand.NewSource(42))
+		x, y, z := fast.Rand(rng), fast.Rand(rng), fast.New()
+
+		ops := []struct {
+			name string
+			mk   func(f *ff.Field) func()
+		}{
+			{"mul", func(f *ff.Field) func() { return func() { f.Mul(z, x, y) } }},
+			{"square", func(f *ff.Field) func() { return func() { f.Square(z, x) } }},
+			{"add", func(f *ff.Field) func() { return func() { f.Add(z, x, y) } }},
+			{"inv", func(f *ff.Field) func() { return func() { f.Inverse(x) } }},
+		}
+		for _, op := range ops {
+			fixedNS := timeOp(o.Quick, op.mk(fast))
+			genericNS := timeOp(o.Quick, op.mk(ref))
+			o.record(Sample{Section: "measured", Name: op.name + "/" + fw.label + "/fixed",
+				Scale: fast.Limbs(), NSOp: fixedNS})
+			o.record(Sample{Section: "measured", Name: op.name + "/" + fw.label + "/generic",
+				Scale: fast.Limbs(), NSOp: genericNS})
+			tbl.row(op.name, fw.label, fmtNS(fixedNS), fmtNS(genericNS),
+				fmtX(float64(genericNS)/float64(fixedNS)))
+		}
+	}
+	tbl.flush()
+	return nil
+}
+
+// timeOp measures one operation: it doubles the iteration count until a
+// run is long enough to trust the clock, then takes the best of five runs
+// at that count (minimum filters scheduler noise) and returns ns/op. The
+// quick flag is accepted for Options symmetry but not used — the whole
+// experiment costs well under a second either way, and the CI regression
+// gate needs these samples stable.
+func timeOp(quick bool, op func()) int64 {
+	_ = quick
+	op() // warm up (and fault in any lazy state)
+	const target = 10 * time.Millisecond
+	iters := 1
+	var el time.Duration
+	for {
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			op()
+		}
+		el = time.Since(t0)
+		if el >= target || iters >= 1<<24 {
+			break
+		}
+		iters *= 2
+	}
+	best := el
+	for rep := 0; rep < 4; rep++ {
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			op()
+		}
+		if el = time.Since(t0); el < best {
+			best = el
+		}
+	}
+	ns := best.Nanoseconds() / int64(iters)
+	if ns < 1 {
+		ns = 1
+	}
+	return ns
+}

@@ -9,6 +9,7 @@ package curve
 // msm.Config.UseBatchAffine switches it on.
 func (g *Group) AffineBatchSum(points []Affine) Affine {
 	K := g.K
+	kr := bindKern(K)
 	// Work on a compacted copy (drop infinities).
 	work := make([]Affine, 0, len(points))
 	for _, p := range points {
@@ -37,22 +38,28 @@ func (g *Group) AffineBatchSum(points []Affine) Affine {
 					continue
 				}
 				kind[i] = 1 // double: λ = (3x²+a)/(2y)
-				num := K.Square(K.Zero(), p.X)
-				K.Add(t, num, num)
-				K.Add(num, num, t) // 3x²
+				num := K.Zero()
+				kr.square(num, p.X)
+				kr.add(t, num, num)
+				kr.add(num, num, t) // 3x²
 				if !K.IsZero(g.A) {
-					K.Add(num, num, g.A)
+					kr.add(num, num, g.A)
 				}
 				nums = append(nums, num)
-				dens = append(dens, K.Double(K.Zero(), p.Y))
+				den := K.Zero()
+				kr.double(den, p.Y)
+				dens = append(dens, den)
 			case K.Equal(p.X, q.X):
 				kind[i] = 2 // P + (-P) = O
 				dens = append(dens, K.One())
 				nums = append(nums, K.Zero())
 			default:
-				num := K.Sub(K.Zero(), q.Y, p.Y)
+				num := K.Zero()
+				kr.sub(num, q.Y, p.Y)
 				nums = append(nums, num)
-				dens = append(dens, K.Sub(K.Zero(), q.X, p.X))
+				den := K.Zero()
+				kr.sub(den, q.X, p.X)
+				dens = append(dens, den)
 			}
 		}
 		batchInvertK(K, dens)
@@ -63,14 +70,16 @@ func (g *Group) AffineBatchSum(points []Affine) Affine {
 				continue // pair cancelled to infinity
 			}
 			p, q := work[2*i], work[2*i+1]
-			K.Mul(lambda, nums[i], dens[i])
+			kr.mul(lambda, nums[i], dens[i])
 			// x3 = λ² - x1 - x2; y3 = λ(x1-x3) - y1.
-			x3 := K.Square(K.Zero(), lambda)
-			K.Sub(x3, x3, p.X)
-			K.Sub(x3, x3, q.X)
-			y3 := K.Sub(K.Zero(), p.X, x3)
-			K.Mul(y3, y3, lambda)
-			K.Sub(y3, y3, p.Y)
+			x3 := K.Zero()
+			kr.square(x3, lambda)
+			kr.sub(x3, x3, p.X)
+			kr.sub(x3, x3, q.X)
+			y3 := K.Zero()
+			kr.sub(y3, p.X, x3)
+			kr.mul(y3, y3, lambda)
+			kr.sub(y3, y3, p.Y)
 			next = append(next, Affine{X: x3, Y: y3})
 		}
 		// Carry the odd leftover.

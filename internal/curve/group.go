@@ -90,12 +90,13 @@ func (g *Group) IsOnCurve(p Affine) bool {
 // use of a single Ops.
 type Ops struct {
 	g *Group
+	k fieldKern
 	t [12][]uint64
 }
 
 // NewOps allocates scratch for point arithmetic on g.
 func (g *Group) NewOps() *Ops {
-	o := &Ops{g: g}
+	o := &Ops{g: g, k: bindKern(g.K)}
 	for i := range o.t {
 		o.t[i] = g.K.Zero()
 	}
@@ -154,44 +155,44 @@ func (o *Ops) DoubleAssign(p *Jacobian) {
 	if o.IsInfinity(p) {
 		return
 	}
-	K := o.g.K
+	k := &o.k
 	xx, yy, yyyy, zz := o.t[0], o.t[1], o.t[2], o.t[3]
 	s, m, u := o.t[4], o.t[5], o.t[6]
-	K.Square(xx, p.X)
-	K.Square(yy, p.Y)
-	K.Square(yyyy, yy)
-	K.Square(zz, p.Z)
+	k.square(xx, p.X)
+	k.square(yy, p.Y)
+	k.square(yyyy, yy)
+	k.square(zz, p.Z)
 	// S = 2*((X+YY)² - XX - YYYY)
-	K.Add(s, p.X, yy)
-	K.Square(s, s)
-	K.Sub(s, s, xx)
-	K.Sub(s, s, yyyy)
-	K.Double(s, s)
+	k.add(s, p.X, yy)
+	k.square(s, s)
+	k.sub(s, s, xx)
+	k.sub(s, s, yyyy)
+	k.double(s, s)
 	// M = 3*XX + A*ZZ²
-	K.Double(m, xx)
-	K.Add(m, m, xx)
-	if !K.IsZero(o.g.A) {
-		K.Square(u, zz)
-		K.Mul(u, u, o.g.A)
-		K.Add(m, m, u)
+	k.double(m, xx)
+	k.add(m, m, xx)
+	if !o.g.K.IsZero(o.g.A) {
+		k.square(u, zz)
+		k.mul(u, u, o.g.A)
+		k.add(m, m, u)
 	}
 	// Z' = (Y+Z)² - YY - ZZ  (computed before X/Y which clobber inputs)
-	K.Add(u, p.Y, p.Z)
-	K.Square(u, u)
-	K.Sub(u, u, yy)
-	K.Sub(u, u, zz)
-	K.Set(p.Z, u)
+	k.add(u, p.Y, p.Z)
+	k.square(u, u)
+	k.sub(u, u, yy)
+	k.sub(u, u, zz)
+	copy(p.Z, u)
 	// X' = M² - 2S
-	K.Square(p.X, m)
-	K.Sub(p.X, p.X, s)
-	K.Sub(p.X, p.X, s)
+	k.square(p.X, m)
+	k.sub(p.X, p.X, s)
+	k.sub(p.X, p.X, s)
 	// Y' = M*(S - X') - 8*YYYY
-	K.Sub(s, s, p.X)
-	K.Mul(s, s, m)
-	K.Double(yyyy, yyyy)
-	K.Double(yyyy, yyyy)
-	K.Double(yyyy, yyyy)
-	K.Sub(p.Y, s, yyyy)
+	k.sub(s, s, p.X)
+	k.mul(s, s, m)
+	k.double(yyyy, yyyy)
+	k.double(yyyy, yyyy)
+	k.double(yyyy, yyyy)
+	k.sub(p.Y, s, yyyy)
 }
 
 // AddAssign sets p = p + q (add-2007-bl with full case analysis).
@@ -204,19 +205,20 @@ func (o *Ops) AddAssign(p, q *Jacobian) {
 		return
 	}
 	K := o.g.K
+	k := &o.k
 	z1z1, z2z2, u1, u2 := o.t[0], o.t[1], o.t[2], o.t[3]
 	s1, s2, h, i := o.t[4], o.t[5], o.t[6], o.t[7]
 	j, rr, v := o.t[8], o.t[9], o.t[10]
-	K.Square(z1z1, p.Z)
-	K.Square(z2z2, q.Z)
-	K.Mul(u1, p.X, z2z2)
-	K.Mul(u2, q.X, z1z1)
-	K.Mul(s1, p.Y, q.Z)
-	K.Mul(s1, s1, z2z2)
-	K.Mul(s2, q.Y, p.Z)
-	K.Mul(s2, s2, z1z1)
-	K.Sub(h, u2, u1)
-	K.Sub(rr, s2, s1)
+	k.square(z1z1, p.Z)
+	k.square(z2z2, q.Z)
+	k.mul(u1, p.X, z2z2)
+	k.mul(u2, q.X, z1z1)
+	k.mul(s1, p.Y, q.Z)
+	k.mul(s1, s1, z2z2)
+	k.mul(s2, q.Y, p.Z)
+	k.mul(s2, s2, z1z1)
+	k.sub(h, u2, u1)
+	k.sub(rr, s2, s1)
 	if K.IsZero(h) {
 		if K.IsZero(rr) {
 			o.DoubleAssign(p)
@@ -225,28 +227,28 @@ func (o *Ops) AddAssign(p, q *Jacobian) {
 		o.SetInfinity(p)
 		return
 	}
-	K.Double(rr, rr) // r = 2*(S2-S1)
-	K.Double(i, h)
-	K.Square(i, i) // I = (2H)²
-	K.Mul(j, h, i)
-	K.Mul(v, u1, i)
+	k.double(rr, rr) // r = 2*(S2-S1)
+	k.double(i, h)
+	k.square(i, i) // I = (2H)²
+	k.mul(j, h, i)
+	k.mul(v, u1, i)
 	// Z3 = ((Z1+Z2)² - Z1Z1 - Z2Z2) * H
-	K.Add(p.Z, p.Z, q.Z)
-	K.Square(p.Z, p.Z)
-	K.Sub(p.Z, p.Z, z1z1)
-	K.Sub(p.Z, p.Z, z2z2)
-	K.Mul(p.Z, p.Z, h)
+	k.add(p.Z, p.Z, q.Z)
+	k.square(p.Z, p.Z)
+	k.sub(p.Z, p.Z, z1z1)
+	k.sub(p.Z, p.Z, z2z2)
+	k.mul(p.Z, p.Z, h)
 	// X3 = r² - J - 2V
-	K.Square(p.X, rr)
-	K.Sub(p.X, p.X, j)
-	K.Sub(p.X, p.X, v)
-	K.Sub(p.X, p.X, v)
+	k.square(p.X, rr)
+	k.sub(p.X, p.X, j)
+	k.sub(p.X, p.X, v)
+	k.sub(p.X, p.X, v)
 	// Y3 = r*(V - X3) - 2*S1*J
-	K.Sub(v, v, p.X)
-	K.Mul(v, v, rr)
-	K.Mul(s1, s1, j)
-	K.Double(s1, s1)
-	K.Sub(p.Y, v, s1)
+	k.sub(v, v, p.X)
+	k.mul(v, v, rr)
+	k.mul(s1, s1, j)
+	k.double(s1, s1)
+	k.sub(p.Y, v, s1)
 }
 
 // AddMixedAssign sets p = p + q for an affine q (madd-2007-bl), the
@@ -260,14 +262,15 @@ func (o *Ops) AddMixedAssign(p *Jacobian, q Affine) {
 		return
 	}
 	K := o.g.K
+	k := &o.k
 	z1z1, u2, s2, h := o.t[0], o.t[1], o.t[2], o.t[3]
 	hh, i, j, rr, v := o.t[4], o.t[5], o.t[6], o.t[7], o.t[8]
-	K.Square(z1z1, p.Z)
-	K.Mul(u2, q.X, z1z1)
-	K.Mul(s2, q.Y, p.Z)
-	K.Mul(s2, s2, z1z1)
-	K.Sub(h, u2, p.X)
-	K.Sub(rr, s2, p.Y)
+	k.square(z1z1, p.Z)
+	k.mul(u2, q.X, z1z1)
+	k.mul(s2, q.Y, p.Z)
+	k.mul(s2, s2, z1z1)
+	k.sub(h, u2, p.X)
+	k.sub(rr, s2, p.Y)
 	if K.IsZero(h) {
 		if K.IsZero(rr) {
 			o.DoubleAssign(p)
@@ -276,28 +279,28 @@ func (o *Ops) AddMixedAssign(p *Jacobian, q Affine) {
 		o.SetInfinity(p)
 		return
 	}
-	K.Double(rr, rr)
-	K.Square(hh, h)
-	K.Double(i, hh)
-	K.Double(i, i) // I = 4*HH
-	K.Mul(j, h, i)
-	K.Mul(v, p.X, i)
+	k.double(rr, rr)
+	k.square(hh, h)
+	k.double(i, hh)
+	k.double(i, i) // I = 4*HH
+	k.mul(j, h, i)
+	k.mul(v, p.X, i)
 	// Z3 = (Z1+H)² - Z1Z1 - HH
-	K.Add(p.Z, p.Z, h)
-	K.Square(p.Z, p.Z)
-	K.Sub(p.Z, p.Z, z1z1)
-	K.Sub(p.Z, p.Z, hh)
+	k.add(p.Z, p.Z, h)
+	k.square(p.Z, p.Z)
+	k.sub(p.Z, p.Z, z1z1)
+	k.sub(p.Z, p.Z, hh)
 	// X3 = r² - J - 2V
-	K.Square(p.X, rr)
-	K.Sub(p.X, p.X, j)
-	K.Sub(p.X, p.X, v)
-	K.Sub(p.X, p.X, v)
+	k.square(p.X, rr)
+	k.sub(p.X, p.X, j)
+	k.sub(p.X, p.X, v)
+	k.sub(p.X, p.X, v)
 	// Y3 = r*(V-X3) - 2*Y1*J  (note p.Y still holds Y1)
-	K.Sub(v, v, p.X)
-	K.Mul(v, v, rr)
-	K.Mul(j, j, p.Y)
-	K.Double(j, j)
-	K.Sub(p.Y, v, j)
+	k.sub(v, v, p.X)
+	k.mul(v, v, rr)
+	k.mul(j, j, p.Y)
+	k.double(j, j)
+	k.sub(p.Y, v, j)
 }
 
 // Equal reports whether p and q are the same point (cross-multiplied).
@@ -307,18 +310,19 @@ func (o *Ops) Equal(p, q *Jacobian) bool {
 		return pi == qi
 	}
 	K := o.g.K
+	k := &o.k
 	z1z1, z2z2, a, b := o.t[0], o.t[1], o.t[2], o.t[3]
-	K.Square(z1z1, p.Z)
-	K.Square(z2z2, q.Z)
-	K.Mul(a, p.X, z2z2)
-	K.Mul(b, q.X, z1z1)
+	k.square(z1z1, p.Z)
+	k.square(z2z2, q.Z)
+	k.mul(a, p.X, z2z2)
+	k.mul(b, q.X, z1z1)
 	if !K.Equal(a, b) {
 		return false
 	}
-	K.Mul(z1z1, z1z1, p.Z) // Z1³
-	K.Mul(z2z2, z2z2, q.Z) // Z2³
-	K.Mul(a, p.Y, z2z2)
-	K.Mul(b, q.Y, z1z1)
+	k.mul(z1z1, z1z1, p.Z) // Z1³
+	k.mul(z2z2, z2z2, q.Z) // Z2³
+	k.mul(a, p.Y, z2z2)
+	k.mul(b, q.Y, z1z1)
 	return K.Equal(a, b)
 }
 

@@ -2,8 +2,65 @@ package ff
 
 import "math/bits"
 
+// The exported arithmetic entry points dispatch through the field's kernel
+// table (dispatch.go): fields whose width has a fixed-limb fast path run
+// the unrolled kernels of fixedops_gen.go, every other width runs the
+// variable-width *Generic routines below. The generic routines stay as the
+// differential-testing reference for the fixed path (fuzz_test.go).
+
 // Add sets z = x + y mod p and returns z. z may alias x or y.
 func (f *Field) Add(z, x, y Element) Element {
+	f.kern.Add(z, x, y)
+	return z
+}
+
+// Sub sets z = x - y mod p and returns z. z may alias x or y.
+func (f *Field) Sub(z, x, y Element) Element {
+	f.kern.Sub(z, x, y)
+	return z
+}
+
+// Neg sets z = -x mod p and returns z. z may alias x.
+func (f *Field) Neg(z, x Element) Element {
+	f.kern.Neg(z, x)
+	return z
+}
+
+// Double sets z = 2x mod p.
+func (f *Field) Double(z, x Element) Element {
+	f.kern.Double(z, x)
+	return z
+}
+
+// Mul sets z = x * y mod p (all Montgomery form). z may alias x or y.
+func (f *Field) Mul(z, x, y Element) Element {
+	f.kern.Mul(z, x, y)
+	return z
+}
+
+// Square sets z = x^2 mod p. z may alias x.
+func (f *Field) Square(z, x Element) Element {
+	f.kern.Square(z, x)
+	return z
+}
+
+// AddGeneric is the variable-width reference path behind Add.
+func (f *Field) AddGeneric(z, x, y Element) Element { return f.addGeneric(z, x, y) }
+
+// SubGeneric is the variable-width reference path behind Sub.
+func (f *Field) SubGeneric(z, x, y Element) Element { return f.subGeneric(z, x, y) }
+
+// NegGeneric is the variable-width reference path behind Neg.
+func (f *Field) NegGeneric(z, x Element) Element { return f.negGeneric(z, x) }
+
+// MulGeneric is the variable-width reference path behind Mul.
+func (f *Field) MulGeneric(z, x, y Element) Element { return f.mulGeneric(z, x, y) }
+
+// SquareGeneric is the variable-width reference path behind Square.
+func (f *Field) SquareGeneric(z, x Element) Element { return f.squareGeneric(z, x) }
+
+// addGeneric is the variable-width z = x + y mod p.
+func (f *Field) addGeneric(z, x, y Element) Element {
 	var carry uint64
 	for i := 0; i < f.n; i++ {
 		z[i], carry = bits.Add64(x[i], y[i], carry)
@@ -14,8 +71,8 @@ func (f *Field) Add(z, x, y Element) Element {
 	return z
 }
 
-// Sub sets z = x - y mod p and returns z. z may alias x or y.
-func (f *Field) Sub(z, x, y Element) Element {
+// subGeneric is the variable-width z = x - y mod p.
+func (f *Field) subGeneric(z, x, y Element) Element {
 	var borrow uint64
 	for i := 0; i < f.n; i++ {
 		z[i], borrow = bits.Sub64(x[i], y[i], borrow)
@@ -29,8 +86,8 @@ func (f *Field) Sub(z, x, y Element) Element {
 	return z
 }
 
-// Neg sets z = -x mod p and returns z. z may alias x.
-func (f *Field) Neg(z, x Element) Element {
+// negGeneric is the variable-width z = -x mod p.
+func (f *Field) negGeneric(z, x Element) Element {
 	if f.IsZero(x) {
 		for i := range z {
 			z[i] = 0
@@ -44,9 +101,6 @@ func (f *Field) Neg(z, x Element) Element {
 	_ = borrow // x < p, so no final borrow
 	return z
 }
-
-// Double sets z = 2x mod p.
-func (f *Field) Double(z, x Element) Element { return f.Add(z, x, x) }
 
 // Halve sets z = x/2 mod p (x/2 if even, (x+p)/2 otherwise).
 func (f *Field) Halve(z, x Element) Element {
@@ -65,9 +119,9 @@ func (f *Field) Halve(z, x Element) Element {
 	return z
 }
 
-// Mul sets z = x * y mod p (all Montgomery form) using CIOS Montgomery
-// multiplication. z may alias x or y.
-func (f *Field) Mul(z, x, y Element) Element {
+// mulGeneric sets z = x * y mod p (all Montgomery form) using variable-width
+// CIOS Montgomery multiplication. z may alias x or y.
+func (f *Field) mulGeneric(z, x, y Element) Element {
 	var t [MaxLimbs + 2]uint64
 	n := f.n
 	for i := 0; i < n; i++ {
@@ -112,10 +166,10 @@ func (f *Field) Mul(z, x, y Element) Element {
 	return z
 }
 
-// Square sets z = x^2 mod p with SOS (separated operand scanning):
+// squareGeneric sets z = x^2 mod p with SOS (separated operand scanning):
 // off-diagonal partial products are computed once and doubled, saving ~25%
 // of the word multiplies versus Mul(x, x). z may alias x.
-func (f *Field) Square(z, x Element) Element {
+func (f *Field) squareGeneric(z, x Element) Element {
 	n := f.n
 	var t [2*MaxLimbs + 1]uint64
 	// Off-diagonal products x[i]·x[j], j > i.

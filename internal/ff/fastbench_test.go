@@ -1,0 +1,72 @@
+package ff
+
+import (
+	mrand "math/rand"
+	"testing"
+)
+
+// benchWidths exercises the three fixed-path limb counts through the real
+// curve moduli plus one generic-only width as the control.
+var benchWidths = []struct {
+	label string
+	mod   string
+}{
+	{"4limb", "21888242871839275222246405745257275088696311157297823662689037894645226208583"},
+	{"6limb", "0x1a0111ea397fe69a4b1ba7b6434bacd764774b84f38512bf6730d2a0f6b0f6241eabfffeb153ffffb9feffffffffaaab"},
+	{"12limb", "0x1000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000003db"},
+}
+
+func benchFieldOp(b *testing.B, run func(b *testing.B, f *Field)) {
+	for _, w := range benchWidths {
+		f := MustField(w.label, w.mod)
+		b.Run(w.label+"/fixed", func(b *testing.B) { run(b, f) })
+		b.Run(w.label+"/generic", func(b *testing.B) { run(b, f.WithoutFastPath()) })
+	}
+}
+
+func BenchmarkFieldMul(b *testing.B) {
+	benchFieldOp(b, func(b *testing.B, f *Field) {
+		rng := mrand.New(mrand.NewSource(1))
+		x, y, z := f.Rand(rng), f.Rand(rng), f.New()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.Mul(z, x, y)
+		}
+	})
+}
+
+func BenchmarkFieldSquare(b *testing.B) {
+	benchFieldOp(b, func(b *testing.B, f *Field) {
+		rng := mrand.New(mrand.NewSource(1))
+		x, z := f.Rand(rng), f.New()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.Square(z, x)
+		}
+	})
+}
+
+func BenchmarkFieldAdd(b *testing.B) {
+	benchFieldOp(b, func(b *testing.B, f *Field) {
+		rng := mrand.New(mrand.NewSource(1))
+		x, y, z := f.Rand(rng), f.Rand(rng), f.New()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.Add(z, x, y)
+		}
+	})
+}
+
+func BenchmarkFieldInv(b *testing.B) {
+	benchFieldOp(b, func(b *testing.B, f *Field) {
+		rng := mrand.New(mrand.NewSource(1))
+		x := f.Rand(rng)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.Inverse(x)
+		}
+	})
+}

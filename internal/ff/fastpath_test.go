@@ -1,0 +1,144 @@
+package ff
+
+import (
+	mrand "math/rand"
+	"testing"
+)
+
+// TestFastPathSelection pins the dispatch rules: the three curve widths get
+// fixed kernels, other widths and full-top-limb moduli stay generic.
+func TestFastPathSelection(t *testing.T) {
+	for i, w := range benchWidths {
+		f := MustField(w.label, w.mod)
+		want := []int{4, 6, 12}[i]
+		if f.FastPathWidth() != want {
+			t.Errorf("%s: FastPathWidth = %d, want %d", w.label, f.FastPathWidth(), want)
+		}
+		if f.WithoutFastPath().FastPathWidth() != 0 {
+			t.Errorf("%s: WithoutFastPath still reports a fast path", w.label)
+		}
+	}
+	// 5 limbs: no specialization exists.
+	f := MustField("5limb", "0x1000000000000000000000000000000000000000000000000000000000000000000000005a3")
+	if f.FastPathWidth() != 0 {
+		t.Errorf("5-limb field got fast path %d", f.FastPathWidth())
+	}
+	// 4 limbs but top limb ≥ 2^63-1: the no-carry CIOS precondition fails,
+	// so the field must stay on the generic path. p = 2^256 - 189 (prime).
+	full := MustField("fulltop", "115792089237316195423570985008687907853269984665640564039457584007913129639747")
+	if full.FastPathWidth() != 0 {
+		t.Errorf("full-top-limb 4-limb field got fast path %d", full.FastPathWidth())
+	}
+	// It still has to compute correctly (differential spot check).
+	rng := mrand.New(mrand.NewSource(7))
+	x, y := full.Rand(rng), full.Rand(rng)
+	z := full.Mul(full.New(), x, y)
+	want := new(mrandFree).mulMod(full, x, y)
+	if full.String(z) != want {
+		t.Errorf("fulltop mul mismatch: %s != %s", full.String(z), want)
+	}
+}
+
+// mrandFree is a tiny helper namespace for big.Int reference products.
+type mrandFree struct{}
+
+func (mrandFree) mulMod(f *Field, x, y Element) string {
+	xv, yv := f.ToBig(x), f.ToBig(y)
+	xv.Mul(xv, yv)
+	xv.Mod(xv, f.Modulus())
+	return xv.String()
+}
+
+// TestFixedAliasSafety drives every kernel through the aliasing patterns
+// the point formulas and butterflies actually use: dst==a, dst==b, a==b,
+// and all at once.
+func TestFixedAliasSafety(t *testing.T) {
+	for _, w := range benchWidths {
+		f := MustField(w.label, w.mod)
+		rng := mrand.New(mrand.NewSource(99))
+		for iter := 0; iter < 50; iter++ {
+			x, y := f.Rand(rng), f.Rand(rng)
+
+			binops := []struct {
+				name string
+				op   func(z, a, b Element) Element
+			}{
+				{"Mul", f.Mul}, {"Add", f.Add}, {"Sub", f.Sub},
+			}
+			for _, bo := range binops {
+				want := bo.op(f.New(), x, y)
+				za := f.Copy(x)
+				if bo.op(za, za, y); !f.Equal(za, want) {
+					t.Fatalf("%s %s dst==a: %s != %s", w.label, bo.name, f.String(za), f.String(want))
+				}
+				zb := f.Copy(y)
+				if bo.op(zb, x, zb); !f.Equal(zb, want) {
+					t.Fatalf("%s %s dst==b: %s != %s", w.label, bo.name, f.String(zb), f.String(want))
+				}
+				wantXX := bo.op(f.New(), x, x)
+				zaa := f.Copy(x)
+				if bo.op(zaa, zaa, zaa); !f.Equal(zaa, wantXX) {
+					t.Fatalf("%s %s dst==a==b: %s != %s", w.label, bo.name, f.String(zaa), f.String(wantXX))
+				}
+			}
+
+			unops := []struct {
+				name string
+				op   func(z, a Element) Element
+			}{
+				{"Square", f.Square}, {"Neg", f.Neg}, {"Double", f.Double},
+			}
+			for _, uo := range unops {
+				want := uo.op(f.New(), x)
+				za := f.Copy(x)
+				if uo.op(za, za); !f.Equal(za, want) {
+					t.Fatalf("%s %s dst==a: %s != %s", w.label, uo.name, f.String(za), f.String(want))
+				}
+			}
+		}
+	}
+}
+
+// TestFixedZeroAlloc mirrors the telemetry zero-alloc guard: the fixed-path
+// mul and add must not allocate per operation — that is the point of the
+// stack-friendly kernels.
+func TestFixedZeroAlloc(t *testing.T) {
+	for _, w := range benchWidths {
+		f := MustField(w.label, w.mod)
+		rng := mrand.New(mrand.NewSource(3))
+		x, y, z := f.Rand(rng), f.Rand(rng), f.New()
+		if n := testing.AllocsPerRun(200, func() { f.Mul(z, x, y) }); n != 0 {
+			t.Errorf("%s: fixed Mul allocates %v/op", w.label, n)
+		}
+		if n := testing.AllocsPerRun(200, func() { f.Add(z, x, y) }); n != 0 {
+			t.Errorf("%s: fixed Add allocates %v/op", w.label, n)
+		}
+		if n := testing.AllocsPerRun(200, func() { f.Square(z, x) }); n != 0 {
+			t.Errorf("%s: fixed Square allocates %v/op", w.label, n)
+		}
+		// The generic reference is also alloc-free; keep it honest too.
+		g := f.WithoutFastPath()
+		if n := testing.AllocsPerRun(200, func() { g.Mul(z, x, y) }); n != 0 {
+			t.Errorf("%s: generic Mul allocates %v/op", w.label, n)
+		}
+	}
+}
+
+// TestKernelsHoisting pins the loop-entry dispatch contract consumers rely
+// on: the table is stable across calls and runs the same arithmetic as the
+// method entry points.
+func TestKernelsHoisting(t *testing.T) {
+	f := MustField(benchWidths[0].label, benchWidths[0].mod)
+	if f.Kernels() != f.Kernels() {
+		t.Fatal("Kernels() must return a stable pointer")
+	}
+	rng := mrand.New(mrand.NewSource(5))
+	x, y := f.Rand(rng), f.Rand(rng)
+	k := f.Kernels()
+	za, zb := f.New(), f.New()
+	k.Mul(za, x, y)
+	f.Mul(zb, x, y)
+	if !f.Equal(za, zb) {
+		t.Fatal("hoisted kernel Mul disagrees with Field.Mul")
+	}
+}

@@ -32,6 +32,12 @@ type Field struct {
 
 	inv uint64 // -p^{-1} mod 2^64
 
+	// kern dispatches the arithmetic entry points: fixed-width unrolled
+	// kernels for 4/6/12-limb moduli, the generic path otherwise
+	// (dispatch.go). fastWidth records the active specialization (0 = none).
+	kern      Kernels
+	fastWidth int
+
 	r  Element // 2^(64n) mod p == Montgomery form of 1
 	r2 Element // 2^(128n) mod p, for conversion into Montgomery form
 
@@ -85,6 +91,7 @@ func newFieldBig(name string, p *big.Int) (*Field, error) {
 		inv *= 2 - f.p[0]*inv
 	}
 	f.inv = -inv
+	f.installKernels() // must precede the first Mul below
 
 	shift := uint(64 * n)
 	r := new(big.Int).Lsh(big.NewInt(1), shift)

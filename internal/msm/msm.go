@@ -260,8 +260,9 @@ func newDigits(f *ff.Field, scalars []ff.Element, k int) *digits {
 	one := make(ff.Element, perRow)
 	one[0] = 1
 	tmp := f.New()
+	kr := f.Kernels() // hoisted: one width decision for the whole sweep
 	for i, s := range scalars {
-		f.Mul(tmp, s, one) // Montgomery → canonical
+		kr.Mul(tmp, s, one) // Montgomery → canonical
 		copy(d.limbs[i*perRow:(i+1)*perRow], tmp)
 	}
 	return d

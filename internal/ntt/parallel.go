@@ -45,7 +45,7 @@ func physPos(idx, sdone, bb int) int {
 // which holds group members in t-order. lo is the group's low-bit part
 // (twiddle phase); roots is the ω^i (or ω^-i) table.
 func (d *Domain) processGroup(sub []ff.Element, sdone, bb, lo int, roots []ff.Element, t, u ff.Element) {
-	f := d.F
+	kr := d.F.Kernels() // hoisted: one width decision per group
 	n := len(sub)
 	for l := 0; l < bb; l++ {
 		half := 1 << l
@@ -56,10 +56,10 @@ func (d *Domain) processGroup(sub []ff.Element, sdone, bb, lo int, roots []ff.El
 			for j := 0; j < half; j++ {
 				exp := (j<<sdone | lo) << shift
 				w := roots[exp]
-				f.Mul(t, w, sub[k+j+half])
-				f.Set(u, sub[k+j])
-				f.Add(sub[k+j], u, t)
-				f.Sub(sub[k+j+half], u, t)
+				kr.Mul(t, w, sub[k+j+half])
+				copy(u, sub[k+j])
+				kr.Add(sub[k+j], u, t)
+				kr.Sub(sub[k+j+half], u, t)
 			}
 		}
 	}

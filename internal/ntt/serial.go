@@ -27,6 +27,7 @@ func (d *Domain) serial(ctx context.Context, a []ff.Element, dir Direction, prec
 	}
 	t := f.New()
 	u := f.New()
+	kr := f.Kernels() // hoisted: one width decision for the whole transform
 	for s := uint(1); s <= d.LogN; s++ {
 		if err := ctx.Err(); err != nil {
 			return Stats{}, err
@@ -38,10 +39,10 @@ func (d *Domain) serial(ctx context.Context, a []ff.Element, dir Direction, prec
 			for k := 0; k < d.N; k += m {
 				for j := 0; j < half; j++ {
 					w := roots[j*step]
-					f.Mul(t, w, a[k+j+half])
-					f.Set(u, a[k+j])
-					f.Add(a[k+j], u, t)
-					f.Sub(a[k+j+half], u, t)
+					kr.Mul(t, w, a[k+j+half])
+					copy(u, a[k+j])
+					kr.Add(a[k+j], u, t)
+					kr.Sub(a[k+j+half], u, t)
 				}
 			}
 			continue
@@ -52,11 +53,11 @@ func (d *Domain) serial(ctx context.Context, a []ff.Element, dir Direction, prec
 		for k := 0; k < d.N; k += m {
 			w := f.One()
 			for j := 0; j < half; j++ {
-				f.Mul(t, w, a[k+j+half])
-				f.Set(u, a[k+j])
-				f.Add(a[k+j], u, t)
-				f.Sub(a[k+j+half], u, t)
-				f.Mul(w, w, wm)
+				kr.Mul(t, w, a[k+j+half])
+				copy(u, a[k+j])
+				kr.Add(a[k+j], u, t)
+				kr.Sub(a[k+j+half], u, t)
+				kr.Mul(w, w, wm)
 			}
 		}
 	}

@@ -69,10 +69,11 @@ func ComputeHCtx(ctx context.Context, dom *ntt.Domain, a, b, c []ff.Element, cfg
 	}
 	zInv := f.Inverse(dom.ZOnCoset())
 	tmp := f.New()
+	kr := f.Kernels() // hoisted: one width decision for the whole pass
 	for i := 0; i < n; i++ {
-		f.Mul(tmp, a[i], b[i])
-		f.Sub(tmp, tmp, c[i])
-		f.Mul(a[i], tmp, zInv)
+		kr.Mul(tmp, a[i], b[i])
+		kr.Sub(tmp, tmp, c[i])
+		kr.Mul(a[i], tmp, zInv)
 	}
 	// 1 coset-INTT back to coefficients. Total: 7 NTT operations (§5.2).
 	if err := run("coset-intt-h", dom.CosetINTTCtx, a); err != nil {
