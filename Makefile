@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fmt vet fuzz bench-baseline bench-gate
+.PHONY: build test race fmt vet fuzz bench-baseline bench-gate serve loadtest
 
 build:
 	$(GO) build ./...
@@ -33,3 +33,16 @@ bench-gate:
 	$(GO) run ./cmd/benchdiff -selftest
 	$(GO) run ./cmd/benchdiff -validate artifacts/bench.json
 	$(GO) run ./cmd/benchdiff -baseline BENCH_BASELINE.json -current artifacts/bench.json -md artifacts/bench-delta.md
+
+# Run the proving service locally (SIGINT drains gracefully and writes the
+# checkpoint; restart the target to resume checkpointed jobs).
+SERVE_ADDR ?= localhost:8090
+serve:
+	$(GO) run ./cmd/gzkp-serve -addr $(SERVE_ADDR) -checkpoint artifacts/serve.ckpt
+
+# Drive a running `make serve` with a short open-loop load and validate the
+# JSON report through the same gate the CI bench artifacts use.
+loadtest:
+	mkdir -p artifacts
+	$(GO) run ./cmd/gzkp-loadgen -target http://$(SERVE_ADDR) -rps 5 -duration 5s -out artifacts/loadgen-report.json
+	$(GO) run ./cmd/benchdiff -validate artifacts/loadgen-report.json

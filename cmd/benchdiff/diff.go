@@ -216,16 +216,18 @@ func (rep report) writeMarkdown(w io.Writer, warnTh, failTh float64) {
 }
 
 // validate checks that a file is well-formed JSON, and — when it carries the
-// gzkp-bench source marker — that it matches the bench sample schema. It
-// replaces the CI python3 json.load() smoke check, and also accepts
-// non-bench JSON artifacts (e.g. Perfetto traces).
+// gzkp-bench or gzkp-loadgen source marker — that it matches the bench
+// sample schema (the loadgen emits the same document shape so throughput
+// reports flow through the same gate). It replaces the CI python3
+// json.load() smoke check, and also accepts non-bench JSON artifacts
+// (e.g. Perfetto traces).
 func validate(data []byte, name string) error {
 	var generic interface{}
 	if err := json.Unmarshal(data, &generic); err != nil {
 		return fmt.Errorf("%s: invalid JSON: %w", name, err)
 	}
 	obj, ok := generic.(map[string]interface{})
-	if !ok || obj["source"] != "gzkp-bench" {
+	if !ok || (obj["source"] != "gzkp-bench" && obj["source"] != "gzkp-loadgen") {
 		return nil // valid JSON, not a bench document — nothing more to check
 	}
 	var d doc

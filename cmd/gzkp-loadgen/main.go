@@ -1,0 +1,247 @@
+// Command gzkp-loadgen drives a running gzkp-serve with an open-loop
+// workload: requests arrive at a fixed rate regardless of how fast the
+// service answers (the arrival process every real queueing system faces —
+// a closed loop would hide overload by slowing the clients down). It
+// registers a mix of synthetic circuits, fires sync prove requests at
+// -rps for -duration, verifies every returned proof locally against the
+// verifying key from registration, and writes a benchdiff-compatible JSON
+// report of throughput and latency quantiles.
+//
+//	gzkp-loadgen -target http://localhost:8090 -rps 20 -duration 10s -out report.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gzkp/internal/bench"
+	"gzkp/internal/curve"
+	"gzkp/internal/ff"
+	"gzkp/internal/groth16"
+	"gzkp/internal/service"
+	"gzkp/internal/telemetry"
+	"gzkp/internal/workload"
+)
+
+// mixCircuit is one registered circuit of the load mix plus the locally
+// recomputed inputs (workload.SyntheticR1CS is deterministic in seed, so
+// the generator derives the same witness the service will solve).
+type mixCircuit struct {
+	id     string
+	vk     *groth16.VerifyingKey
+	public []string
+	secret []string
+	pubFF  []ff.Element
+}
+
+func main() {
+	var (
+		target    = flag.String("target", "http://localhost:8090", "base URL of gzkp-serve")
+		curveName = flag.String("curve", "bn254", "bn254 | bls12381")
+		mixSpec   = flag.String("mix", "64,128,256", "comma-separated synthetic circuit sizes (the request mix round-robins over them)")
+		seed      = flag.Int64("seed", 1, "base seed for the synthetic circuits")
+		rps       = flag.Float64("rps", 10, "open-loop arrival rate (requests/second)")
+		duration  = flag.Duration("duration", 10*time.Second, "load duration")
+		outPath   = flag.String("out", "", "write the JSON report here (default stdout)")
+	)
+	flag.Parse()
+	if *rps <= 0 {
+		die(fmt.Errorf("rps must be positive"))
+	}
+	var id curve.ID
+	switch *curveName {
+	case "bn254":
+		id = curve.BN254
+	case "bls12381":
+		id = curve.BLS12381
+	default:
+		die(fmt.Errorf("unsupported curve %q", *curveName))
+	}
+	f := curve.Get(id).Fr
+
+	// Register the mix and recompute each circuit's inputs locally.
+	var mix []*mixCircuit
+	for i, part := range strings.Split(*mixSpec, ",") {
+		size, err := strconv.Atoi(strings.TrimSpace(part))
+		die(err)
+		cseed := *seed + int64(i)
+		mc, err := registerOne(*target, *curveName, f, size, cseed)
+		die(err)
+		mix = append(mix, mc)
+		fmt.Printf("gzkp-loadgen: registered circuit %s (size %d, seed %d)\n", mc.id, size, cseed)
+	}
+
+	fmt.Printf("gzkp-loadgen: open loop at %.1f rps for %s against %s\n", *rps, *duration, *target)
+	var (
+		lat                     = telemetry.NewHistogram(telemetry.DefaultLatencyBounds())
+		okN, rejectedN, failedN atomic.Int64
+		verifyFailN, transportN atomic.Int64
+		wg                      sync.WaitGroup
+		interval                = time.Duration(float64(time.Second) / *rps)
+		ticker                  = time.NewTicker(interval)
+		deadline                = time.Now().Add(*duration)
+		sent                    = 0
+	)
+	client := &http.Client{Timeout: 2 * time.Minute}
+	start := time.Now()
+	for time.Now().Before(deadline) {
+		<-ticker.C
+		mc := mix[sent%len(mix)]
+		sent++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			status, st, err := prove(client, *target, mc)
+			elapsed := time.Since(t0).Nanoseconds()
+			switch {
+			case err != nil:
+				transportN.Add(1)
+			case status == http.StatusTooManyRequests:
+				rejectedN.Add(1)
+			case status == http.StatusOK && st.State == "done":
+				// Every returned proof is verified here, not trusted.
+				proof, perr := groth16.UnmarshalProofAuto(st.Proof)
+				if perr != nil || groth16.Verify(mc.vk, proof, mc.pubFF) != nil {
+					verifyFailN.Add(1)
+					return
+				}
+				lat.Record(elapsed)
+				okN.Add(1)
+			default:
+				failedN.Add(1)
+			}
+		}()
+	}
+	ticker.Stop()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	snap := lat.Snapshot()
+	ok, rej, fail := okN.Load(), rejectedN.Load(), failedN.Load()
+	vfail, terr := verifyFailN.Load(), transportN.Load()
+	fmt.Printf("gzkp-loadgen: sent %d in %.1fs — %d ok, %d rejected (429), %d failed, %d verify-failed, %d transport errors\n",
+		sent, elapsed.Seconds(), ok, rej, fail, vfail, terr)
+	if ok > 0 {
+		fmt.Printf("gzkp-loadgen: throughput %.2f proofs/s, latency p50 %.1fms p95 %.1fms p99 %.1fms\n",
+			float64(ok)/elapsed.Seconds(),
+			float64(snap.P50)/1e6, float64(snap.P95)/1e6, float64(snap.P99)/1e6)
+	}
+
+	report := buildReport(sent, elapsed, snap, ok, rej, fail+vfail+terr)
+	out := os.Stdout
+	if *outPath != "" {
+		fh, err := os.Create(*outPath)
+		die(err)
+		defer fh.Close()
+		out = fh
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	die(enc.Encode(report))
+	if *outPath != "" {
+		fmt.Printf("gzkp-loadgen: wrote %s\n", *outPath)
+	}
+	if vfail > 0 || terr > 0 {
+		os.Exit(1)
+	}
+}
+
+// buildReport renders the run as the bench JSON schema (source tag
+// "gzkp-loadgen") so benchdiff -validate and the CI artifact tooling accept
+// it: counts ride in n, durations in ns_op.
+func buildReport(sent int, elapsed time.Duration, snap telemetry.HistogramSnapshot, ok, rejected, failed int64) any {
+	perOp := int64(0)
+	if ok > 0 {
+		perOp = elapsed.Nanoseconds() / ok
+	}
+	samples := []bench.Sample{
+		{Experiment: "loadgen", Section: "measured", Name: "throughput", N: int(ok), NSOp: perOp},
+		{Experiment: "loadgen", Section: "measured", Name: "latency_p50", N: int(snap.Count), NSOp: snap.P50},
+		{Experiment: "loadgen", Section: "measured", Name: "latency_p95", N: int(snap.Count), NSOp: snap.P95},
+		{Experiment: "loadgen", Section: "measured", Name: "latency_p99", N: int(snap.Count), NSOp: snap.P99},
+		{Experiment: "loadgen", Section: "measured", Name: "latency_mean", N: int(snap.Count), NSOp: snap.Mean()},
+		{Experiment: "loadgen", Section: "measured", Name: "sent", N: sent},
+		{Experiment: "loadgen", Section: "measured", Name: "rejected_429", N: int(rejected)},
+		{Experiment: "loadgen", Section: "measured", Name: "failed", N: int(failed)},
+	}
+	return struct {
+		Source  string         `json:"source"`
+		Samples []bench.Sample `json:"samples"`
+	}{Source: "gzkp-loadgen", Samples: samples}
+}
+
+func registerOne(target, curveName string, f *ff.Field, size int, seed int64) (*mixCircuit, error) {
+	_, pub, sec, err := workload.SyntheticR1CS(f, size, seed)
+	if err != nil {
+		return nil, err
+	}
+	spec := service.CircuitSpec{Curve: curveName, SyntheticSize: size, SyntheticSeed: seed}
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(target+"/v1/circuits", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("register size %d: %d %s", size, resp.StatusCode, data)
+	}
+	var info service.CircuitInfo
+	if err := json.Unmarshal(data, &info); err != nil {
+		return nil, err
+	}
+	vk, err := groth16.UnmarshalVerifyingKeyAuto(info.VerifyingKey)
+	if err != nil {
+		return nil, fmt.Errorf("register size %d: bad verifying key: %w", size, err)
+	}
+	mc := &mixCircuit{id: info.CircuitID, vk: vk, pubFF: pub}
+	for _, v := range pub {
+		mc.public = append(mc.public, f.String(v))
+	}
+	for _, v := range sec {
+		mc.secret = append(mc.secret, f.String(v))
+	}
+	return mc, nil
+}
+
+func prove(client *http.Client, target string, mc *mixCircuit) (int, *service.JobStatus, error) {
+	req := service.ProveRequest{CircuitID: mc.id, Public: mc.public, Secret: mc.secret}
+	body, _ := json.Marshal(req)
+	resp, err := client.Post(target+"/v1/prove", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	var st service.JobStatus
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, &st); err != nil {
+			return resp.StatusCode, nil, err
+		}
+	}
+	return resp.StatusCode, &st, nil
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gzkp-loadgen:", err)
+		os.Exit(1)
+	}
+}

@@ -5,6 +5,14 @@
 // Tables 2-3 report.
 //
 //	gzkp-prove -curve bn254 -constraints 2048 -prover gzkp
+//
+// With -out-proof/-out-vk it writes the proof and verifying key to disk in
+// the compressed wire format; -verify flips the command into a standalone
+// verifier that reads those artifacts back (either wire format) and checks
+// the proof against the supplied public inputs:
+//
+//	gzkp-prove -circuit cubic.zk -public 35 -secret 3 -out-proof p.bin -out-vk vk.bin
+//	gzkp-prove -verify -proof p.bin -vk vk.bin -public 35
 package main
 
 import (
@@ -44,8 +52,17 @@ func main() {
 		jsonlPath   = flag.String("jsonl", "", "write the span/event/metric log as JSON lines here")
 		showStats   = flag.Bool("stats", false, "print the telemetry summary and aggregated MSM totals after proving")
 		debugAddr   = flag.String("debug-addr", "", `serve /debug/vars (expvar) and /debug/pprof on this address during the run (e.g. "localhost:6060")`)
+		outProof    = flag.String("out-proof", "", "write the proof here (compressed wire format)")
+		outVK       = flag.String("out-vk", "", "write the verifying key here (compressed wire format)")
+		doVerify    = flag.Bool("verify", false, "verify a serialized proof instead of proving (requires -proof, -vk, -public)")
+		proofPath   = flag.String("proof", "", "proof file for -verify (compressed or uncompressed)")
+		vkPath      = flag.String("vk", "", "verifying key file for -verify (compressed or uncompressed)")
 	)
 	flag.Parse()
+
+	if *doVerify {
+		os.Exit(verifyMain(*proofPath, *vkPath, *publicVals))
+	}
 
 	var id curve.ID
 	switch *curveName {
@@ -152,6 +169,19 @@ func main() {
 	die(groth16.Verify(vk, proof, pub))
 	fmt.Printf("verify: ok in %.1fms (proof %d bytes)\n", time.Since(t0).Seconds()*1e3, len(blob))
 
+	if *outProof != "" {
+		cb, err := proof.MarshalCompressed()
+		die(err)
+		die(os.WriteFile(*outProof, cb, 0o644))
+		fmt.Printf("proof: wrote %s (%d bytes compressed)\n", *outProof, len(cb))
+	}
+	if *outVK != "" {
+		kb, err := vk.MarshalCompressed()
+		die(err)
+		die(os.WriteFile(*outVK, kb, 0o644))
+		fmt.Printf("vk: wrote %s (%d bytes compressed)\n", *outVK, len(kb))
+	}
+
 	if *tracePath != "" {
 		die(writeFileWith(*tracePath, tracer.WriteChromeTrace))
 		fmt.Printf("trace: wrote %s (open in https://ui.perfetto.dev)\n", *tracePath)
@@ -164,6 +194,56 @@ func main() {
 		fmt.Println("telemetry summary:")
 		die(tracer.WriteSummary(os.Stdout))
 	}
+}
+
+// verifyMain is the -verify mode: load a serialized proof + verifying key
+// (auto-detecting compressed vs uncompressed wire format), parse the public
+// inputs, and report the pairing check's verdict. Exit 0 on a valid proof,
+// 1 on an invalid or unreadable one — suitable for scripting.
+func verifyMain(proofPath, vkPath, publicCSV string) int {
+	if proofPath == "" || vkPath == "" {
+		fmt.Fprintln(os.Stderr, "gzkp-prove: -verify requires -proof and -vk")
+		return 2
+	}
+	pb, err := os.ReadFile(proofPath)
+	die(err)
+	kb, err := os.ReadFile(vkPath)
+	die(err)
+	proof, err := groth16.UnmarshalProofAuto(pb)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gzkp-prove: bad proof %s: %v\n", proofPath, err)
+		return 1
+	}
+	vk, err := groth16.UnmarshalVerifyingKeyAuto(kb)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gzkp-prove: bad verifying key %s: %v\n", vkPath, err)
+		return 1
+	}
+	if proof.CurveID != vk.CurveID {
+		fmt.Fprintf(os.Stderr, "gzkp-prove: proof curve %s != key curve %s\n",
+			curve.Get(proof.CurveID).Name, curve.Get(vk.CurveID).Name)
+		return 1
+	}
+	f := curve.Get(vk.CurveID).Fr
+	var pub []ff.Element
+	if strings.TrimSpace(publicCSV) != "" {
+		for _, p := range strings.Split(publicCSV, ",") {
+			pub = append(pub, f.MustFromString(strings.TrimSpace(p)))
+		}
+	}
+	if len(pub) != len(vk.IC)-1 {
+		fmt.Fprintf(os.Stderr, "gzkp-prove: key expects %d public inputs, got %d\n",
+			len(vk.IC)-1, len(pub))
+		return 2
+	}
+	t0 := time.Now()
+	if err := groth16.Verify(vk, proof, pub); err != nil {
+		fmt.Fprintf(os.Stderr, "gzkp-prove: INVALID: %v\n", err)
+		return 1
+	}
+	fmt.Printf("gzkp-prove: proof valid (%s, %d public inputs, %.1fms)\n",
+		curve.Get(vk.CurveID).Name, len(pub), time.Since(t0).Seconds()*1e3)
+	return 0
 }
 
 // writeFileWith streams one exporter into path.

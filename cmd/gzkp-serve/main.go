@@ -1,0 +1,138 @@
+// Command gzkp-serve runs the proving service: an HTTP front end over the
+// bounded job queue, multi-device scheduler and fault-tolerant prover of
+// internal/service. On SIGINT/SIGTERM it drains gracefully — stops
+// accepting, finishes in-flight jobs, and checkpoints anything still
+// queued to -checkpoint so a successor process (started with the same
+// flag) resumes the work.
+//
+//	gzkp-serve -addr :8090 -devices 4 -queue 64 -prover gzkp
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gzkp/internal/gpusim"
+	"gzkp/internal/msm"
+	"gzkp/internal/ntt"
+	"gzkp/internal/service"
+	"gzkp/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "localhost:8090", "listen address")
+		devices    = flag.Int("devices", 2, "simulated proving devices")
+		queueCap   = flag.Int("queue", 64, "admission-control bound on queued+running jobs")
+		maxBatch   = flag.Int("max-batch", 4, "max same-circuit jobs per device dispatch")
+		prover     = flag.String("prover", "gzkp", "gzkp | baseline | cpu")
+		preprocess = flag.Bool("preprocess", false, "build GZKP MSM tables at circuit registration")
+		faultSpec  = flag.String("inject-faults", "", `deterministic fault plan keyed by service device, e.g. "kill:0@30" (see gzkp-prove)`)
+		faultSeed  = flag.Int64("fault-seed", 1, "seed resolving @? fault steps")
+		checkpoint = flag.String("checkpoint", "", "drain checkpoint path: written on shutdown deadline, restored at startup if present")
+		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "max time to finish in-flight jobs on shutdown")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address")
+	)
+	flag.Parse()
+
+	cfg := service.Config{
+		Devices:       *devices,
+		QueueCapacity: *queueCap,
+		MaxBatch:      *maxBatch,
+		MaxCircuits:   32,
+		Preprocess:    *preprocess,
+		Registry:      telemetry.NewRegistry(),
+	}
+	switch *prover {
+	case "gzkp":
+		cfg.NTT, cfg.MSM = ntt.Config{Strategy: ntt.GZKP}, msm.Config{Strategy: msm.GZKP}
+	case "baseline":
+		cfg.NTT, cfg.MSM = ntt.Config{Strategy: ntt.ShuffleBaseline}, msm.Config{Strategy: msm.PippengerWindows}
+	case "cpu":
+		cfg.NTT, cfg.MSM = ntt.Config{Strategy: ntt.Serial, Workers: 1}, msm.Config{Strategy: msm.PippengerWindows, Workers: 1}
+	default:
+		fmt.Fprintf(os.Stderr, "gzkp-serve: unknown prover %q\n", *prover)
+		os.Exit(2)
+	}
+	if *faultSpec != "" {
+		plan, err := gpusim.ParseFaultPlan(*faultSpec, *faultSeed)
+		die(err)
+		cfg.Faults = plan
+	}
+
+	svc := service.New(cfg)
+	if *debugAddr != "" {
+		dbg, at, err := telemetry.ServeDebug(*debugAddr, cfg.Registry)
+		die(err)
+		defer dbg.Close()
+		fmt.Printf("gzkp-serve: debug server on http://%s/debug/vars\n", at)
+	}
+	if *checkpoint != "" {
+		if data, err := os.ReadFile(*checkpoint); err == nil {
+			var cp service.Checkpoint
+			die(json.Unmarshal(data, &cp))
+			n, err := svc.Restore(&cp)
+			die(err)
+			die(os.Remove(*checkpoint))
+			fmt.Printf("gzkp-serve: restored %d checkpointed jobs from %s\n", n, *checkpoint)
+		}
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(svc)}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("gzkp-serve: listening on http://%s (devices=%d queue=%d prover=%s)\n",
+			*addr, *devices, *queueCap, *prover)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		die(err)
+	case s := <-sig:
+		fmt.Printf("gzkp-serve: %s — draining (timeout %s)\n", s, *drainWait)
+	}
+
+	// Graceful drain: refuse new jobs, finish what was admitted, checkpoint
+	// whatever the deadline strands, then stop the HTTP listener.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	rep, derr := svc.Drain(ctx)
+	if derr != nil && !errors.Is(derr, context.DeadlineExceeded) && !errors.Is(derr, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "gzkp-serve: drain:", derr)
+	}
+	fmt.Printf("gzkp-serve: drained (%d jobs finished)\n", rep.Finished)
+	if rep.Checkpointed != nil {
+		if *checkpoint == "" {
+			fmt.Fprintf(os.Stderr, "gzkp-serve: %d queued jobs dropped (no -checkpoint path)\n",
+				len(rep.Checkpointed.Jobs))
+		} else {
+			blob, err := json.MarshalIndent(rep.Checkpointed, "", "  ")
+			die(err)
+			die(os.WriteFile(*checkpoint, blob, 0o644))
+			fmt.Printf("gzkp-serve: checkpointed %d queued jobs to %s\n",
+				len(rep.Checkpointed.Jobs), *checkpoint)
+		}
+	}
+	shCtx, shCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shCancel()
+	_ = srv.Shutdown(shCtx)
+	svc.Close()
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gzkp-serve:", err)
+		os.Exit(1)
+	}
+}

@@ -74,11 +74,13 @@ type ProveConfig struct {
 	// CheckSatisfied verifies the witness against the system first.
 	CheckSatisfied bool
 	// Faults, when non-nil, is consulted before every modeled kernel launch
-	// (the 7 NTTs, then the 5 MSMs, all as logical device 0). Transient
-	// faults retry per Retry; an OOM degrades the affected GZKP table to a
-	// thriftier checkpoint interval; a device loss is fatal for the
-	// single-device prover.
-	Faults *gpusim.FaultPlan
+	// (the 7 NTTs, then the 5 MSMs, all as logical device 0 — remap with
+	// gpusim.DeviceFaults when this prover runs on behalf of another
+	// device). Transient faults retry per Retry; an OOM degrades the
+	// affected GZKP table to a thriftier checkpoint interval; a device loss
+	// is fatal for the single-device prover (callers with survivors requeue
+	// the whole proof).
+	Faults gpusim.LaunchGate
 	// Retry bounds transient-fault retries (zero value = defaults).
 	Retry resilience.Policy
 }

@@ -1,0 +1,174 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// HTTP API of the proving service (stdlib net/http, Go 1.22 pattern mux):
+//
+//	POST /v1/circuits      register/compile a circuit, cache the proving key
+//	POST /v1/prove         submit a job; ?async=1 returns 202 + job id,
+//	                       otherwise blocks for the proof (or client timeout)
+//	GET  /v1/jobs/{id}     poll an async job
+//	GET  /healthz          liveness
+//	GET  /readyz           readiness (503 while draining or all devices lost)
+//	GET  /metrics          JSON metrics snapshot (counters/gauges/histograms)
+//
+// Error mapping: malformed input → 400, unknown id → 404, admission-control
+// rejection → 429 with Retry-After, draining → 503 with Retry-After.
+
+// maxBodyBytes bounds request bodies — another face of the same
+// reject-don't-grow policy the job queue applies.
+const maxBodyBytes = 1 << 20
+
+// ProveRequest is the body of POST /v1/prove.
+type ProveRequest struct {
+	CircuitID string   `json:"circuit_id"`
+	Public    []string `json:"public"`
+	Secret    []string `json:"secret"`
+}
+
+type apiError struct {
+	Error      string `json:"error"`
+	RetryAfter int    `json:"retry_after_seconds,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError maps service error types onto HTTP semantics.
+func writeError(w http.ResponseWriter, err error) {
+	var (
+		over     *OverloadError
+		input    *InputError
+		notFound *NotFoundError
+	)
+	switch {
+	case errors.As(err, &over):
+		secs := int(over.RetryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error(), RetryAfter: secs})
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "10")
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error(), RetryAfter: 10})
+	case errors.As(err, &input):
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+	case errors.As(err, &notFound):
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+	}
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return &InputError{Msg: fmt.Sprintf("bad request body: %v", err)}
+	}
+	return nil
+}
+
+// NewHandler mounts the service API on a fresh mux.
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/circuits", func(w http.ResponseWriter, r *http.Request) {
+		var spec CircuitSpec
+		if err := decodeBody(w, r, &spec); err != nil {
+			writeError(w, err)
+			return
+		}
+		info, err := s.Register(spec)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		code := http.StatusCreated
+		if info.Cached {
+			code = http.StatusOK
+		}
+		writeJSON(w, code, info)
+	})
+
+	mux.HandleFunc("GET /v1/circuits/{id}", func(w http.ResponseWriter, r *http.Request) {
+		info, err := s.Circuit(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+
+	mux.HandleFunc("POST /v1/prove", func(w http.ResponseWriter, r *http.Request) {
+		var req ProveRequest
+		if err := decodeBody(w, r, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+		j, err := s.Submit(req.CircuitID, req.Public, req.Secret)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		if r.URL.Query().Get("async") != "" {
+			writeJSON(w, http.StatusAccepted, j.Snapshot())
+			return
+		}
+		select {
+		case <-j.Done():
+			writeJSON(w, http.StatusOK, j.Snapshot())
+		case <-r.Context().Done():
+			// The client went away; the job still runs to completion and
+			// stays pollable under its id.
+			writeJSON(w, http.StatusAccepted, j.Snapshot())
+		}
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, err := s.Job(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, j.Snapshot())
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.Ready() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status":        "not ready",
+				"devices_alive": s.DevicesAlive(),
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":        "ready",
+			"devices_alive": s.DevicesAlive(),
+		})
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Registry().Snapshot())
+	})
+
+	return mux
+}

@@ -1,0 +1,175 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// JobState is the lifecycle of one accepted prove request.
+type JobState int
+
+const (
+	// JobQueued: admitted, waiting for a device.
+	JobQueued JobState = iota
+	// JobRunning: a device worker is proving it.
+	JobRunning
+	// JobDone: proved and verified; the compressed proof is available.
+	JobDone
+	// JobFailed: proving failed terminally (bad witness, retries exhausted,
+	// no surviving devices). Admission was still honored — a failed job is
+	// reported, never silently dropped.
+	JobFailed
+	// JobCheckpointed: drain ran out of time before the job was scheduled;
+	// its inputs were written to the drain checkpoint for a successor
+	// process to resubmit.
+	JobCheckpointed
+)
+
+func (s JobState) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	case JobFailed:
+		return "failed"
+	case JobCheckpointed:
+		return "checkpointed"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Job is one admitted prove request moving through the queue → schedule →
+// prove → verify pipeline. Mutable fields are guarded by mu; Done() closes
+// when the job reaches a terminal state.
+type Job struct {
+	ID        string
+	CircuitID string
+	// Public and Secret are the decimal input assignments, in the circuit's
+	// declaration order (witness solving happens on the proving device).
+	Public, Secret []string
+
+	mu       sync.Mutex
+	state    JobState
+	err      error
+	proof    []byte // compressed wire encoding (groth16.MarshalCompressed)
+	attempts int    // device assignments consumed (failovers re-use the job)
+	device   int    // last device that ran it
+
+	enqueued   time.Time
+	started    time.Time
+	finished   time.Time
+	queueNS    int64 // enqueue → first dispatch
+	proveNS    int64 // witness solve + prove on the final device
+	verifyNS   int64 // server-side verification of the produced proof
+	doneOnce   sync.Once
+	doneCh     chan struct{}
+	notifyDone func(*Job) // service hook: admission slot release
+}
+
+func newJob(id, circuitID string, public, secret []string, notify func(*Job)) *Job {
+	return &Job{
+		ID: id, CircuitID: circuitID,
+		Public: public, Secret: secret,
+		doneCh: make(chan struct{}), notifyDone: notify,
+		enqueued: time.Now(),
+	}
+}
+
+// Done closes when the job reaches a terminal state (done, failed, or
+// checkpointed).
+func (j *Job) Done() <-chan struct{} { return j.doneCh }
+
+// State reports the current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Snapshot copies the externally visible job status.
+func (j *Job) Snapshot() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.ID,
+		CircuitID: j.CircuitID,
+		State:     j.state.String(),
+		Attempts:  j.attempts,
+		Device:    j.device,
+		QueueNS:   j.queueNS,
+		ProveNS:   j.proveNS,
+		VerifyNS:  j.verifyNS,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if len(j.proof) > 0 {
+		st.Proof = append([]byte(nil), j.proof...)
+	}
+	if !j.finished.IsZero() {
+		st.TotalNS = j.finished.Sub(j.enqueued).Nanoseconds()
+	}
+	return st
+}
+
+// JobStatus is the JSON-facing view of a job.
+type JobStatus struct {
+	ID        string `json:"job_id"`
+	CircuitID string `json:"circuit_id"`
+	State     string `json:"state"`
+	Attempts  int    `json:"attempts,omitempty"`
+	Device    int    `json:"device,omitempty"`
+	Proof     []byte `json:"proof,omitempty"` // compressed, base64 via encoding/json
+	Error     string `json:"error,omitempty"`
+	QueueNS   int64  `json:"queue_ns,omitempty"`
+	ProveNS   int64  `json:"prove_ns,omitempty"`
+	VerifyNS  int64  `json:"verify_ns,omitempty"`
+	TotalNS   int64  `json:"total_ns,omitempty"`
+}
+
+// markRunning stamps the first dispatch; requeued jobs keep their original
+// queue latency.
+func (j *Job) markRunning(dev int) {
+	j.mu.Lock()
+	j.state = JobRunning
+	j.device = dev
+	j.attempts++
+	if j.started.IsZero() {
+		j.started = time.Now()
+		j.queueNS = j.started.Sub(j.enqueued).Nanoseconds()
+	}
+	j.mu.Unlock()
+}
+
+// attemptCount reports device assignments consumed so far.
+func (j *Job) attemptCount() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempts
+}
+
+// markQueued returns a job to the queue after a device failover.
+func (j *Job) markQueued() {
+	j.mu.Lock()
+	j.state = JobQueued
+	j.mu.Unlock()
+}
+
+func (j *Job) finish(state JobState, proof []byte, err error) {
+	j.mu.Lock()
+	j.state = state
+	j.proof = proof
+	j.err = err
+	j.finished = time.Now()
+	j.mu.Unlock()
+	j.doneOnce.Do(func() {
+		close(j.doneCh)
+		if j.notifyDone != nil {
+			j.notifyDone(j)
+		}
+	})
+}

@@ -1,0 +1,721 @@
+// Package service is the proving service layer: it turns the library +
+// CLI prover into a long-running system that accepts concurrent proof
+// requests over HTTP, admits them into a bounded queue (overload sheds
+// load with 429 + Retry-After instead of growing memory), schedules them
+// across simulated devices with per-device queues, same-circuit batching
+// and work stealing, recovers per-job faults through the resilience
+// classes (a device lost mid-proof requeues the job on survivors), and
+// drains gracefully on SIGTERM — stop accepting, finish in-flight work,
+// checkpoint whatever the deadline strands.
+//
+// The layer composes everything below it: circuits compile through
+// internal/frontend or internal/workload, keys come from internal/groth16
+// setup and travel compressed (internal/curve point compression), proving
+// runs the paper's NTT/MSM strategies, faults inject through
+// internal/gpusim and classify through internal/resilience, and every
+// stage records spans, counters, gauges and latency histograms through
+// internal/telemetry.
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gzkp/internal/curve"
+	"gzkp/internal/ff"
+	"gzkp/internal/frontend"
+	"gzkp/internal/gpusim"
+	"gzkp/internal/groth16"
+	"gzkp/internal/msm"
+	"gzkp/internal/ntt"
+	"gzkp/internal/r1cs"
+	"gzkp/internal/resilience"
+	"gzkp/internal/telemetry"
+	"gzkp/internal/workload"
+)
+
+// Config sizes and wires one Service. The zero value of every field has a
+// usable default.
+type Config struct {
+	// Devices is the number of simulated proving devices; each gets a
+	// dedicated queue + worker (default 2).
+	Devices int
+	// QueueCapacity bounds admitted-but-unfinished jobs (queued + running).
+	// Submissions beyond it are rejected with a Retry-After estimate —
+	// admission control is what keeps overload from becoming OOM
+	// (default 64).
+	QueueCapacity int
+	// MaxBatch caps how many same-circuit jobs one dispatch groups
+	// (default 4).
+	MaxBatch int
+	// MaxCircuits bounds the registered-circuit cache — each registration
+	// runs a trusted setup and pins a proving key in memory (default 16).
+	MaxCircuits int
+	// Preprocess builds the GZKP MSM tables at registration (deployment
+	// mode: tables are per-key, built once, off the proving path).
+	Preprocess bool
+	// NTT/MSM select the prover strategies (default: the paper's GZKP
+	// configuration).
+	NTT ntt.Config
+	MSM msm.Config
+	// Retry bounds transient-fault retries inside each proof.
+	Retry resilience.Policy
+	// Faults optionally injects deterministic device faults, keyed by the
+	// service's device indices.
+	Faults *gpusim.FaultPlan
+	// Registry receives counters, gauges and latency histograms (default: a
+	// fresh registry; never nil after New).
+	Registry *telemetry.Registry
+	// Tracer, when set, records per-request spans (queue/prove/verify) and
+	// resilience events. Span storage grows with traffic, so attach one for
+	// bounded runs (tests, load experiments), not unbounded serving.
+	Tracer *telemetry.Tracer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Devices < 1 {
+		c.Devices = 2
+	}
+	if c.QueueCapacity < 1 {
+		c.QueueCapacity = 64
+	}
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 4
+	}
+	if c.MaxCircuits < 1 {
+		c.MaxCircuits = 16
+	}
+	if c.NTT.Strategy == 0 && c.MSM.Strategy == 0 {
+		c.NTT = ntt.Config{Strategy: ntt.GZKP}
+		c.MSM = msm.Config{Strategy: msm.GZKP}
+	}
+	if c.Registry == nil {
+		if c.Tracer != nil {
+			c.Registry = c.Tracer.Registry()
+		} else {
+			c.Registry = telemetry.NewRegistry()
+		}
+	}
+	return c
+}
+
+// CircuitSpec describes a circuit to register: either frontend source or a
+// synthetic workload (size+seed), bound to a curve. It doubles as the
+// registration request body and the checkpoint record, so a successor
+// process can rebuild the registry.
+type CircuitSpec struct {
+	Curve  string `json:"curve"`            // "bn254" | "bls12381"
+	Source string `json:"source,omitempty"` // frontend mini-language
+	// SyntheticSize/SyntheticSeed select a workload.SyntheticR1CS circuit
+	// instead of Source.
+	SyntheticSize int   `json:"synthetic_size,omitempty"`
+	SyntheticSeed int64 `json:"synthetic_seed,omitempty"`
+}
+
+// CircuitInfo is the registration response: the content-addressed id, the
+// circuit shape, and the compressed verifying key so clients can verify
+// proofs locally.
+type CircuitInfo struct {
+	CircuitID    string   `json:"circuit_id"`
+	Constraints  int      `json:"constraints"`
+	PublicNames  []string `json:"public_names"`
+	SecretNames  []string `json:"secret_names"`
+	VerifyingKey []byte   `json:"verifying_key"` // compressed, base64 via JSON
+	Cached       bool     `json:"cached"`
+}
+
+type circuitEntry struct {
+	id          string
+	spec        CircuitSpec
+	curveID     curve.ID
+	sys         *r1cs.System
+	pk          *groth16.ProvingKey
+	vk          *groth16.VerifyingKey
+	vkBytes     []byte
+	publicNames []string
+	secretNames []string
+}
+
+func (e *circuitEntry) info(cached bool) *CircuitInfo {
+	return &CircuitInfo{
+		CircuitID:    e.id,
+		Constraints:  len(e.sys.Constraints),
+		PublicNames:  append([]string(nil), e.publicNames...),
+		SecretNames:  append([]string(nil), e.secretNames...),
+		VerifyingKey: append([]byte(nil), e.vkBytes...),
+		Cached:       cached,
+	}
+}
+
+// OverloadError is the admission-control rejection: the queue is full and
+// the client should retry after the estimated drain time.
+type OverloadError struct {
+	Depth      int
+	Capacity   int
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("service: overloaded (%d/%d jobs admitted), retry after %s",
+		e.Depth, e.Capacity, e.RetryAfter)
+}
+
+// InputError is a malformed request (unknown arity, unparsable value).
+type InputError struct{ Msg string }
+
+func (e *InputError) Error() string { return "service: " + e.Msg }
+
+// NotFoundError reports an unknown circuit or job id.
+type NotFoundError struct{ What, ID string }
+
+func (e *NotFoundError) Error() string { return fmt.Sprintf("service: unknown %s %q", e.What, e.ID) }
+
+// ErrDraining rejects submissions after drain began.
+var ErrDraining = errors.New("service: draining, not accepting new jobs")
+
+// ErrCheckpointed marks jobs the drain deadline stranded; their inputs are
+// in the drain checkpoint.
+var ErrCheckpointed = errors.New("service: drained before scheduling; job checkpointed")
+
+// Service is the proving service. Construct with New, serve it over HTTP
+// with NewHandler, stop it with Drain + Close.
+type Service struct {
+	cfg   Config
+	reg   *telemetry.Registry
+	sched *scheduler
+	ctx   context.Context // base context for workers (carries the tracer)
+	wg    sync.WaitGroup
+
+	mu        sync.Mutex
+	idle      *sync.Cond // admitted == 0, for Drain
+	circuits  map[string]*circuitEntry
+	jobs      map[string]*Job
+	admitted  int
+	accepting bool
+	jobSeq    uint64
+
+	inflight atomic.Int64
+
+	// Cached metric handles (hot path: one atomic op each).
+	cAccepted, cRejected, cDone, cFailed  *telemetry.Counter
+	cRequeued, cBatches, cSteals          *telemetry.Counter
+	gQueueDepth, gInflight, gDevicesAlive *telemetry.Gauge
+	hQueueWait, hProve, hE2E              *telemetry.Histogram
+}
+
+// New builds the service and starts its device workers.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	ctx := context.Background()
+	if cfg.Tracer != nil {
+		ctx = telemetry.NewContext(ctx, cfg.Tracer)
+		for d := 0; d < cfg.Devices; d++ {
+			cfg.Tracer.NameTrack(telemetry.DeviceTrack(d), fmt.Sprintf("device %d", d))
+		}
+	}
+	s := &Service{
+		cfg:       cfg,
+		reg:       cfg.Registry,
+		sched:     newScheduler(cfg.Devices, cfg.MaxBatch),
+		ctx:       ctx,
+		circuits:  map[string]*circuitEntry{},
+		jobs:      map[string]*Job{},
+		accepting: true,
+	}
+	s.idle = sync.NewCond(&s.mu)
+	r := s.reg
+	s.cAccepted = r.Counter("service.jobs.accepted")
+	s.cRejected = r.Counter("service.jobs.rejected")
+	s.cDone = r.Counter("service.jobs.done")
+	s.cFailed = r.Counter("service.jobs.failed")
+	s.cRequeued = r.Counter("service.jobs.requeued")
+	s.cBatches = r.Counter("service.batches")
+	s.cSteals = r.Counter("service.steals")
+	s.sched.stealCtr = s.cSteals
+	s.gQueueDepth = r.Gauge("service.queue_depth")
+	s.gInflight = r.Gauge("service.inflight")
+	s.gDevicesAlive = r.Gauge("service.devices_alive")
+	s.hQueueWait = r.Histogram("service.queue_wait_ns")
+	s.hProve = r.Histogram("service.prove_ns")
+	s.hE2E = r.Histogram("service.e2e_ns")
+	s.gDevicesAlive.Set(float64(cfg.Devices))
+	for d := 0; d < cfg.Devices; d++ {
+		s.wg.Add(1)
+		go s.worker(d)
+	}
+	return s
+}
+
+// Registry exposes the metrics registry (for /metrics and tests).
+func (s *Service) Registry() *telemetry.Registry { return s.reg }
+
+// Ready reports whether the service accepts work: not draining and at
+// least one device alive.
+func (s *Service) Ready() bool {
+	s.mu.Lock()
+	acc := s.accepting
+	s.mu.Unlock()
+	return acc && s.sched.devicesAlive() > 0
+}
+
+// DevicesAlive reports surviving devices.
+func (s *Service) DevicesAlive() int { return s.sched.devicesAlive() }
+
+// circuitID content-addresses a spec: same curve + same definition = same
+// id, so re-registration is a cache hit, not a second trusted setup.
+func circuitID(spec CircuitSpec) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%d\x00%d", spec.Curve, spec.Source, spec.SyntheticSize, spec.SyntheticSeed)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+func curveByName(name string) (curve.ID, error) {
+	switch name {
+	case "bn254":
+		return curve.BN254, nil
+	case "bls12381":
+		return curve.BLS12381, nil
+	}
+	return 0, &InputError{Msg: fmt.Sprintf("unsupported curve %q (want bn254 or bls12381)", name)}
+}
+
+// Register compiles the circuit, runs the trusted setup, optionally builds
+// the GZKP tables, and caches everything under the spec's content hash.
+// Registering an already-known spec returns the cached entry.
+func (s *Service) Register(spec CircuitSpec) (*CircuitInfo, error) {
+	id := circuitID(spec)
+	s.mu.Lock()
+	if e, ok := s.circuits[id]; ok {
+		s.mu.Unlock()
+		return e.info(true), nil
+	}
+	if len(s.circuits) >= s.cfg.MaxCircuits {
+		s.mu.Unlock()
+		return nil, &OverloadError{
+			Depth: s.cfg.MaxCircuits, Capacity: s.cfg.MaxCircuits,
+			RetryAfter: time.Minute,
+		}
+	}
+	s.mu.Unlock()
+
+	cid, err := curveByName(spec.Curve)
+	if err != nil {
+		return nil, err
+	}
+	c := curve.Get(cid)
+	e := &circuitEntry{id: id, spec: spec, curveID: cid}
+	switch {
+	case spec.Source != "":
+		prog, err := frontend.Compile(c.Fr, spec.Source)
+		if err != nil {
+			return nil, &InputError{Msg: fmt.Sprintf("compile: %v", err)}
+		}
+		e.sys = prog.System
+		e.publicNames = prog.PublicNames
+		e.secretNames = prog.SecretNames
+	case spec.SyntheticSize > 0:
+		sys, _, _, err := workload.SyntheticR1CS(c.Fr, spec.SyntheticSize, spec.SyntheticSeed)
+		if err != nil {
+			return nil, &InputError{Msg: fmt.Sprintf("synthetic circuit: %v", err)}
+		}
+		e.sys = sys
+		// SyntheticR1CS declares one public output and three secrets.
+		e.publicNames = []string{"out"}
+		e.secretNames = []string{"x", "y", "rv"}
+	default:
+		return nil, &InputError{Msg: "circuit spec needs source or synthetic_size"}
+	}
+
+	sp, ctx := telemetry.StartSpan(s.ctx, "register")
+	sp.SetStr("circuit", id)
+	defer sp.End()
+	pk, vk, err := groth16.Setup(e.sys, c, nil)
+	if err != nil {
+		return nil, fmt.Errorf("service: setup: %w", err)
+	}
+	if s.cfg.Preprocess && s.cfg.MSM.Strategy == msm.GZKP {
+		if err := pk.PreprocessCtx(ctx, s.cfg.MSM); err != nil {
+			return nil, fmt.Errorf("service: preprocess: %w", err)
+		}
+	}
+	e.pk, e.vk = pk, vk
+	if e.vkBytes, err = vk.MarshalCompressed(); err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.circuits[id]; ok { // raced with a concurrent Register
+		return prev.info(true), nil
+	}
+	s.circuits[id] = e
+	s.reg.Counter("service.circuits.registered").Add(1)
+	return e.info(false), nil
+}
+
+// Circuit returns the registration info of a cached circuit.
+func (s *Service) Circuit(id string) (*CircuitInfo, error) {
+	s.mu.Lock()
+	e, ok := s.circuits[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, &NotFoundError{What: "circuit", ID: id}
+	}
+	return e.info(true), nil
+}
+
+// parseInputs turns decimal strings into field elements, validating arity
+// against the circuit's declared inputs.
+func parseInputs(f *ff.Field, vals []string, want int, kind string) ([]ff.Element, error) {
+	if len(vals) != want {
+		return nil, &InputError{Msg: fmt.Sprintf("want %d %s inputs, got %d", want, kind, len(vals))}
+	}
+	out := make([]ff.Element, len(vals))
+	for i, v := range vals {
+		b, ok := new(big.Int).SetString(v, 10)
+		if !ok {
+			return nil, &InputError{Msg: fmt.Sprintf("%s input %d: not a decimal value", kind, i)}
+		}
+		out[i] = f.FromBig(b)
+	}
+	return out, nil
+}
+
+// Submit admits one prove request. It validates the inputs up front (so a
+// malformed request costs nothing downstream), then either admits the job
+// into the bounded queue or rejects with an OverloadError carrying the
+// Retry-After estimate. Accepted jobs always reach a terminal state.
+func (s *Service) Submit(circuitID string, public, secret []string) (*Job, error) {
+	s.mu.Lock()
+	if !s.accepting {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	e, ok := s.circuits[circuitID]
+	s.mu.Unlock()
+	if !ok {
+		s.cRejected.Add(1)
+		return nil, &NotFoundError{What: "circuit", ID: circuitID}
+	}
+	f := curve.Get(e.curveID).Fr
+	if _, err := parseInputs(f, public, e.sys.NumPublic, "public"); err != nil {
+		s.cRejected.Add(1)
+		return nil, err
+	}
+	if _, err := parseInputs(f, secret, e.sys.NumSecret, "secret"); err != nil {
+		s.cRejected.Add(1)
+		return nil, err
+	}
+
+	s.mu.Lock()
+	if !s.accepting {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if s.admitted >= s.cfg.QueueCapacity {
+		depth := s.admitted
+		s.mu.Unlock()
+		s.cRejected.Add(1)
+		return nil, &OverloadError{
+			Depth: depth, Capacity: s.cfg.QueueCapacity,
+			RetryAfter: s.retryAfterEstimate(depth),
+		}
+	}
+	s.admitted++
+	s.jobSeq++
+	id := fmt.Sprintf("job-%08d", s.jobSeq)
+	j := newJob(id, circuitID, public, secret, s.jobDone)
+	s.jobs[id] = j
+	s.mu.Unlock()
+
+	s.cAccepted.Add(1)
+	if !s.sched.enqueue(j) {
+		j.finish(JobFailed, nil, errors.New("service: no surviving devices"))
+		return j, nil
+	}
+	s.gQueueDepth.Set(float64(s.sched.depth()))
+	return j, nil
+}
+
+// retryAfterEstimate sizes the 429 Retry-After header: the time for the
+// surviving devices to chew through the current backlog at the observed
+// mean prove latency, clamped to [1s, 60s].
+func (s *Service) retryAfterEstimate(depth int) time.Duration {
+	mean := int64(100 * time.Millisecond) // prior before any observation
+	if snap := s.hProve.Snapshot(); snap.Count > 0 {
+		mean = snap.Mean()
+	}
+	alive := s.sched.devicesAlive()
+	if alive < 1 {
+		alive = 1
+	}
+	est := time.Duration(int64(depth) * mean / int64(alive))
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > time.Minute {
+		est = time.Minute
+	}
+	return est
+}
+
+// Job looks up an accepted job by id.
+func (s *Service) Job(id string) (*Job, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, &NotFoundError{What: "job", ID: id}
+	}
+	return j, nil
+}
+
+// jobDone releases the admission slot when a job reaches a terminal state.
+func (s *Service) jobDone(j *Job) {
+	s.mu.Lock()
+	s.admitted--
+	if s.admitted == 0 {
+		s.idle.Broadcast()
+	}
+	s.mu.Unlock()
+	s.gQueueDepth.Set(float64(s.sched.depth()))
+}
+
+// worker is one device's dispatch loop: take a batch, prove each job,
+// recover faults per resilience class.
+func (s *Service) worker(dev int) {
+	defer s.wg.Done()
+	for {
+		batch := s.sched.next(dev)
+		if batch == nil {
+			return
+		}
+		s.cBatches.Add(1)
+		var bsp telemetry.Span
+		ctx := s.ctx
+		if len(batch) > 1 {
+			bsp, ctx = telemetry.StartSpanOn(s.ctx, telemetry.DeviceTrack(dev), "batch")
+			bsp.SetStr("circuit", batch[0].CircuitID)
+			bsp.SetInt("jobs", int64(len(batch)))
+		}
+		for _, j := range batch {
+			s.runJob(ctx, dev, j)
+		}
+		bsp.End()
+		s.gQueueDepth.Set(float64(s.sched.depth()))
+	}
+}
+
+// runJob drives one job on one device: solve the witness, prove with the
+// fault plan pinned to this device, verify the result server-side, and
+// classify any failure — DeviceLost kills the device and requeues the job
+// on survivors; everything else that escapes groth16's internal recovery
+// fails the job.
+func (s *Service) runJob(ctx context.Context, dev int, j *Job) {
+	j.markRunning(dev)
+	s.hQueueWait.Record(j.queueNS)
+	s.gInflight.Set(float64(s.inflight.Add(1)))
+	defer func() { s.gInflight.Set(float64(s.inflight.Add(-1))) }()
+
+	s.mu.Lock()
+	e := s.circuits[j.CircuitID]
+	s.mu.Unlock()
+	if e == nil { // unreachable: Submit validated the id
+		j.finish(JobFailed, nil, &NotFoundError{What: "circuit", ID: j.CircuitID})
+		return
+	}
+
+	sp, jctx := telemetry.StartSpanOn(ctx, telemetry.DeviceTrack(dev), "job")
+	sp.SetStr("id", j.ID)
+	sp.SetStr("circuit", j.CircuitID)
+	defer sp.End()
+
+	cfg := groth16.ProveConfig{NTT: s.cfg.NTT, MSM: s.cfg.MSM, Retry: s.cfg.Retry}
+	if s.cfg.Faults != nil {
+		cfg.Faults = &gpusim.DeviceFaults{Plan: s.cfg.Faults, Device: dev}
+	}
+
+	f := curve.Get(e.curveID).Fr
+	t0 := time.Now()
+	pub, err := parseInputs(f, j.Public, e.sys.NumPublic, "public")
+	var proof *groth16.Proof
+	if err == nil {
+		var sec []ff.Element
+		if sec, err = parseInputs(f, j.Secret, e.sys.NumSecret, "secret"); err == nil {
+			var w []ff.Element
+			ssp, _ := telemetry.StartSpan(jctx, "solve")
+			w, err = e.sys.Solve(pub, sec)
+			ssp.End()
+			if err == nil {
+				psp, pctx := telemetry.StartSpan(jctx, "prove")
+				proof, _, err = groth16.ProveCtx(pctx, e.pk, e.sys, w, cfg, nil)
+				psp.End()
+			}
+		}
+	}
+	proveNS := time.Since(t0).Nanoseconds()
+
+	if err != nil {
+		switch resilience.Classify(err) {
+		case resilience.DeviceLost:
+			survivors := s.sched.kill(dev)
+			s.gDevicesAlive.Set(float64(s.sched.devicesAlive()))
+			resilience.Record(jctx, telemetry.DeviceTrack(dev), resilience.DeviceLost,
+				telemetry.Str("job", j.ID), telemetry.Int("device", int64(dev)))
+			if survivors && j.attemptCount() <= s.cfg.Devices {
+				j.markQueued()
+				s.cRequeued.Add(1)
+				if s.sched.requeue(j) {
+					return // the job lives on; a survivor finishes it
+				}
+			}
+			j.finish(JobFailed, nil, fmt.Errorf("service: job %s: no surviving device: %w", j.ID, err))
+		default:
+			j.finish(JobFailed, nil, err)
+		}
+		s.cFailed.Add(1)
+		s.hE2E.Record(time.Since(j.enqueued).Nanoseconds())
+		return
+	}
+
+	// Server-side verification: the service never returns a proof it has
+	// not checked (catching miscompiled circuits and recovery bugs at the
+	// boundary instead of at the client).
+	vsp, _ := telemetry.StartSpan(jctx, "verify")
+	tv := time.Now()
+	verr := groth16.Verify(e.vk, proof, pub)
+	verifyNS := time.Since(tv).Nanoseconds()
+	vsp.End()
+	if verr != nil {
+		j.finish(JobFailed, nil, fmt.Errorf("service: produced proof failed verification: %w", verr))
+		s.cFailed.Add(1)
+		s.hE2E.Record(time.Since(j.enqueued).Nanoseconds())
+		return
+	}
+	blob, merr := proof.MarshalCompressed()
+	if merr != nil {
+		j.finish(JobFailed, nil, merr)
+		s.cFailed.Add(1)
+		return
+	}
+	j.mu.Lock()
+	j.proveNS = proveNS
+	j.verifyNS = verifyNS
+	j.mu.Unlock()
+	j.finish(JobDone, blob, nil)
+	s.cDone.Add(1)
+	s.hProve.Record(proveNS)
+	s.hE2E.Record(time.Since(j.enqueued).Nanoseconds())
+}
+
+// CheckpointEntry is one stranded job in a drain checkpoint.
+type CheckpointEntry struct {
+	JobID     string   `json:"job_id"`
+	CircuitID string   `json:"circuit_id"`
+	Public    []string `json:"public"`
+	Secret    []string `json:"secret"`
+}
+
+// Checkpoint is the drain artifact: the circuit specs (so a successor can
+// rebuild the registry deterministically — ids are content hashes) and the
+// jobs that were admitted but never scheduled before the deadline.
+type Checkpoint struct {
+	Circuits []CircuitSpec     `json:"circuits"`
+	Jobs     []CheckpointEntry `json:"jobs"`
+}
+
+// DrainReport summarizes a drain.
+type DrainReport struct {
+	Finished     int64       // jobs that reached done/failed during the drain window
+	Checkpointed *Checkpoint // nil when everything finished in time
+}
+
+// Drain stops accepting work and waits for every admitted job to finish.
+// If ctx expires first, still-queued jobs are pulled off the scheduler,
+// marked checkpointed, and returned for persistence; running jobs are
+// still waited for briefly (they hold devices). Call Close afterwards.
+func (s *Service) Drain(ctx context.Context) (*DrainReport, error) {
+	s.mu.Lock()
+	s.accepting = false
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	stop := context.AfterFunc(ctx, func() {
+		// Wake the idle waiter so it notices the deadline.
+		s.mu.Lock()
+		s.idle.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+	go func() {
+		s.mu.Lock()
+		for s.admitted > 0 && ctx.Err() == nil {
+			s.idle.Wait()
+		}
+		s.mu.Unlock()
+		close(done)
+	}()
+	<-done
+
+	rep := &DrainReport{Finished: s.cDone.Value() + s.cFailed.Value()}
+	if ctx.Err() == nil {
+		return rep, nil
+	}
+	// Deadline: checkpoint whatever never got scheduled.
+	pending := s.sched.drainPending()
+	if len(pending) == 0 {
+		return rep, ctx.Err()
+	}
+	cp := &Checkpoint{}
+	seen := map[string]bool{}
+	s.mu.Lock()
+	for _, j := range pending {
+		if e, ok := s.circuits[j.CircuitID]; ok && !seen[j.CircuitID] {
+			seen[j.CircuitID] = true
+			cp.Circuits = append(cp.Circuits, e.spec)
+		}
+	}
+	s.mu.Unlock()
+	for _, j := range pending {
+		cp.Jobs = append(cp.Jobs, CheckpointEntry{
+			JobID: j.ID, CircuitID: j.CircuitID,
+			Public: append([]string(nil), j.Public...),
+			Secret: append([]string(nil), j.Secret...),
+		})
+		j.finish(JobCheckpointed, nil, ErrCheckpointed)
+	}
+	rep.Checkpointed = cp
+	return rep, nil
+}
+
+// Restore re-registers a checkpoint's circuits and resubmits its jobs —
+// run at startup by a successor process. Returns the restored job count.
+func (s *Service) Restore(cp *Checkpoint) (int, error) {
+	for _, spec := range cp.Circuits {
+		if _, err := s.Register(spec); err != nil {
+			return 0, fmt.Errorf("service: restore circuit: %w", err)
+		}
+	}
+	n := 0
+	for _, e := range cp.Jobs {
+		if _, err := s.Submit(e.CircuitID, e.Public, e.Secret); err != nil {
+			return n, fmt.Errorf("service: restore job %s: %w", e.JobID, err)
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Close stops the device workers. Pending jobs are abandoned — call Drain
+// first for a graceful stop.
+func (s *Service) Close() {
+	s.sched.close()
+	s.wg.Wait()
+}

@@ -1,0 +1,474 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math/big"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gzkp/internal/curve"
+	"gzkp/internal/ff"
+	"gzkp/internal/gpusim"
+	"gzkp/internal/groth16"
+	"gzkp/internal/msm"
+	"gzkp/internal/ntt"
+)
+
+// cubicSrc is the tiny reference circuit every e2e test proves: x^3+x+5=out,
+// satisfied by (out=35, x=3).
+const cubicSrc = "public out\nsecret x\nlet y = x^3 + x + 5\nassert y == out\n"
+
+// fastConfig keeps e2e proofs cheap: tiny circuit, serial strategies.
+func fastConfig() Config {
+	return Config{
+		NTT: ntt.Config{Strategy: ntt.Serial, Workers: 1},
+		MSM: msm.Config{Strategy: msm.PippengerWindows, Workers: 1},
+	}
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	svc := New(cfg)
+	srv := httptest.NewServer(NewHandler(svc))
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	return svc, srv
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func registerCubic(t *testing.T, base string) *CircuitInfo {
+	t.Helper()
+	resp, body := postJSON(t, base+"/v1/circuits", CircuitSpec{Curve: "bn254", Source: cubicSrc})
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: %d %s", resp.StatusCode, body)
+	}
+	var info CircuitInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	return &info
+}
+
+// verifyStatus client-side-verifies the compressed proof in a job status.
+func verifyStatus(t *testing.T, info *CircuitInfo, st *JobStatus) {
+	t.Helper()
+	vk, err := groth16.UnmarshalVerifyingKeyAuto(info.VerifyingKey)
+	if err != nil {
+		t.Fatalf("vk decode: %v", err)
+	}
+	proof, err := groth16.UnmarshalProofAuto(st.Proof)
+	if err != nil {
+		t.Fatalf("proof decode: %v", err)
+	}
+	f := curve.Get(vk.CurveID).Fr
+	pub := []ff.Element{f.FromBig(big.NewInt(35))}
+	if err := groth16.Verify(vk, proof, pub); err != nil {
+		t.Fatalf("returned proof does not verify: %v", err)
+	}
+}
+
+// TestServiceEndToEnd is the ISSUE's admission-control e2e: 64 concurrent
+// sync requests against a deliberately small queue must split into verified
+// successes and 429 rejections with Retry-After — no accepted job dropped,
+// no other outcome — and a drain afterwards finishes in-flight work.
+func TestServiceEndToEnd(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Devices = 2
+	cfg.QueueCapacity = 8
+	svc, srv := newTestServer(t, cfg)
+	info := registerCubic(t, srv.URL)
+
+	// Re-registration must be a cache hit, not a second setup.
+	resp, _ := postJSON(t, srv.URL+"/v1/circuits", CircuitSpec{Curve: "bn254", Source: cubicSrc})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-register status %d, want 200 (cached)", resp.StatusCode)
+	}
+
+	const clients = 64
+	var ok, rejected, other atomic.Int64
+	var mu sync.Mutex
+	var statuses []JobStatus
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := ProveRequest{CircuitID: info.CircuitID, Public: []string{"35"}, Secret: []string{"3"}}
+			b, _ := json.Marshal(req)
+			resp, err := http.Post(srv.URL+"/v1/prove", "application/json", bytes.NewReader(b))
+			if err != nil {
+				other.Add(1)
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				var st JobStatus
+				if json.Unmarshal(body, &st) == nil && st.State == "done" && len(st.Proof) > 0 {
+					ok.Add(1)
+					mu.Lock()
+					statuses = append(statuses, st)
+					mu.Unlock()
+				} else {
+					other.Add(1)
+				}
+			case http.StatusTooManyRequests:
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("429 without Retry-After header")
+				}
+				rejected.Add(1)
+			default:
+				t.Errorf("unexpected status %d: %s", resp.StatusCode, body)
+				other.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if other.Load() != 0 {
+		t.Fatalf("%d requests ended in neither success nor 429", other.Load())
+	}
+	if ok.Load()+rejected.Load() != clients {
+		t.Fatalf("accounted %d+%d of %d requests", ok.Load(), rejected.Load(), clients)
+	}
+	if ok.Load() == 0 {
+		t.Fatal("every request was rejected; capacity admitted nothing")
+	}
+	if rejected.Load() == 0 {
+		t.Fatalf("no 429s from %d clients against capacity %d", clients, cfg.QueueCapacity)
+	}
+	for i := range statuses {
+		verifyStatus(t, info, &statuses[i])
+	}
+	// Zero accepted jobs dropped: accepted == done, failed == 0.
+	reg := svc.Registry()
+	if got, want := reg.Counter("service.jobs.done").Value(), ok.Load(); got != want {
+		t.Fatalf("done counter %d != verified successes %d", got, want)
+	}
+	if failed := reg.Counter("service.jobs.failed").Value(); failed != 0 {
+		t.Fatalf("%d accepted jobs failed", failed)
+	}
+
+	// Latency histograms observed every job.
+	snap := reg.Snapshot()
+	if h, okh := snap.Histograms["service.e2e_ns"]; !okh || h.Count != ok.Load() {
+		t.Fatalf("e2e histogram count %d, want %d", h.Count, ok.Load())
+	}
+
+	// Drain with work still in flight: async submissions must finish, not
+	// be dropped, and the service must then refuse new jobs with a 503.
+	var async []string
+	for i := 0; i < 4; i++ {
+		resp, body := postJSON(t, srv.URL+"/v1/prove?async=1",
+			ProveRequest{CircuitID: info.CircuitID, Public: []string{"35"}, Secret: []string{"3"}})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("async submit: %d %s", resp.StatusCode, body)
+		}
+		var st JobStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		async = append(async, st.ID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rep, err := svc.Drain(ctx)
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if rep.Checkpointed != nil {
+		t.Fatalf("drain checkpointed %d jobs instead of finishing them", len(rep.Checkpointed.Jobs))
+	}
+	for _, id := range async {
+		resp, body := getJSON(t, srv.URL+"/v1/jobs/"+id)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("job %s: %d", id, resp.StatusCode)
+		}
+		var st JobStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State != "done" {
+			t.Fatalf("job %s state %q after drain, want done (err=%s)", id, st.State, st.Error)
+		}
+		verifyStatus(t, info, &st)
+	}
+	resp, _ = postJSON(t, srv.URL+"/v1/prove",
+		ProveRequest{CircuitID: info.CircuitID, Public: []string{"35"}, Secret: []string{"3"}})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain submit status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After header")
+	}
+	// Readiness must reflect the drain.
+	resp, _ = getJSON(t, srv.URL+"/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz %d while draining, want 503", resp.StatusCode)
+	}
+}
+
+// TestServiceFaultFailover is the fault-injection e2e variant: a device is
+// lost mid-load, and every accepted job must still finish successfully by
+// failing over to the survivor — zero failed accepted jobs.
+func TestServiceFaultFailover(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Devices = 2
+	cfg.QueueCapacity = 32
+	// Each proof costs 12 modeled launches (7 NTT + 5 MSM); killing device 0
+	// at launch 18 lands mid-way through its second proof.
+	cfg.Faults = gpusim.NewFaultPlan(1, gpusim.Fault{
+		Kind: gpusim.FaultDeviceLost, Device: 0, Step: 18,
+	})
+	svc, srv := newTestServer(t, cfg)
+	info := registerCubic(t, srv.URL)
+
+	const jobs = 12
+	var wg sync.WaitGroup
+	var ok, rejected atomic.Int64
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, body := postJSON(t, srv.URL+"/v1/prove",
+				ProveRequest{CircuitID: info.CircuitID, Public: []string{"35"}, Secret: []string{"3"}})
+			switch resp.StatusCode {
+			case http.StatusOK:
+				var st JobStatus
+				if err := json.Unmarshal(body, &st); err != nil || st.State != "done" {
+					t.Errorf("accepted job did not finish done: %s", body)
+					return
+				}
+				verifyStatus(t, info, &st)
+				ok.Add(1)
+			case http.StatusTooManyRequests:
+				rejected.Add(1)
+			default:
+				t.Errorf("unexpected status %d: %s", resp.StatusCode, body)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if ok.Load()+rejected.Load() != jobs {
+		t.Fatalf("accounted %d+%d of %d", ok.Load(), rejected.Load(), jobs)
+	}
+	reg := svc.Registry()
+	if failed := reg.Counter("service.jobs.failed").Value(); failed != 0 {
+		t.Fatalf("%d accepted jobs failed despite a survivor", failed)
+	}
+	if svc.DevicesAlive() != 1 {
+		t.Fatalf("devices alive = %d, want 1 after injected loss", svc.DevicesAlive())
+	}
+	if req := reg.Counter("service.jobs.requeued").Value(); req == 0 {
+		t.Fatal("device loss produced no requeue")
+	}
+	// The service stays ready on the survivor.
+	resp, _ := getJSON(t, srv.URL+"/readyz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz %d with a surviving device", resp.StatusCode)
+	}
+}
+
+// TestServiceDrainCheckpointRestore covers the drain deadline path: jobs
+// still queued when the deadline fires are checkpointed (not dropped) and a
+// successor service restores and finishes them.
+func TestServiceDrainCheckpointRestore(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Devices = 1
+	cfg.QueueCapacity = 16
+	svc := New(cfg)
+	defer svc.Close()
+	info, err := svc.Register(CircuitSpec{Curve: "bn254", Source: cubicSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []*Job
+	for i := 0; i < 8; i++ {
+		j, err := svc.Submit(info.CircuitID, []string{"35"}, []string{"3"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	// Expired context: the drain must checkpoint whatever was not scheduled.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, _ := svc.Drain(ctx)
+	if rep.Checkpointed == nil || len(rep.Checkpointed.Jobs) == 0 {
+		t.Skip("all jobs finished before the drain deadline; nothing to checkpoint")
+	}
+	cp := rep.Checkpointed
+	if len(cp.Circuits) != 1 {
+		t.Fatalf("checkpoint carries %d circuits, want 1", len(cp.Circuits))
+	}
+	checkpointed := 0
+	for _, j := range jobs {
+		if j.State() == JobCheckpointed {
+			checkpointed++
+		}
+	}
+	if checkpointed != len(cp.Jobs) {
+		t.Fatalf("%d jobs marked checkpointed, checkpoint has %d", checkpointed, len(cp.Jobs))
+	}
+
+	// The checkpoint must survive a JSON round trip (it is written to disk).
+	blob, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cp2 Checkpoint
+	if err := json.Unmarshal(blob, &cp2); err != nil {
+		t.Fatal(err)
+	}
+
+	succ := New(cfg)
+	defer succ.Close()
+	n, err := succ.Restore(&cp2)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if n != len(cp.Jobs) {
+		t.Fatalf("restored %d jobs, want %d", n, len(cp.Jobs))
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel2()
+	if _, err := succ.Drain(ctx2); err != nil {
+		t.Fatalf("successor drain: %v", err)
+	}
+	if done := succ.Registry().Counter("service.jobs.done").Value(); done != int64(n) {
+		t.Fatalf("successor finished %d of %d restored jobs", done, n)
+	}
+}
+
+// TestServiceValidation covers the 400/404 paths and the health endpoints.
+func TestServiceValidation(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Devices = 1
+	_, srv := newTestServer(t, cfg)
+	info := registerCubic(t, srv.URL)
+
+	cases := []struct {
+		name string
+		req  ProveRequest
+		want int
+	}{
+		{"unknown circuit", ProveRequest{CircuitID: "nope", Public: []string{"35"}, Secret: []string{"3"}}, 404},
+		{"bad arity", ProveRequest{CircuitID: info.CircuitID, Public: []string{"35", "36"}, Secret: []string{"3"}}, 400},
+		{"non-decimal input", ProveRequest{CircuitID: info.CircuitID, Public: []string{"0x23"}, Secret: []string{"3"}}, 400},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, srv.URL+"/v1/prove", tc.req)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d want %d (%s)", tc.name, resp.StatusCode, tc.want, body)
+		}
+	}
+	if resp, _ := postJSON(t, srv.URL+"/v1/circuits", CircuitSpec{Curve: "secp256k1", Source: cubicSrc}); resp.StatusCode != 400 {
+		t.Errorf("unsupported curve: status %d want 400", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, srv.URL+"/v1/circuits", CircuitSpec{Curve: "bn254", Source: "garbage !"}); resp.StatusCode != 400 {
+		t.Errorf("uncompilable source: status %d want 400", resp.StatusCode)
+	}
+	if resp, _ := getJSON(t, srv.URL+"/v1/jobs/job-99999999"); resp.StatusCode != 404 {
+		t.Errorf("unknown job: status %d want 404", resp.StatusCode)
+	}
+	if resp, _ := getJSON(t, srv.URL+"/healthz"); resp.StatusCode != 200 {
+		t.Errorf("healthz: %d", resp.StatusCode)
+	}
+	if resp, _ := getJSON(t, srv.URL+"/readyz"); resp.StatusCode != 200 {
+		t.Errorf("readyz: %d", resp.StatusCode)
+	}
+	resp, body := getJSON(t, srv.URL+"/metrics")
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("metrics not JSON: %v", err)
+	}
+}
+
+// TestServiceAsyncLifecycle submits async and polls to completion.
+func TestServiceAsyncLifecycle(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Devices = 1
+	_, srv := newTestServer(t, cfg)
+	info := registerCubic(t, srv.URL)
+
+	resp, body := postJSON(t, srv.URL+"/v1/prove?async=1",
+		ProveRequest{CircuitID: info.CircuitID, Public: []string{"35"}, Secret: []string{"3"}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit: %d %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, body = getJSON(t, srv.URL+"/v1/jobs/"+st.ID)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll: %d", resp.StatusCode)
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "done" || st.State == "failed" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %q", st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.State != "done" {
+		t.Fatalf("job failed: %s", st.Error)
+	}
+	verifyStatus(t, info, &st)
+	if st.TotalNS <= 0 || st.ProveNS <= 0 {
+		t.Fatalf("missing latency accounting: total=%d prove=%d", st.TotalNS, st.ProveNS)
+	}
+}
+
+func getJSON(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}

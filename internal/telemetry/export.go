@@ -192,6 +192,11 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 			return err
 		}
 	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		if err := enc.Encode(jsonlRecord{Type: "histogram", Name: name, Value: snap.Histograms[name]}); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -284,6 +289,14 @@ func (t *Tracer) WriteSummary(w io.Writer) error {
 		fmt.Fprintf(w, "gauges:\n")
 		for _, name := range sortedKeys(snap.Gauges) {
 			fmt.Fprintf(w, "  %-32s %.3f\n", name, snap.Gauges[name])
+		}
+	}
+	if len(snap.Histograms) > 0 {
+		fmt.Fprintf(w, "histograms:\n")
+		for _, name := range sortedKeys(snap.Histograms) {
+			h := snap.Histograms[name]
+			fmt.Fprintf(w, "  %-32s n=%d p50=%s p95=%s p99=%s max=%s\n",
+				name, h.Count, fmtNS(h.P50), fmtNS(h.P95), fmtNS(h.P99), fmtNS(h.Max))
 		}
 	}
 	return nil

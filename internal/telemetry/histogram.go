@@ -1,0 +1,189 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket latency/size distribution with an atomic,
+// zero-allocation record path, built for the serving layer's per-request
+// latency and queue-wait metrics: Record is a bucket scan plus a handful of
+// atomic adds, safe under arbitrary concurrency, and quantiles are derived
+// from the bucket counts at snapshot time. A nil *Histogram is a no-op, so
+// producers record unconditionally (the same convention as Counter/Gauge).
+//
+// Buckets are defined by ascending upper bounds: observation v lands in the
+// first bucket whose bound is >= v, and values above the last bound land in
+// the implicit overflow bucket. Bounds are fixed at construction — there is
+// no rebucketing, which is what keeps the record path lock-free.
+type Histogram struct {
+	bounds []int64 // ascending inclusive upper bounds
+	counts []int64 // len(bounds)+1; last is the overflow bucket
+	count  int64
+	sum    int64
+	min    int64 // valid only while count > 0
+	max    int64
+}
+
+// DefaultLatencyBounds covers 1µs .. ~137s in doubling steps — wide enough
+// for queue waits under overload and prove times from toy to paper-scale
+// circuits, narrow enough that p99 interpolation stays within ~2× error.
+func DefaultLatencyBounds() []int64 {
+	bounds := make([]int64, 28)
+	v := int64(1_000) // 1µs in ns
+	for i := range bounds {
+		bounds[i] = v
+		v *= 2
+	}
+	return bounds
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds
+// (DefaultLatencyBounds when none are given).
+func NewHistogram(bounds []int64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBounds()
+	}
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			panic("telemetry: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{bounds: b, counts: make([]int64, len(b)+1), min: math.MaxInt64, max: math.MinInt64}
+}
+
+// Record adds one observation. It allocates nothing and takes no locks
+// (no-op on nil).
+func (h *Histogram) Record(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	atomic.AddInt64(&h.counts[i], 1)
+	atomic.AddInt64(&h.count, 1)
+	atomic.AddInt64(&h.sum, v)
+	for {
+		old := atomic.LoadInt64(&h.min)
+		if v >= old {
+			break
+		}
+		if atomic.CompareAndSwapInt64(&h.min, old, v) {
+			break
+		}
+	}
+	for {
+		old := atomic.LoadInt64(&h.max)
+		if v <= old {
+			break
+		}
+		if atomic.CompareAndSwapInt64(&h.max, old, v) {
+			break
+		}
+	}
+}
+
+// Count reports the number of recorded observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&h.count)
+}
+
+// Snapshot copies the histogram state and precomputes the common quantiles.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Bounds = append([]int64(nil), h.bounds...)
+	s.Counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		s.Counts[i] = atomic.LoadInt64(&h.counts[i])
+		s.Count += s.Counts[i]
+	}
+	s.Sum = atomic.LoadInt64(&h.sum)
+	if s.Count > 0 {
+		s.Min = atomic.LoadInt64(&h.min)
+		s.Max = atomic.LoadInt64(&h.max)
+	}
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, with the
+// common latency quantiles precomputed for exporters and the /metrics
+// endpoint.
+type HistogramSnapshot struct {
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+	Min    int64   `json:"min"`
+	Max    int64   `json:"max"`
+	P50    int64   `json:"p50"`
+	P95    int64   `json:"p95"`
+	P99    int64   `json:"p99"`
+	Bounds []int64 `json:"bounds,omitempty"`
+	Counts []int64 `json:"counts,omitempty"`
+}
+
+// Mean returns the average observation (0 when empty).
+func (s HistogramSnapshot) Mean() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / s.Count
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// inside the containing bucket, clamped to the observed min/max so small
+// samples do not report a bucket bound nobody hit.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(s.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen < rank {
+			continue
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Max
+		if i < len(s.Bounds) && s.Bounds[i] < hi {
+			hi = s.Bounds[i]
+		}
+		if lo < s.Min {
+			lo = s.Min
+		}
+		if hi < lo {
+			hi = lo
+		}
+		// Position of the target rank inside this bucket.
+		frac := float64(rank-(seen-c)) / float64(c)
+		return lo + int64(frac*float64(hi-lo))
+	}
+	return s.Max
+}

@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000})
+	for _, v := range []int64{1, 5, 10, 50, 200, 5000} {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if s.Sum != 1+5+10+50+200+5000 {
+		t.Fatalf("sum = %d", s.Sum)
+	}
+	if s.Min != 1 || s.Max != 5000 {
+		t.Fatalf("min/max = %d/%d, want 1/5000", s.Min, s.Max)
+	}
+	// Buckets: <=10 gets 1,5,10; <=100 gets 50; <=1000 gets 200; overflow 5000.
+	want := []int64{3, 1, 1, 1}
+	for i, c := range s.Counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, c, want[i], s.Counts)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(nil)
+	rng := rand.New(rand.NewSource(7))
+	var vals []int64
+	for i := 0; i < 10000; i++ {
+		v := int64(rng.ExpFloat64() * 5e6) // ~5ms exponential latencies
+		vals = append(vals, v)
+		h.Record(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	s := h.Snapshot()
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		exact := vals[int(q*float64(len(vals)))-1]
+		got := s.Quantile(q)
+		// Doubling buckets bound the interpolation error by ~2x either way.
+		if got < exact/2 || got > exact*2 {
+			t.Errorf("q%.2f = %d, exact %d: outside 2x bucket-resolution band", q, got, exact)
+		}
+	}
+	if s.P50 != s.Quantile(0.50) || s.P95 != s.Quantile(0.95) || s.P99 != s.Quantile(0.99) {
+		t.Errorf("precomputed quantiles disagree with Quantile()")
+	}
+	if s.Quantile(1) < s.Quantile(0.99) || s.Quantile(1) > s.Max {
+		t.Errorf("q100 = %d out of range (max %d)", s.Quantile(1), s.Max)
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := NewHistogram(nil)
+	h.Record(42)
+	s := h.Snapshot()
+	if s.P50 != 42 || s.P99 != 42 || s.Min != 42 || s.Max != 42 {
+		t.Fatalf("single-value quantiles clamp to the observation: %+v", s)
+	}
+}
+
+func TestHistogramNilIsNoop(t *testing.T) {
+	var h *Histogram
+	h.Record(5)
+	if h.Count() != 0 {
+		t.Fatal("nil histogram records")
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || s.Quantile(0.5) != 0 {
+		t.Fatal("nil snapshot not empty")
+	}
+	var r *Registry
+	r.Histogram("x").Record(1) // must not panic
+}
+
+func TestHistogramZeroAllocRecord(t *testing.T) {
+	h := NewHistogram(nil)
+	allocs := testing.AllocsPerRun(1000, func() { h.Record(123456) })
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(nil)
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Record(int64(rng.Intn(1 << 20)))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	var sum int64
+	for _, c := range s.Counts {
+		sum += c
+	}
+	if sum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", sum, s.Count)
+	}
+}
+
+func TestRegistryHistogramSnapshotAndExport(t *testing.T) {
+	tr := New()
+	hist := tr.Registry().Histogram("service.prove_ns")
+	hist.Record(1_500_000)
+	hist.Record(2_500_000)
+	snap := tr.Registry().Snapshot()
+	hs, ok := snap.Histograms["service.prove_ns"]
+	if !ok || hs.Count != 2 {
+		t.Fatalf("histogram missing from snapshot: %+v", snap.Histograms)
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot not JSON-serializable: %v", err)
+	}
+
+	var sb strings.Builder
+	if err := tr.WriteSummary(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "service.prove_ns") || !strings.Contains(sb.String(), "p99=") {
+		t.Fatalf("summary missing histogram line:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	if err := tr.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, line := range strings.Split(strings.TrimSpace(sb.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		if rec["type"] == "histogram" && rec["name"] == "service.prove_ns" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("JSONL export missing histogram record")
+	}
+}

@@ -69,14 +69,19 @@ func (g *Gauge) Value() float64 {
 // use and stable thereafter, so hot loops can cache them; updates are
 // atomic and lock-free. A nil *Registry hands out nil (no-op) metrics.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counters: map[string]*Counter{}, gauges: map[string]*Gauge{}}
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
 }
 
 // Counter returns the named counter, creating it if needed (nil for a nil
@@ -111,16 +116,45 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// Histogram returns the named histogram with the default latency buckets,
+// creating it if needed (nil for a nil registry). For custom bounds use
+// HistogramWithBounds before any default-bounds lookup of the same name.
+func (r *Registry) Histogram(name string) *Histogram {
+	return r.HistogramWithBounds(name, nil)
+}
+
+// HistogramWithBounds returns the named histogram, creating it over the
+// given upper bounds if it does not exist yet (an existing histogram keeps
+// its original bounds).
+func (r *Registry) HistogramWithBounds(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.histograms[name] = h
+	}
+	r.mu.Unlock()
+	return h
+}
+
 // Snapshot is a point-in-time copy of every metric, the aggregation the
 // exporters and the expvar debug endpoint publish.
 type Snapshot struct {
-	Counters map[string]int64   `json:"counters"`
-	Gauges   map[string]float64 `json:"gauges"`
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
 // Snapshot copies all current metric values (empty maps for nil).
 func (r *Registry) Snapshot() Snapshot {
-	s := Snapshot{Counters: map[string]int64{}, Gauges: map[string]float64{}}
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
 	if r == nil {
 		return s
 	}
@@ -131,6 +165,9 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, g := range r.gauges {
 		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.Snapshot()
 	}
 	return s
 }
