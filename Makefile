@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fmt vet fuzz bench-baseline bench-gate serve loadtest
+.PHONY: build test race fmt vet fuzz bench-baseline bench-gate serve loadtest cluster cluster-race
 
 build:
 	$(GO) build ./...
@@ -46,3 +46,21 @@ loadtest:
 	mkdir -p artifacts
 	$(GO) run ./cmd/gzkp-loadgen -target http://$(SERVE_ADDR) -rps 5 -duration 5s -out artifacts/loadgen-report.json
 	$(GO) run ./cmd/benchdiff -validate artifacts/loadgen-report.json
+
+# Run a local 3-node proving cluster: three gzkp-serve nodes plus the
+# coordinator on :8089 (point `make loadtest SERVE_ADDR=localhost:8089` at
+# it; SIGINT drains the whole cluster into artifacts/cluster.ckpt).
+cluster:
+	mkdir -p artifacts
+	$(GO) build -o artifacts/gzkp-serve ./cmd/gzkp-serve
+	$(GO) build -o artifacts/gzkp-coord ./cmd/gzkp-coord
+	artifacts/gzkp-serve -addr localhost:8090 & \
+	artifacts/gzkp-serve -addr localhost:8091 & \
+	artifacts/gzkp-serve -addr localhost:8092 & \
+	sleep 1 && artifacts/gzkp-coord -addr localhost:8089 \
+		-nodes n0=http://localhost:8090,n1=http://localhost:8091,n2=http://localhost:8092 \
+		-checkpoint artifacts/cluster.ckpt
+
+# Local replica of the CI cluster-race job's test half.
+cluster-race:
+	$(GO) test -race -timeout 20m ./internal/cluster/... ./internal/resilience/...

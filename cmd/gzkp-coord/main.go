@@ -1,0 +1,142 @@
+// Command gzkp-coord runs the cluster coordinator: an HTTP front end
+// (same API shape as gzkp-serve) over N prover nodes. It places circuits
+// on a consistent-hash ring with k-way key replication, probes node
+// health and evicts the dead, migrates jobs off lost nodes, and on
+// SIGINT/SIGTERM drains the whole cluster — fanning out per-node drains
+// and merging their checkpoints into one restorable file.
+//
+//	gzkp-coord -addr :8089 -nodes a=http://localhost:8090,b=http://localhost:8091,c=http://localhost:8092
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gzkp/internal/cluster"
+	"gzkp/internal/service"
+	"gzkp/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", "localhost:8089", "listen address")
+		nodesSpec     = flag.String("nodes", "", `comma-separated prover nodes, each "name=url" (or bare url; the host:port becomes the name)`)
+		replicas      = flag.Int("replicas", 2, "nodes holding each circuit's proving key")
+		maxInflight   = flag.Int("max-inflight", 0, "admission bound on unfinished cluster jobs (default 64 per node)")
+		probeEvery    = flag.Duration("probe-interval", 2*time.Second, "health probe period")
+		probeTimeout  = flag.Duration("probe-timeout", time.Second, "per-probe budget")
+		failThreshold = flag.Int("fail-threshold", 3, "consecutive strikes before eviction")
+		adopt         = flag.Bool("adopt", false, "adopt circuits already registered on the nodes at startup")
+		checkpoint    = flag.String("checkpoint", "", "merged drain checkpoint path: written on shutdown, restored at startup if present")
+		drainWait     = flag.Duration("drain-timeout", 60*time.Second, "max time for the cluster drain on shutdown")
+		nodeDrain     = flag.Duration("node-drain-timeout", 30*time.Second, "per-node drain budget within the cluster drain")
+		debugAddr     = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address")
+	)
+	flag.Parse()
+	if *nodesSpec == "" {
+		die(errors.New("-nodes is required"))
+	}
+	var nodes []cluster.NodeSpec
+	for _, part := range strings.Split(*nodesSpec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if name, url, ok := strings.Cut(part, "="); ok {
+			nodes = append(nodes, cluster.NodeSpec{Name: name, URL: url})
+		} else {
+			nodes = append(nodes, cluster.NodeSpec{URL: part})
+		}
+	}
+
+	reg := telemetry.NewRegistry()
+	coord, err := cluster.New(cluster.Config{
+		Nodes:            nodes,
+		Replicas:         *replicas,
+		MaxInflight:      *maxInflight,
+		ProbeInterval:    *probeEvery,
+		ProbeTimeout:     *probeTimeout,
+		FailThreshold:    *failThreshold,
+		NodeDrainTimeout: *nodeDrain,
+		Registry:         reg,
+	})
+	die(err)
+
+	if *debugAddr != "" {
+		dbg, at, err := telemetry.ServeDebug(*debugAddr, reg)
+		die(err)
+		defer dbg.Close()
+		fmt.Printf("gzkp-coord: debug server on http://%s/debug/vars\n", at)
+	}
+	if *adopt {
+		n := coord.AdoptCircuits()
+		fmt.Printf("gzkp-coord: adopted %d circuits from running nodes\n", n)
+	}
+	if *checkpoint != "" {
+		if data, err := os.ReadFile(*checkpoint); err == nil {
+			var cp service.Checkpoint
+			die(json.Unmarshal(data, &cp))
+			n, err := coord.Restore(&cp)
+			die(err)
+			die(os.Remove(*checkpoint))
+			fmt.Printf("gzkp-coord: restored %d checkpointed jobs from %s\n", n, *checkpoint)
+		}
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: cluster.NewHandler(coord)}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("gzkp-coord: listening on http://%s (nodes=%d replicas=%d)\n",
+			*addr, len(nodes), *replicas)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		die(err)
+	case s := <-sig:
+		fmt.Printf("gzkp-coord: %s — draining cluster (timeout %s)\n", s, *drainWait)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	rep, derr := coord.Drain(ctx)
+	if derr != nil && !errors.Is(derr, context.DeadlineExceeded) && !errors.Is(derr, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "gzkp-coord: drain:", derr)
+	}
+	fmt.Printf("gzkp-coord: drained (%d jobs finished)\n", rep.Finished)
+	if rep.Checkpoint != nil {
+		if *checkpoint == "" {
+			fmt.Fprintf(os.Stderr, "gzkp-coord: %d stranded jobs dropped (no -checkpoint path)\n",
+				len(rep.Checkpoint.Jobs))
+		} else {
+			blob, err := json.MarshalIndent(rep.Checkpoint, "", "  ")
+			die(err)
+			die(os.WriteFile(*checkpoint, blob, 0o644))
+			fmt.Printf("gzkp-coord: checkpointed %d stranded jobs to %s\n",
+				len(rep.Checkpoint.Jobs), *checkpoint)
+		}
+	}
+	shCtx, shCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shCancel()
+	_ = srv.Shutdown(shCtx)
+	coord.Close()
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gzkp-coord:", err)
+		os.Exit(1)
+	}
+}

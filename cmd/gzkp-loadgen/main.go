@@ -1,11 +1,17 @@
-// Command gzkp-loadgen drives a running gzkp-serve with an open-loop
-// workload: requests arrive at a fixed rate regardless of how fast the
-// service answers (the arrival process every real queueing system faces —
-// a closed loop would hide overload by slowing the clients down). It
+// Command gzkp-loadgen drives a running gzkp-serve — or a gzkp-coord
+// cluster, which speaks the same API — with an open-loop workload:
+// requests arrive at a fixed rate regardless of how fast the service
+// answers (the arrival process every real queueing system faces — a
+// closed loop would hide overload by slowing the clients down). It
 // registers a mix of synthetic circuits, fires sync prove requests at
 // -rps for -duration, verifies every returned proof locally against the
 // verifying key from registration, and writes a benchdiff-compatible JSON
 // report of throughput and latency quantiles.
+//
+// When the target sheds load (429/503), the generator honors the server's
+// Retry-After hint and backs off with full jitter for up to -retries
+// re-attempts before counting the request as rejected — well-behaved
+// clients are part of what makes admission control work.
 //
 //	gzkp-loadgen -target http://localhost:8090 -rps 20 -duration 10s -out report.json
 package main
@@ -16,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"strconv"
@@ -28,6 +35,7 @@ import (
 	"gzkp/internal/curve"
 	"gzkp/internal/ff"
 	"gzkp/internal/groth16"
+	"gzkp/internal/resilience"
 	"gzkp/internal/service"
 	"gzkp/internal/telemetry"
 	"gzkp/internal/workload"
@@ -52,6 +60,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "base seed for the synthetic circuits")
 		rps       = flag.Float64("rps", 10, "open-loop arrival rate (requests/second)")
 		duration  = flag.Duration("duration", 10*time.Second, "load duration")
+		retries   = flag.Int("retries", 3, "re-attempts after a 429/503 before counting the request rejected")
 		outPath   = flag.String("out", "", "write the JSON report here (default stdout)")
 	)
 	flag.Parse()
@@ -86,12 +95,21 @@ func main() {
 		lat                     = telemetry.NewHistogram(telemetry.DefaultLatencyBounds())
 		okN, rejectedN, failedN atomic.Int64
 		verifyFailN, transportN atomic.Int64
+		retriedN                atomic.Int64
 		wg                      sync.WaitGroup
 		interval                = time.Duration(float64(time.Second) / *rps)
 		ticker                  = time.NewTicker(interval)
 		deadline                = time.Now().Add(*duration)
 		sent                    = 0
 	)
+	// Backoff shape for shed load: the server's Retry-After is the floor,
+	// full jitter on top spreads the re-arrivals so the retry wave does
+	// not re-create the overload it is reacting to.
+	backoff := resilience.Policy{
+		MaxAttempts: *retries + 1,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    5 * time.Second,
+	}
 	client := &http.Client{Timeout: 2 * time.Minute}
 	start := time.Now()
 	for time.Now().Before(deadline) {
@@ -102,12 +120,29 @@ func main() {
 		go func() {
 			defer wg.Done()
 			t0 := time.Now()
-			status, st, err := prove(client, *target, mc)
+			var (
+				status     int
+				retryAfter time.Duration
+				st         *service.JobStatus
+				err        error
+			)
+			for attempt := 0; ; attempt++ {
+				status, retryAfter, st, err = prove(client, *target, mc)
+				if err != nil || !shedding(status) || attempt >= *retries {
+					break
+				}
+				delay := backoff.JitterBackoff(attempt, rand.Float64())
+				if retryAfter > delay {
+					delay = retryAfter
+				}
+				retriedN.Add(1)
+				time.Sleep(delay)
+			}
 			elapsed := time.Since(t0).Nanoseconds()
 			switch {
 			case err != nil:
 				transportN.Add(1)
-			case status == http.StatusTooManyRequests:
+			case shedding(status):
 				rejectedN.Add(1)
 			case status == http.StatusOK && st.State == "done":
 				// Every returned proof is verified here, not trusted.
@@ -129,16 +164,16 @@ func main() {
 
 	snap := lat.Snapshot()
 	ok, rej, fail := okN.Load(), rejectedN.Load(), failedN.Load()
-	vfail, terr := verifyFailN.Load(), transportN.Load()
-	fmt.Printf("gzkp-loadgen: sent %d in %.1fs — %d ok, %d rejected (429), %d failed, %d verify-failed, %d transport errors\n",
-		sent, elapsed.Seconds(), ok, rej, fail, vfail, terr)
+	vfail, terr, retried := verifyFailN.Load(), transportN.Load(), retriedN.Load()
+	fmt.Printf("gzkp-loadgen: sent %d in %.1fs — %d ok, %d rejected (429/503), %d failed, %d verify-failed, %d transport errors, %d backoff retries\n",
+		sent, elapsed.Seconds(), ok, rej, fail, vfail, terr, retried)
 	if ok > 0 {
 		fmt.Printf("gzkp-loadgen: throughput %.2f proofs/s, latency p50 %.1fms p95 %.1fms p99 %.1fms\n",
 			float64(ok)/elapsed.Seconds(),
 			float64(snap.P50)/1e6, float64(snap.P95)/1e6, float64(snap.P99)/1e6)
 	}
 
-	report := buildReport(sent, elapsed, snap, ok, rej, fail+vfail+terr)
+	report := buildReport(sent, elapsed, snap, ok, rej, fail+vfail+terr, retried)
 	out := os.Stdout
 	if *outPath != "" {
 		fh, err := os.Create(*outPath)
@@ -160,7 +195,7 @@ func main() {
 // buildReport renders the run as the bench JSON schema (source tag
 // "gzkp-loadgen") so benchdiff -validate and the CI artifact tooling accept
 // it: counts ride in n, durations in ns_op.
-func buildReport(sent int, elapsed time.Duration, snap telemetry.HistogramSnapshot, ok, rejected, failed int64) any {
+func buildReport(sent int, elapsed time.Duration, snap telemetry.HistogramSnapshot, ok, rejected, failed, retried int64) any {
 	perOp := int64(0)
 	if ok > 0 {
 		perOp = elapsed.Nanoseconds() / ok
@@ -174,6 +209,7 @@ func buildReport(sent int, elapsed time.Duration, snap telemetry.HistogramSnapsh
 		{Experiment: "loadgen", Section: "measured", Name: "sent", N: sent},
 		{Experiment: "loadgen", Section: "measured", Name: "rejected_429", N: int(rejected)},
 		{Experiment: "loadgen", Section: "measured", Name: "failed", N: int(failed)},
+		{Experiment: "loadgen", Section: "measured", Name: "backoff_retries", N: int(retried)},
 	}
 	return struct {
 		Source  string         `json:"source"`
@@ -218,25 +254,32 @@ func registerOne(target, curveName string, f *ff.Field, size int, seed int64) (*
 	return mc, nil
 }
 
-func prove(client *http.Client, target string, mc *mixCircuit) (int, *service.JobStatus, error) {
+// shedding reports whether a status is the server shedding load — the
+// outcomes a polite client backs off and retries.
+func shedding(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+func prove(client *http.Client, target string, mc *mixCircuit) (int, time.Duration, *service.JobStatus, error) {
 	req := service.ProveRequest{CircuitID: mc.id, Public: mc.public, Secret: mc.secret}
 	body, _ := json.Marshal(req)
 	resp, err := client.Post(target+"/v1/prove", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	data, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if err != nil {
-		return resp.StatusCode, nil, err
+		return resp.StatusCode, 0, nil, err
 	}
+	retryAfter := resilience.ParseRetryAfter(resp.Header)
 	var st service.JobStatus
 	if resp.StatusCode == http.StatusOK {
 		if err := json.Unmarshal(data, &st); err != nil {
-			return resp.StatusCode, nil, err
+			return resp.StatusCode, retryAfter, nil, err
 		}
 	}
-	return resp.StatusCode, &st, nil
+	return resp.StatusCode, retryAfter, &st, nil
 }
 
 func die(err error) {

@@ -1,0 +1,945 @@
+// Package cluster lifts the single-node proving service to a multi-node
+// system: a coordinator fronts N gzkp-serve nodes over the same stdlib
+// JSON API, places circuits on a consistent-hash ring (replicated so one
+// node loss never cold-starts a circuit), probes node health and evicts
+// the dead, migrates in-flight and queued jobs off lost nodes, and
+// drains the whole cluster into one merged, restorable checkpoint.
+//
+// The design rhymes deliberately with internal/service one level down:
+// what the service does with simulated devices (per-device queues,
+// failover on DeviceLost, drain/checkpoint), the coordinator does with
+// whole nodes, reusing the same resilience classes and checkpoint format
+// so every layer of the system speaks one recovery vocabulary.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"gzkp/internal/resilience"
+	"gzkp/internal/service"
+	"gzkp/internal/telemetry"
+)
+
+// NodeSpec names one prover node at construction.
+type NodeSpec struct {
+	Name string `json:"name"` // stable identity (checkpoint namespace, metrics)
+	URL  string `json:"url"`  // base URL of the node's service API
+}
+
+// Config sizes and wires one Coordinator. Zero values take defaults.
+type Config struct {
+	// Nodes is the initial membership (at least one).
+	Nodes []NodeSpec
+	// Replicas is how many nodes hold each circuit's proving key
+	// (default 2: one loss never cold-starts a circuit).
+	Replicas int
+	// MaxInflight bounds accepted-but-unfinished cluster jobs — the
+	// coordinator's admission control (default 64 per node).
+	MaxInflight int
+	// ProbeInterval paces the health prober (default 2s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe attempt (default 1s).
+	ProbeTimeout time.Duration
+	// FailThreshold is how many consecutive strikes (failed probes or
+	// mid-request transport failures) evict a node (default 3).
+	FailThreshold int
+	// ControlTimeout bounds one control call — register, key transfer,
+	// export (default 2m: registration runs a trusted setup node-side).
+	ControlTimeout time.Duration
+	// NodeDrainTimeout is the per-node drain budget during a cluster
+	// drain (default 30s); the drain context's remaining budget caps it.
+	NodeDrainTimeout time.Duration
+	// Retry shapes transient-failure retries (backoff base/cap, attempts);
+	// delays are full-jitter over the policy's backoff curve.
+	Retry resilience.Policy
+	// Registry receives the cluster counters, gauges and the
+	// cluster_forward latency histogram (default: fresh).
+	Registry *telemetry.Registry
+	// Client is the HTTP client for node traffic (default: no timeout —
+	// proves are long; per-attempt bounds come from the timeouts above).
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas < 1 {
+		c.Replicas = 2
+	}
+	if c.MaxInflight < 1 {
+		c.MaxInflight = 64 * len(c.Nodes)
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.FailThreshold < 1 {
+		c.FailThreshold = 3
+	}
+	if c.ControlTimeout <= 0 {
+		c.ControlTimeout = 2 * time.Minute
+	}
+	if c.NodeDrainTimeout <= 0 {
+		c.NodeDrainTimeout = 30 * time.Second
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.NewRegistry()
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	return c
+}
+
+// node is the coordinator's view of one prover. All fields are guarded by
+// the coordinator mutex; the telemetry handles are internally atomic.
+type node struct {
+	name  string
+	base  string
+	alive bool
+	// strikes counts consecutive failures (probe or mid-request); reset on
+	// any success, eviction at the threshold.
+	strikes int
+	// queueDepth/devicesAlive mirror the node's own gauges, refreshed by
+	// the prober's /metrics scrape; placement prefers shallow queues.
+	queueDepth   float64
+	devicesAlive float64
+	probed       bool // at least one successful metrics scrape
+	inflight     int  // coordinator-side forwards outstanding
+	circuits     map[string]bool
+
+	cForwarded, cProbes, cFailures *telemetry.Counter
+}
+
+// circuit is a cluster-registered circuit: the spec (to re-register), the
+// registration info (to answer clients), and the exported key bundle (to
+// replicate onto survivors without a cold setup).
+type circuit struct {
+	id   string
+	spec service.CircuitSpec
+	info *service.CircuitInfo
+	keys *service.KeyBundle
+}
+
+// Coordinator fronts the cluster. Construct with New, serve with
+// NewHandler, stop with Drain + Close.
+type Coordinator struct {
+	cfg    Config
+	reg    *telemetry.Registry
+	fwd    *forwarder
+	ctx    context.Context // canceled by Close: unblocks every forward
+	cancel context.CancelFunc
+	wg     sync.WaitGroup // prober + job goroutines
+
+	mu        sync.Mutex
+	idle      *sync.Cond // admitted == 0, for Drain
+	nodes     map[string]*node
+	order     []string // construction order, for stable display
+	ring      *ring
+	circuits  map[string]*circuit
+	jobs      map[string]*Job
+	restored  map[string]bool
+	jobSeq    uint64
+	admitted  int
+	accepting bool
+
+	cAccepted, cRejected, cDone, cFailed *telemetry.Counter
+	cCheckpointed, cMigrated             *telemetry.Counter
+	cProbes, cProbeFailures              *telemetry.Counter
+	cEvictions, cRejoins                 *telemetry.Counter
+	cRegistered, cReregistered           *telemetry.Counter
+	gNodesAlive, gInflight               *telemetry.Gauge
+}
+
+// New builds the coordinator and starts its health prober.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("cluster: need at least one node")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Coordinator{
+		cfg: cfg, reg: cfg.Registry,
+		ctx: ctx, cancel: cancel,
+		nodes:     map[string]*node{},
+		ring:      newRing(0),
+		circuits:  map[string]*circuit{},
+		jobs:      map[string]*Job{},
+		restored:  map[string]bool{},
+		accepting: true,
+	}
+	c.idle = sync.NewCond(&c.mu)
+	r := c.reg
+	c.cAccepted = r.Counter("cluster.jobs.accepted")
+	c.cRejected = r.Counter("cluster.jobs.rejected")
+	c.cDone = r.Counter("cluster.jobs.done")
+	c.cFailed = r.Counter("cluster.jobs.failed")
+	c.cCheckpointed = r.Counter("cluster.jobs.checkpointed")
+	c.cMigrated = r.Counter("cluster.jobs.migrated")
+	c.cProbes = r.Counter("cluster.probes")
+	c.cProbeFailures = r.Counter("cluster.probe_failures")
+	c.cEvictions = r.Counter("cluster.evictions")
+	c.cRejoins = r.Counter("cluster.rejoins")
+	c.cRegistered = r.Counter("cluster.circuits.registered")
+	c.cReregistered = r.Counter("cluster.circuits.reregistered")
+	c.gNodesAlive = r.Gauge("cluster.nodes_alive")
+	c.gInflight = r.Gauge("cluster.inflight")
+	c.fwd = &forwarder{
+		client: cfg.Client, policy: cfg.Retry, timeout: cfg.ControlTimeout,
+		hForward:  r.Histogram("cluster.cluster_forward_ns"),
+		cForwards: r.Counter("cluster.forwarded"),
+	}
+	for _, ns := range cfg.Nodes {
+		name := ns.Name
+		if name == "" {
+			if u, err := url.Parse(ns.URL); err == nil && u.Host != "" {
+				name = u.Host
+			} else {
+				name = ns.URL
+			}
+		}
+		if _, dup := c.nodes[name]; dup {
+			cancel()
+			return nil, fmt.Errorf("cluster: duplicate node name %q", name)
+		}
+		c.nodes[name] = &node{
+			name: name, base: ns.URL, alive: true,
+			circuits:   map[string]bool{},
+			cForwarded: r.Counter("cluster.node." + name + ".forwarded"),
+			cProbes:    r.Counter("cluster.node." + name + ".probes"),
+			cFailures:  r.Counter("cluster.node." + name + ".failures"),
+		}
+		c.order = append(c.order, name)
+		c.ring.add(name)
+	}
+	c.gNodesAlive.Set(float64(len(c.nodes)))
+	c.wg.Add(1)
+	go c.probeLoop()
+	return c, nil
+}
+
+// Registry exposes the metrics registry (for /metrics and tests).
+func (c *Coordinator) Registry() *telemetry.Registry { return c.reg }
+
+// Ready reports whether the cluster accepts work.
+func (c *Coordinator) Ready() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.accepting && c.aliveLocked() > 0
+}
+
+// NodesAlive reports surviving nodes.
+func (c *Coordinator) NodesAlive() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.aliveLocked()
+}
+
+func (c *Coordinator) aliveLocked() int {
+	n := 0
+	for _, nd := range c.nodes {
+		if nd.alive {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Coordinator) isDraining() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.accepting
+}
+
+// Register places the circuit on its ring replicas. The first replica
+// runs the trusted setup; the coordinator then exports the key bundle and
+// imports it on the remaining replicas, so every replica proves under the
+// same CRS. The bundle is cached coordinator-side: losing every holder
+// still re-registers warm.
+func (c *Coordinator) Register(spec service.CircuitSpec) (*service.CircuitInfo, error) {
+	id := service.CircuitIDFor(spec)
+	c.mu.Lock()
+	if !c.accepting {
+		c.mu.Unlock()
+		return nil, service.ErrDraining
+	}
+	if known := c.circuits[id]; known != nil {
+		info := *known.info
+		info.Cached = true
+		c.mu.Unlock()
+		return &info, nil
+	}
+	targets := c.ring.replicas(id, c.cfg.Replicas)
+	c.mu.Unlock()
+
+	// Primary: run the setup on the first reachable replica and pull the
+	// key bundle back.
+	var (
+		info     *service.CircuitInfo
+		keys     *service.KeyBundle
+		primary  string
+		firstErr error
+	)
+	for _, name := range targets {
+		base := c.baseOf(name)
+		var ci service.CircuitInfo
+		if err := c.fwd.control(c.ctx, http.MethodPost, base+"/v1/circuits", spec, &ci); err != nil {
+			c.noteNodeError(name, err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("register on %s: %w", name, err)
+			}
+			continue
+		}
+		var kb service.KeyBundle
+		if err := c.fwd.control(c.ctx, http.MethodGet, base+"/v1/circuits/"+id+"/keys", nil, &kb); err != nil {
+			c.noteNodeError(name, err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("export keys from %s: %w", name, err)
+			}
+			continue
+		}
+		info, keys, primary = &ci, &kb, name
+		c.markHolds(name, id)
+		break
+	}
+	if info == nil {
+		return nil, fmt.Errorf("cluster: register circuit: no replica reachable: %w", firstErr)
+	}
+
+	// Secondaries: import the primary's keys.
+	for _, name := range targets {
+		if name == primary {
+			continue
+		}
+		if err := c.fwd.control(c.ctx, http.MethodPost, c.baseOf(name)+"/v1/circuits/import", keys, nil); err != nil {
+			// Under-replication is survivable (the prober's re-replication
+			// and the per-job replacement path repair it); note and go on.
+			c.noteNodeError(name, err)
+			continue
+		}
+		c.markHolds(name, id)
+	}
+
+	c.mu.Lock()
+	if c.circuits[id] == nil {
+		c.circuits[id] = &circuit{id: id, spec: spec, info: info, keys: keys}
+		c.cRegistered.Add(1)
+	}
+	c.mu.Unlock()
+	out := *info
+	out.Cached = false
+	return &out, nil
+}
+
+// Circuit answers GET /v1/circuits/{id} from the coordinator's cache.
+func (c *Coordinator) Circuit(id string) (*service.CircuitInfo, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e := c.circuits[id]; e != nil {
+		info := *e.info
+		info.Cached = true
+		return &info, nil
+	}
+	return nil, &service.NotFoundError{What: "circuit", ID: id}
+}
+
+// Submit admits one cluster prove request and starts its forwarding
+// goroutine. Accepted jobs always reach a terminal state: done, failed,
+// or checkpointed — node loss migrates them, it never drops them.
+func (c *Coordinator) Submit(circuitID string, public, secret []string) (*Job, error) {
+	c.mu.Lock()
+	if !c.accepting {
+		c.mu.Unlock()
+		return nil, service.ErrDraining
+	}
+	if c.circuits[circuitID] == nil {
+		c.mu.Unlock()
+		c.cRejected.Add(1)
+		return nil, &service.NotFoundError{What: "circuit", ID: circuitID}
+	}
+	if c.admitted >= c.cfg.MaxInflight {
+		depth := c.admitted
+		c.mu.Unlock()
+		c.cRejected.Add(1)
+		return nil, &service.OverloadError{
+			Depth: depth, Capacity: c.cfg.MaxInflight,
+			RetryAfter: 2 * time.Second,
+		}
+	}
+	c.admitted++
+	c.jobSeq++
+	id := fmt.Sprintf("cj-%08d", c.jobSeq)
+	j := newJob(id, circuitID, public, secret, c.jobDone)
+	c.jobs[id] = j
+	c.mu.Unlock()
+
+	c.cAccepted.Add(1)
+	c.gInflight.Set(float64(c.inflightCount()))
+	c.wg.Add(1)
+	go c.runJob(j)
+	return j, nil
+}
+
+// Job looks up an accepted cluster job.
+func (c *Coordinator) Job(id string) (*Job, error) {
+	c.mu.Lock()
+	j, ok := c.jobs[id]
+	c.mu.Unlock()
+	if !ok {
+		return nil, &service.NotFoundError{What: "job", ID: id}
+	}
+	return j, nil
+}
+
+func (c *Coordinator) jobDone(*Job) {
+	c.mu.Lock()
+	c.admitted--
+	if c.admitted == 0 {
+		c.idle.Broadcast()
+	}
+	c.mu.Unlock()
+	c.gInflight.Set(float64(c.inflightCount()))
+}
+
+func (c *Coordinator) inflightCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.admitted
+}
+
+func (c *Coordinator) baseOf(name string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if nd := c.nodes[name]; nd != nil {
+		return nd.base
+	}
+	return ""
+}
+
+func (c *Coordinator) markHolds(name, circuitID string) {
+	c.mu.Lock()
+	if nd := c.nodes[name]; nd != nil {
+		nd.circuits[circuitID] = true
+	}
+	c.mu.Unlock()
+}
+
+// pickNode chooses the best alive replica for a circuit: the node holding
+// its key with the fewest outstanding forwards plus last-probed queue
+// depth. Nodes in skip (already struck for this job) are excluded.
+func (c *Coordinator) pickNode(circuitID string, skip map[string]bool) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	best, bestLoad := "", 0.0
+	for _, nd := range c.nodes {
+		if !nd.alive || skip[nd.name] || !nd.circuits[circuitID] {
+			continue
+		}
+		load := float64(nd.inflight) + nd.queueDepth
+		if best == "" || load < bestLoad {
+			best, bestLoad = nd.name, load
+		}
+	}
+	return best
+}
+
+// replaceReplica repairs placement for a circuit with no usable replica:
+// it imports the coordinator's cached key bundle onto the best alive node
+// outside skip and returns that node ("" when none exists or the import
+// fails everywhere). This is the no-cold-start path — the bundle was
+// exported at registration, so the new replica skips the trusted setup.
+func (c *Coordinator) replaceReplica(circuitID string, skip map[string]bool) string {
+	c.mu.Lock()
+	e := c.circuits[circuitID]
+	var candidates []*node
+	for _, nd := range c.nodes {
+		if nd.alive && !skip[nd.name] && !nd.circuits[circuitID] {
+			candidates = append(candidates, nd)
+		}
+	}
+	c.mu.Unlock()
+	if e == nil || e.keys == nil {
+		return ""
+	}
+	for _, nd := range candidates {
+		if err := c.fwd.control(c.ctx, http.MethodPost, nd.base+"/v1/circuits/import", e.keys, nil); err != nil {
+			c.noteNodeError(nd.name, err)
+			continue
+		}
+		c.markHolds(nd.name, circuitID)
+		c.cReregistered.Add(1)
+		return nd.name
+	}
+	return ""
+}
+
+// runJob drives one cluster job to a terminal state: forward to the best
+// replica, classify each failure, retry transients with jittered backoff
+// (honoring Retry-After), migrate off lost nodes, and checkpoint instead
+// of failing when the cluster is draining.
+func (c *Coordinator) runJob(j *Job) {
+	defer c.wg.Done()
+	req := service.ProveRequest{CircuitID: j.CircuitID, Public: j.Public, Secret: j.Secret}
+	p := c.cfg.Retry.WithDefaults()
+	tried := map[string]bool{} // nodes struck for this job (transport-dead)
+	transient := 0
+	maxTransient := 2 * p.MaxAttempts
+	for {
+		if c.ctx.Err() != nil {
+			j.finish(service.JobFailed, nil, fmt.Errorf("cluster: coordinator closed: %w", c.ctx.Err()), http.StatusServiceUnavailable)
+			c.cFailed.Add(1)
+			return
+		}
+		name := c.pickNode(j.CircuitID, tried)
+		if name == "" {
+			name = c.replaceReplica(j.CircuitID, tried)
+		}
+		if name == "" {
+			if c.isDraining() {
+				c.checkpointJob(j, nil, false)
+				return
+			}
+			j.finish(service.JobFailed, nil,
+				fmt.Errorf("cluster: job %s: no surviving node can hold circuit %s", j.ID, j.CircuitID),
+				http.StatusServiceUnavailable)
+			c.cFailed.Add(1)
+			return
+		}
+
+		j.markForwarded(name)
+		c.addInflight(name, 1)
+		var st service.JobStatus
+		status, err := c.fwd.prove(c.ctx, c.baseOf(name), req, &st)
+		c.addInflight(name, -1)
+
+		if err == nil && status == http.StatusOK {
+			switch st.State {
+			case "done":
+				c.noteNodeOK(name)
+				j.finish(service.JobDone, &st, nil, http.StatusOK)
+				c.cDone.Add(1)
+				return
+			case "failed":
+				// A node-side terminal failure (bad witness, recovery
+				// exhausted) is deterministic for this request: migrating
+				// would re-run the same doomed work.
+				c.noteNodeOK(name)
+				j.finish(service.JobFailed, &st, fmt.Errorf("cluster: node %s: %s", name, st.Error), http.StatusOK)
+				c.cFailed.Add(1)
+				return
+			case "checkpointed":
+				if c.isDraining() {
+					// The node's drain checkpoint owns this job's inputs;
+					// they ride back in the merged cluster checkpoint.
+					c.checkpointJob(j, &st, true)
+					return
+				}
+				// A single node drained under us outside a cluster drain:
+				// its checkpoint will resubmit on ITS successor; meanwhile
+				// the job migrates so this cluster's client still gets an
+				// answer (at-least-once proving is harmless).
+				tried[name] = true
+				c.migrate(j)
+				continue
+			default:
+				err = fmt.Errorf("cluster: node %s returned non-terminal state %q on sync prove", name, st.State)
+			}
+		}
+		if err == nil && status == http.StatusAccepted {
+			// 202 on the sync path means the node saw our connection die
+			// mid-prove (coordinator restart race); treat like a lost node.
+			err = fmt.Errorf("cluster: node %s detached sync prove for job %s", name, j.ID)
+			tried[name] = true
+			c.migrate(j)
+			continue
+		}
+
+		switch resilience.ClassifyHTTP(status, err) {
+		case resilience.Canceled:
+			j.finish(service.JobFailed, nil, err, http.StatusServiceUnavailable)
+			c.cFailed.Add(1)
+			return
+		case resilience.Transient:
+			if c.isDraining() {
+				// 503s during cluster drain are expected: the nodes stopped
+				// accepting. The coordinator checkpoints instead of burning
+				// the retry budget — zero accepted jobs lost.
+				c.checkpointJob(j, nil, false)
+				return
+			}
+			transient++
+			if transient >= maxTransient {
+				code := http.StatusServiceUnavailable
+				var he *resilience.HTTPError
+				if errors.As(err, &he) && he.Status == http.StatusTooManyRequests {
+					code = http.StatusTooManyRequests
+				}
+				j.finish(service.JobFailed, nil, fmt.Errorf("cluster: job %s: retries exhausted: %w", j.ID, err), code)
+				c.cFailed.Add(1)
+				return
+			}
+			delay := p.JitterBackoff(transient-1, rand.Float64())
+			if ra := retryAfterOf(err); ra > delay {
+				delay = ra
+			}
+			if serr := p.Sleep(c.ctx, delay); serr != nil {
+				j.finish(service.JobFailed, nil, serr, http.StatusServiceUnavailable)
+				c.cFailed.Add(1)
+				return
+			}
+		case resilience.DeviceLost:
+			// Mid-request node failure: strike it (counts toward eviction)
+			// and move the job to a survivor.
+			c.noteNodeError(name, err)
+			tried[name] = true
+			c.migrate(j)
+		default: // Fatal: this request is doomed anywhere (400/404/500)
+			code := status
+			if code == 0 {
+				code = http.StatusInternalServerError
+			}
+			j.finish(service.JobFailed, nil, err, code)
+			c.cFailed.Add(1)
+			return
+		}
+	}
+}
+
+func (c *Coordinator) migrate(j *Job) {
+	j.markMigrated()
+	c.cMigrated.Add(1)
+}
+
+func (c *Coordinator) checkpointJob(j *Job, remote *service.JobStatus, nodeOwned bool) {
+	if nodeOwned {
+		j.markNodeOwned()
+	}
+	j.finish(service.JobCheckpointed, remote, service.ErrCheckpointed, http.StatusOK)
+	c.cCheckpointed.Add(1)
+}
+
+func (c *Coordinator) addInflight(name string, d int) {
+	c.mu.Lock()
+	if nd := c.nodes[name]; nd != nil {
+		nd.inflight += d
+		if d > 0 {
+			nd.cForwarded.Add(1)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// noteNodeOK resets a node's strike count after any successful exchange.
+func (c *Coordinator) noteNodeOK(name string) {
+	c.mu.Lock()
+	if nd := c.nodes[name]; nd != nil {
+		nd.strikes = 0
+	}
+	c.mu.Unlock()
+}
+
+// noteNodeError strikes a node when the failure implicates the node
+// itself (DeviceLost transport classes); at FailThreshold consecutive
+// strikes the node is evicted. Transient and Fatal outcomes do not
+// strike — they indict the request or the moment, not the node.
+func (c *Coordinator) noteNodeError(name string, err error) {
+	if resilience.Classify(err) != resilience.DeviceLost {
+		return
+	}
+	c.strike(name)
+}
+
+// strike adds one failure to a node's tally, evicting at the threshold.
+func (c *Coordinator) strike(name string) {
+	c.mu.Lock()
+	nd := c.nodes[name]
+	if nd == nil || !nd.alive {
+		c.mu.Unlock()
+		return
+	}
+	nd.strikes++
+	nd.cFailures.Add(1)
+	evict := nd.strikes >= c.cfg.FailThreshold
+	if evict {
+		nd.alive = false
+		c.ring.remove(name)
+	}
+	alive := c.aliveLocked()
+	c.mu.Unlock()
+	if evict {
+		c.cEvictions.Add(1)
+		c.gNodesAlive.Set(float64(alive))
+		// Repair replication for every circuit the dead node held. The
+		// per-job replaceReplica path already guarantees correctness; this
+		// restores the k-replica invariant eagerly so the NEXT loss also
+		// finds a warm key.
+		go c.reReplicate(name)
+	}
+}
+
+// reReplicate re-places circuits held by a lost node onto its ring
+// successors, importing the cached key bundles (no cold setup).
+func (c *Coordinator) reReplicate(lost string) {
+	c.mu.Lock()
+	held := []string{}
+	if nd := c.nodes[lost]; nd != nil {
+		for id := range nd.circuits {
+			held = append(held, id)
+		}
+	}
+	c.mu.Unlock()
+	for _, id := range held {
+		c.mu.Lock()
+		targets := c.ring.replicas(id, c.cfg.Replicas)
+		e := c.circuits[id]
+		var missing []string
+		for _, t := range targets {
+			if nd := c.nodes[t]; nd != nil && nd.alive && !nd.circuits[id] {
+				missing = append(missing, t)
+			}
+		}
+		c.mu.Unlock()
+		if e == nil || e.keys == nil {
+			continue
+		}
+		for _, t := range missing {
+			if err := c.fwd.control(c.ctx, http.MethodPost, c.baseOf(t)+"/v1/circuits/import", e.keys, nil); err != nil {
+				c.noteNodeError(t, err)
+				continue
+			}
+			c.markHolds(t, id)
+			c.cReregistered.Add(1)
+		}
+	}
+}
+
+// AdoptCircuits pulls circuit inventories (and key bundles) off reachable
+// nodes — run at coordinator startup so a restarted coordinator fronts a
+// running cluster without losing placement state. Returns adopted count.
+func (c *Coordinator) AdoptCircuits() int {
+	adopted := 0
+	c.mu.Lock()
+	names := append([]string(nil), c.order...)
+	c.mu.Unlock()
+	for _, name := range names {
+		base := c.baseOf(name)
+		var exports []service.CircuitExport
+		if err := c.fwd.control(c.ctx, http.MethodGet, base+"/v1/circuits", nil, &exports); err != nil {
+			c.noteNodeError(name, err)
+			continue
+		}
+		for _, ex := range exports {
+			c.markHolds(name, ex.CircuitID)
+			c.mu.Lock()
+			known := c.circuits[ex.CircuitID] != nil
+			c.mu.Unlock()
+			if known {
+				continue
+			}
+			var kb service.KeyBundle
+			if err := c.fwd.control(c.ctx, http.MethodGet, base+"/v1/circuits/"+ex.CircuitID+"/keys", nil, &kb); err != nil {
+				continue
+			}
+			var info service.CircuitInfo
+			if err := c.fwd.control(c.ctx, http.MethodGet, base+"/v1/circuits/"+ex.CircuitID, nil, &info); err != nil {
+				continue
+			}
+			c.mu.Lock()
+			if c.circuits[ex.CircuitID] == nil {
+				c.circuits[ex.CircuitID] = &circuit{id: ex.CircuitID, spec: ex.Spec, info: &info, keys: &kb}
+				adopted++
+			}
+			c.mu.Unlock()
+		}
+	}
+	return adopted
+}
+
+// NodeStatus is the JSON view of one node for GET /v1/nodes.
+type NodeStatus struct {
+	Name         string  `json:"name"`
+	URL          string  `json:"url"`
+	Alive        bool    `json:"alive"`
+	Strikes      int     `json:"strikes,omitempty"`
+	QueueDepth   float64 `json:"queue_depth"`
+	DevicesAlive float64 `json:"devices_alive"`
+	Inflight     int     `json:"inflight"`
+	Circuits     int     `json:"circuits"`
+}
+
+// Nodes reports the cluster topology in construction order.
+func (c *Coordinator) Nodes() []NodeStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]NodeStatus, 0, len(c.order))
+	for _, name := range c.order {
+		nd := c.nodes[name]
+		out = append(out, NodeStatus{
+			Name: nd.name, URL: nd.base, Alive: nd.alive, Strikes: nd.strikes,
+			QueueDepth: nd.queueDepth, DevicesAlive: nd.devicesAlive,
+			Inflight: nd.inflight, Circuits: len(nd.circuits),
+		})
+	}
+	return out
+}
+
+// DrainReport summarizes a cluster drain.
+type DrainReport struct {
+	Finished   int64               // cluster jobs that reached done/failed
+	Checkpoint *service.Checkpoint // merged restorable checkpoint (nil if none stranded)
+}
+
+// Drain stops accepting, fans out per-node drains, waits for every
+// cluster job to land terminal, and merges the node checkpoints (plus any
+// coordinator-stranded jobs) into one restorable checkpoint. In-flight
+// forwards finish naturally: node drains complete admitted work before
+// returning.
+func (c *Coordinator) Drain(ctx context.Context) (*DrainReport, error) {
+	c.mu.Lock()
+	c.accepting = false
+	var alive []*node
+	for _, name := range c.order {
+		if nd := c.nodes[name]; nd.alive {
+			alive = append(alive, nd)
+		}
+	}
+	c.mu.Unlock()
+
+	// Per-node drain budget: the configured budget, capped at 80% of the
+	// drain context's remaining time so the checkpoint responses still
+	// come back inside the deadline.
+	nodeTimeout := c.cfg.NodeDrainTimeout
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl) * 8 / 10; rem < nodeTimeout {
+			nodeTimeout = rem
+		}
+	}
+	if nodeTimeout < 50*time.Millisecond {
+		nodeTimeout = 50 * time.Millisecond
+	}
+
+	parts := map[string]*service.Checkpoint{}
+	var pmu sync.Mutex
+	var fan sync.WaitGroup
+	for _, nd := range alive {
+		fan.Add(1)
+		go func(name, base string) {
+			defer fan.Done()
+			var resp service.DrainResponse
+			url := fmt.Sprintf("%s/v1/drain?timeout=%s", base, nodeTimeout)
+			if _, err := c.fwd.do(ctx, http.MethodPost, url, nil, &resp); err != nil {
+				// A node that cannot drain is a node that died: its queued
+				// jobs are coordinator jobs in flight, and their forward
+				// errors migrate or checkpoint them. Nothing is lost.
+				c.noteNodeError(name, err)
+				return
+			}
+			pmu.Lock()
+			parts[name] = resp.Checkpoint
+			pmu.Unlock()
+		}(nd.name, nd.base)
+	}
+	fan.Wait()
+
+	// Wait for every accepted cluster job to reach a terminal state.
+	stop := context.AfterFunc(ctx, func() {
+		c.mu.Lock()
+		c.idle.Broadcast()
+		c.mu.Unlock()
+	})
+	defer stop()
+	waitDone := make(chan struct{})
+	go func() {
+		c.mu.Lock()
+		for c.admitted > 0 && ctx.Err() == nil {
+			c.idle.Wait()
+		}
+		c.mu.Unlock()
+		close(waitDone)
+	}()
+	<-waitDone
+
+	// Coordinator-owned stragglers: accepted jobs that never landed in a
+	// node's checkpoint (503-bounced, no reachable replica) — plus jobs a
+	// node DID checkpoint but whose drain response never made it back
+	// (node died mid-drain): their inputs exist nowhere else, so the
+	// coordinator re-checkpoints them rather than lose them.
+	coordCp := &service.Checkpoint{}
+	seenSpec := map[string]bool{}
+	c.mu.Lock()
+	for _, j := range c.jobs {
+		if j.State() != service.JobCheckpointed {
+			continue
+		}
+		if j.isNodeOwned() && parts[j.nodeName()] != nil {
+			continue // already inside that node's checkpoint part
+		}
+		if e := c.circuits[j.CircuitID]; e != nil && !seenSpec[j.CircuitID] {
+			seenSpec[j.CircuitID] = true
+			coordCp.Circuits = append(coordCp.Circuits, e.spec)
+		}
+		coordCp.Jobs = append(coordCp.Jobs, service.CheckpointEntry{
+			JobID: j.ID, CircuitID: j.CircuitID,
+			Public: append([]string(nil), j.Public...),
+			Secret: append([]string(nil), j.Secret...),
+		})
+	}
+	c.mu.Unlock()
+	if len(coordCp.Jobs) > 0 {
+		parts["coordinator"] = coordCp
+	}
+
+	rep := &DrainReport{Finished: c.cDone.Value() + c.cFailed.Value()}
+	merged := service.MergeCheckpoints(parts)
+	if len(merged.Jobs) > 0 || len(merged.Circuits) > 0 {
+		rep.Checkpoint = merged
+	}
+	return rep, ctx.Err()
+}
+
+// Restore replays a (merged) cluster checkpoint into this cluster:
+// circuits re-register through normal placement, jobs resubmit through
+// normal admission. Restoring is idempotent over checkpoint job ids —
+// replaying the same checkpoint never double-submits.
+func (c *Coordinator) Restore(cp *service.Checkpoint) (int, error) {
+	for _, spec := range cp.Circuits {
+		if _, err := c.Register(spec); err != nil {
+			return 0, fmt.Errorf("cluster: restore circuit: %w", err)
+		}
+	}
+	n := 0
+	for _, e := range cp.Jobs {
+		c.mu.Lock()
+		if c.restored[e.JobID] {
+			c.mu.Unlock()
+			continue
+		}
+		c.restored[e.JobID] = true
+		c.mu.Unlock()
+		if _, err := c.Submit(e.CircuitID, e.Public, e.Secret); err != nil {
+			c.mu.Lock()
+			delete(c.restored, e.JobID)
+			c.mu.Unlock()
+			return n, fmt.Errorf("cluster: restore job %s: %w", e.JobID, err)
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Close cancels every outstanding forward and stops the prober. Call
+// Drain first for a graceful stop.
+func (c *Coordinator) Close() {
+	c.cancel()
+	c.mu.Lock()
+	c.accepting = false
+	c.mu.Unlock()
+	c.wg.Wait()
+}

@@ -1,0 +1,207 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"gzkp/internal/service"
+)
+
+// HTTP API of the coordinator — deliberately the same shape as one node's
+// API (internal/service), so clients and the load generator point at a
+// cluster exactly as they would a single prover:
+//
+//	POST /v1/circuits      register a circuit on its ring replicas
+//	GET  /v1/circuits/{id} describe a registered circuit
+//	POST /v1/prove         submit a job; ?async=1 returns 202 + job id
+//	GET  /v1/jobs/{id}     poll a cluster job
+//	GET  /v1/nodes         cluster topology and per-node health
+//	POST /v1/drain         cluster-wide drain; returns the merged checkpoint
+//	GET  /healthz          liveness
+//	GET  /readyz           readiness (503 while draining or no node alive)
+//	GET  /metrics          coordinator metrics snapshot
+const maxClusterBody = 1 << 20
+
+type apiError struct {
+	Error      string `json:"error"`
+	RetryAfter int    `json:"retry_after_seconds,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError maps the service error vocabulary (which the coordinator
+// reuses) onto HTTP semantics, matching the node-side mapping.
+func writeError(w http.ResponseWriter, err error) {
+	var (
+		over     *service.OverloadError
+		input    *service.InputError
+		notFound *service.NotFoundError
+	)
+	switch {
+	case errors.As(err, &over):
+		secs := int(over.RetryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error(), RetryAfter: secs})
+	case errors.Is(err, service.ErrDraining):
+		w.Header().Set("Retry-After", "10")
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error(), RetryAfter: 10})
+	case errors.As(err, &input):
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+	case errors.As(err, &notFound):
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+	}
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxClusterBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return &service.InputError{Msg: fmt.Sprintf("bad request body: %v", err)}
+	}
+	return nil
+}
+
+// NewHandler mounts the coordinator API on a fresh mux.
+func NewHandler(c *Coordinator) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/circuits", func(w http.ResponseWriter, r *http.Request) {
+		var spec service.CircuitSpec
+		if err := decodeBody(w, r, &spec); err != nil {
+			writeError(w, err)
+			return
+		}
+		info, err := c.Register(spec)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		code := http.StatusCreated
+		if info.Cached {
+			code = http.StatusOK
+		}
+		writeJSON(w, code, info)
+	})
+
+	mux.HandleFunc("GET /v1/circuits/{id}", func(w http.ResponseWriter, r *http.Request) {
+		info, err := c.Circuit(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+
+	mux.HandleFunc("POST /v1/prove", func(w http.ResponseWriter, r *http.Request) {
+		var req service.ProveRequest
+		if err := decodeBody(w, r, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+		j, err := c.Submit(req.CircuitID, req.Public, req.Secret)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		if r.URL.Query().Get("async") != "" {
+			writeJSON(w, http.StatusAccepted, j.Status())
+			return
+		}
+		select {
+		case <-j.Done():
+			writeJSON(w, j.syncCode(), j.Status())
+		case <-r.Context().Done():
+			// The client went away; the job keeps running (or migrating)
+			// and stays pollable under its cluster id.
+			writeJSON(w, http.StatusAccepted, j.Status())
+		}
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, err := c.Job(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, j.Status())
+	})
+
+	mux.HandleFunc("GET /v1/nodes", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Nodes())
+	})
+
+	mux.HandleFunc("POST /v1/drain", func(w http.ResponseWriter, r *http.Request) {
+		timeout := 60 * time.Second
+		if v := r.URL.Query().Get("timeout"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				writeError(w, &service.InputError{Msg: fmt.Sprintf("bad drain timeout %q", v)})
+				return
+			}
+			timeout = d
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		rep, err := c.Drain(ctx)
+		if err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, service.DrainResponse{Finished: rep.Finished, Checkpoint: rep.Checkpoint})
+	})
+
+	mux.HandleFunc("POST /v1/restore", func(w http.ResponseWriter, r *http.Request) {
+		var cp service.Checkpoint
+		if err := decodeBody(w, r, &cp); err != nil {
+			writeError(w, err)
+			return
+		}
+		n, err := c.Restore(&cp)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"restored": n})
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !c.Ready() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"status":      "not ready",
+				"nodes_alive": c.NodesAlive(),
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":      "ready",
+			"nodes_alive": c.NodesAlive(),
+		})
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Registry().Snapshot())
+	})
+
+	return mux
+}

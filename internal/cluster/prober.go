@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"gzkp/internal/telemetry"
+)
+
+// probeLoop is the coordinator's failure detector: every ProbeInterval it
+// hits each node's /healthz and /readyz and scrapes /metrics. A failed
+// probe — a dead HTTP stack, a node that answers but is not accepting
+// work (drained, or all devices lost), or zero live devices in the
+// scrape — is a strike; strikes accumulate with mid-request transport
+// failures toward eviction. Probing readiness, not just liveness,
+// matters: a node that drained independently keeps serving /healthz 200
+// while rejecting every prove with 503, and placement must stop
+// choosing it. A successful probe clears strikes and rejoins a
+// previously evicted node (processes restart; the ring should heal
+// without operator action).
+func (c *Coordinator) probeLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-t.C:
+			c.probeAll()
+		}
+	}
+}
+
+func (c *Coordinator) probeAll() {
+	c.mu.Lock()
+	names := append([]string(nil), c.order...)
+	c.mu.Unlock()
+	for _, name := range names {
+		c.probeOne(name)
+	}
+}
+
+func (c *Coordinator) probeOne(name string) {
+	base := c.baseOf(name)
+	if base == "" {
+		return
+	}
+	c.cProbes.Add(1)
+	c.mu.Lock()
+	if nd := c.nodes[name]; nd != nil {
+		nd.cProbes.Add(1)
+	}
+	c.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(c.ctx, c.cfg.ProbeTimeout)
+	defer cancel()
+	var health struct {
+		Status string `json:"status"`
+	}
+	if _, err := c.fwd.do(ctx, http.MethodGet, base+"/healthz", nil, &health); err != nil {
+		c.probeFailed(name)
+		return
+	}
+	// Alive is not enough: a draining node answers /healthz but sheds
+	// every job. fwd.do surfaces the 503 as an error.
+	if _, err := c.fwd.do(ctx, http.MethodGet, base+"/readyz", nil, nil); err != nil {
+		c.probeFailed(name)
+		return
+	}
+	var snap telemetry.Snapshot
+	if _, err := c.fwd.do(ctx, http.MethodGet, base+"/metrics", nil, &snap); err != nil {
+		c.probeFailed(name)
+		return
+	}
+	devices := snap.Gauges["service.devices_alive"]
+	depth := snap.Gauges["service.queue_depth"]
+	if devices <= 0 {
+		// The HTTP stack answers but every simulated device is lost: the
+		// node cannot prove anything, which is the failure that matters.
+		c.probeFailed(name)
+		return
+	}
+
+	c.mu.Lock()
+	nd := c.nodes[name]
+	rejoined := false
+	if nd != nil {
+		nd.strikes = 0
+		nd.probed = true
+		nd.queueDepth = depth
+		nd.devicesAlive = devices
+		if !nd.alive {
+			nd.alive = true
+			c.ring.add(name)
+			rejoined = true
+		}
+	}
+	alive := c.aliveLocked()
+	c.mu.Unlock()
+	if rejoined {
+		c.cRejoins.Add(1)
+		c.gNodesAlive.Set(float64(alive))
+	}
+}
+
+func (c *Coordinator) probeFailed(name string) {
+	c.cProbeFailures.Add(1)
+	c.strike(name)
+}

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is the consistent-hash placement circle. Proving keys are the
+// expensive cached state in this system — a circuit registration runs a
+// trusted setup and pins a key in node memory — so placement must (a)
+// send same-circuit traffic back to the nodes that already paid for the
+// key and (b) move as little as possible when membership changes. A hash
+// ring with virtual nodes gives both: each node projects vnodes points
+// onto a 64-bit circle, a circuit id hashes to a point, and its k
+// replicas are the next k distinct nodes clockwise. Removing a node
+// reassigns only the arcs it owned; every other circuit keeps its
+// replicas (and their warm proving keys).
+type ring struct {
+	vnodes int
+	nodes  map[string]bool
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// defaultVnodes balances placement evenness against sort cost; 64 points
+// per node keeps the max/mean arc ratio near 1.2 for small clusters.
+const defaultVnodes = 64
+
+func newRing(vnodes int) *ring {
+	if vnodes < 1 {
+		vnodes = defaultVnodes
+	}
+	return &ring{vnodes: vnodes, nodes: map[string]bool{}}
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// add projects a node's virtual points onto the circle (no-op if present).
+func (r *ring) add(node string) {
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", node, i)), node: node})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// remove deletes a node's points; arcs it owned fall to their clockwise
+// successors, everything else is untouched.
+func (r *ring) remove(node string) {
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	keep := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			keep = append(keep, p)
+		}
+	}
+	r.points = keep
+}
+
+// replicas returns the first k distinct nodes clockwise from key's point,
+// in ring order (fewer when the ring holds fewer than k nodes).
+func (r *ring) replicas(key string, k int) []string {
+	if len(r.points) == 0 || k < 1 {
+		return nil
+	}
+	if k > len(r.nodes) {
+		k = len(r.nodes)
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, k)
+	seen := map[string]bool{}
+	for i := 0; i < len(r.points) && len(out) < k; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// size reports member nodes.
+func (r *ring) size() int { return len(r.nodes) }

@@ -1,0 +1,82 @@
+package cluster
+
+import "testing"
+
+func TestRingReplicas(t *testing.T) {
+	r := newRing(0)
+	for _, n := range []string{"node-a", "node-b", "node-c"} {
+		r.add(n)
+	}
+	got := r.replicas("circuit-1", 2)
+	if len(got) != 2 {
+		t.Fatalf("replicas returned %d nodes, want 2", len(got))
+	}
+	if got[0] == got[1] {
+		t.Fatalf("replicas returned duplicate node %q", got[0])
+	}
+	// Deterministic for the same key and membership.
+	again := r.replicas("circuit-1", 2)
+	if got[0] != again[0] || got[1] != again[1] {
+		t.Fatalf("placement not deterministic: %v vs %v", got, again)
+	}
+	// k beyond membership caps at membership, still distinct.
+	all := r.replicas("circuit-1", 5)
+	if len(all) != 3 {
+		t.Fatalf("replicas(k=5) returned %d nodes, want 3 (capped)", len(all))
+	}
+	seen := map[string]bool{}
+	for _, n := range all {
+		if seen[n] {
+			t.Fatalf("duplicate node %q in capped replica set", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestRingRemoveRedistributes(t *testing.T) {
+	r := newRing(0)
+	for _, n := range []string{"node-a", "node-b", "node-c"} {
+		r.add(n)
+	}
+	before := r.replicas("some-circuit", 2)
+	r.remove(before[0])
+	after := r.replicas("some-circuit", 2)
+	if len(after) != 2 {
+		t.Fatalf("after removal replicas returned %d nodes, want 2", len(after))
+	}
+	for _, n := range after {
+		if n == before[0] {
+			t.Fatalf("removed node %q still placed", n)
+		}
+	}
+	// Re-adding restores the original placement (hash positions are a
+	// pure function of the name).
+	r.add(before[0])
+	restored := r.replicas("some-circuit", 2)
+	if restored[0] != before[0] && restored[1] != before[0] {
+		t.Fatalf("re-added node %q not placed again: %v", before[0], restored)
+	}
+}
+
+func TestRingMinimalMovement(t *testing.T) {
+	// Consistent hashing's point: removing one node must not move keys
+	// whose primary survives.
+	r := newRing(0)
+	for _, n := range []string{"node-a", "node-b", "node-c", "node-d"} {
+		r.add(n)
+	}
+	keys := []string{"k1", "k2", "k3", "k4", "k5", "k6", "k7", "k8"}
+	before := map[string]string{}
+	for _, k := range keys {
+		before[k] = r.replicas(k, 1)[0]
+	}
+	r.remove("node-d")
+	for _, k := range keys {
+		if before[k] == "node-d" {
+			continue // had to move
+		}
+		if got := r.replicas(k, 1)[0]; got != before[k] {
+			t.Fatalf("key %s moved %s -> %s though its node survived", k, before[k], got)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"syscall"
+	"time"
+)
+
+// HTTP outcome classification: the cluster coordinator and the load
+// generator both talk to provers over HTTP, and both need the same
+// taxonomy the in-process pipeline uses — is this failure worth a retry
+// against the same endpoint (Transient), does it mean the endpoint is
+// gone and work must move (DeviceLost), or is the request itself doomed
+// (Fatal)? Mapping HTTP onto the existing classes keeps one recovery
+// vocabulary across process boundaries.
+//
+//	transport refused / reset / EOF  → DeviceLost (endpoint unreachable)
+//	transport / context timeout      → Transient  (endpoint may be slow)
+//	429 Too Many Requests            → Transient  (honor Retry-After)
+//	502 / 503 / 504                  → Transient  (alive but not ready)
+//	other 4xx / 5xx                  → Fatal      (this request is doomed)
+
+// HTTPError is a non-2xx HTTP outcome carrying enough context to classify
+// and to honor the server's Retry-After hint.
+type HTTPError struct {
+	Op         string
+	Status     int
+	RetryAfter time.Duration // parsed Retry-After, 0 when absent
+}
+
+func (e *HTTPError) Error() string {
+	if e.RetryAfter > 0 {
+		return "http: " + e.Op + ": status " + strconv.Itoa(e.Status) + " (retry after " + e.RetryAfter.String() + ")"
+	}
+	return "http: " + e.Op + ": status " + strconv.Itoa(e.Status)
+}
+
+// NewHTTPError builds an HTTPError from a response status and headers,
+// capturing Retry-After when present. Returns nil for 2xx statuses.
+func NewHTTPError(op string, status int, header http.Header) *HTTPError {
+	if status >= 200 && status < 300 {
+		return nil
+	}
+	return &HTTPError{Op: op, Status: status, RetryAfter: ParseRetryAfter(header)}
+}
+
+// ParseRetryAfter reads a delay-seconds Retry-After header (the only form
+// this system emits); 0 when absent or unparsable.
+func ParseRetryAfter(header http.Header) time.Duration {
+	v := header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// classifyHTTPStatus maps a non-2xx status onto a recovery class.
+func classifyHTTPStatus(status int) Class {
+	switch {
+	case status == http.StatusTooManyRequests:
+		return Transient // overload: back off (per Retry-After) and retry
+	case status == http.StatusBadGateway,
+		status == http.StatusServiceUnavailable,
+		status == http.StatusGatewayTimeout:
+		return Transient // endpoint alive but not ready; probes decide eviction
+	default:
+		return Fatal // 400/404/500/...: retrying the same request cannot help
+	}
+}
+
+// classifyTransport maps client-side transport errors. Returns (class,
+// true) when err is a recognized transport failure. A deadline here is a
+// per-attempt timeout (retry it), unlike Classify's top-level context
+// check, which means the caller gave up.
+func classifyTransport(err error) (Class, bool) {
+	if errors.Is(err, context.Canceled) {
+		return Canceled, true
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return Transient, true
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) {
+		return DeviceLost, true // nobody home: the node, not the request, failed
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		if ne.Timeout() {
+			return Transient, true
+		}
+		return DeviceLost, true // DNS failure, unreachable network, ...
+	}
+	return Fatal, false
+}
+
+// ClassifyHTTP classifies one HTTP attempt: a transport error (err != nil)
+// by its syscall/net cause, otherwise the status code. Unlike Classify, a
+// deadline is read as this attempt's timeout (Transient), not as caller
+// cancellation. A 2xx status classifies as Fatal only in the sense of
+// Classify(nil) — callers should not classify successes.
+func ClassifyHTTP(status int, err error) Class {
+	if err != nil {
+		if c, ok := classifyTransport(err); ok {
+			return c
+		}
+		return Classify(err)
+	}
+	if status >= 200 && status < 300 {
+		return Fatal // logic error, mirroring Classify(nil)
+	}
+	return classifyHTTPStatus(status)
+}

@@ -1,0 +1,112 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// timeoutErr fakes a net.Error timeout (what a slow dial or read surfaces).
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "i/o timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+func TestClassifyHTTPTransport(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want Class
+	}{
+		{"connection refused", &net.OpError{Op: "dial", Err: syscall.ECONNREFUSED}, DeviceLost},
+		{"connection reset", fmt.Errorf("read: %w", syscall.ECONNRESET), DeviceLost},
+		{"broken pipe", fmt.Errorf("write: %w", syscall.EPIPE), DeviceLost},
+		{"eof", io.EOF, DeviceLost},
+		{"unexpected eof", io.ErrUnexpectedEOF, DeviceLost},
+		{"net timeout", timeoutErr{}, Transient},
+		{"attempt deadline", fmt.Errorf("do: %w", context.DeadlineExceeded), Transient},
+		{"caller canceled", fmt.Errorf("do: %w", context.Canceled), Canceled},
+		{"dns failure", &net.OpError{Op: "dial", Err: errors.New("no such host")}, DeviceLost},
+	}
+	for _, tc := range cases {
+		if got := ClassifyHTTP(0, tc.err); got != tc.want {
+			t.Errorf("%s: ClassifyHTTP = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestClassifyHTTPStatus(t *testing.T) {
+	cases := []struct {
+		status int
+		want   Class
+	}{
+		{http.StatusTooManyRequests, Transient},
+		{http.StatusBadGateway, Transient},
+		{http.StatusServiceUnavailable, Transient},
+		{http.StatusGatewayTimeout, Transient},
+		{http.StatusInternalServerError, Fatal},
+		{http.StatusBadRequest, Fatal},
+		{http.StatusNotFound, Fatal},
+	}
+	for _, tc := range cases {
+		if got := ClassifyHTTP(tc.status, nil); got != tc.want {
+			t.Errorf("status %d: ClassifyHTTP = %v, want %v", tc.status, got, tc.want)
+		}
+		// The same mapping must hold when the status travels as an HTTPError
+		// through the generic Classify (the forwarder wraps statuses this way).
+		he := NewHTTPError("prove", tc.status, http.Header{})
+		if got := Classify(fmt.Errorf("forward: %w", he)); got != tc.want {
+			t.Errorf("status %d: Classify(HTTPError) = %v, want %v", tc.status, got, tc.want)
+		}
+	}
+}
+
+func TestNewHTTPError(t *testing.T) {
+	if e := NewHTTPError("x", 200, http.Header{}); e != nil {
+		t.Fatalf("2xx produced an error: %v", e)
+	}
+	h := http.Header{}
+	h.Set("Retry-After", "7")
+	e := NewHTTPError("prove", 429, h)
+	if e == nil || e.Status != 429 || e.RetryAfter != 7*time.Second {
+		t.Fatalf("HTTPError = %+v, want status 429 retry-after 7s", e)
+	}
+	if ParseRetryAfter(http.Header{}) != 0 {
+		t.Fatal("absent Retry-After must parse as 0")
+	}
+	bad := http.Header{}
+	bad.Set("Retry-After", "soon")
+	if ParseRetryAfter(bad) != 0 {
+		t.Fatal("unparsable Retry-After must parse as 0")
+	}
+}
+
+func TestJitterBackoff(t *testing.T) {
+	p := Policy{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, Multiplier: 2}
+	for retry := 0; retry < 5; retry++ {
+		ceil := p.Backoff(retry)
+		if got := p.JitterBackoff(retry, 0); got != 0 {
+			t.Errorf("retry %d u=0: %v, want 0", retry, got)
+		}
+		if got := p.JitterBackoff(retry, 1); got != ceil {
+			t.Errorf("retry %d u=1: %v, want %v", retry, got, ceil)
+		}
+		if got := p.JitterBackoff(retry, 0.5); got != ceil/2 {
+			t.Errorf("retry %d u=0.5: %v, want %v", retry, got, ceil/2)
+		}
+	}
+	// Out-of-range uniforms clamp instead of exploding the delay.
+	if got := p.JitterBackoff(0, 2); got != p.Backoff(0) {
+		t.Errorf("u=2 clamped: %v, want %v", got, p.Backoff(0))
+	}
+	if got := p.JitterBackoff(0, -1); got != 0 {
+		t.Errorf("u=-1 clamped: %v, want 0", got)
+	}
+}

@@ -128,6 +128,13 @@ func Classify(err error) Class {
 	if errors.As(err, &de) {
 		return DeviceLost
 	}
+	var he *HTTPError
+	if errors.As(err, &he) {
+		return classifyHTTPStatus(he.Status)
+	}
+	if c, ok := classifyTransport(err); ok {
+		return c
+	}
 	return Fatal
 }
 
@@ -181,6 +188,22 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	case <-t.C:
 		return nil
 	}
+}
+
+// JitterBackoff returns a full-jitter retry delay: u (uniform in [0, 1))
+// scaled onto [0, Backoff(retry)]. Full jitter decorrelates a herd of
+// retriers that all failed at the same instant — with deterministic
+// backoff they would re-collide on every retry; with full jitter the load
+// spreads across the whole window. Callers pass their own uniform source
+// so tests stay deterministic.
+func (p Policy) JitterBackoff(retry int, u float64) time.Duration {
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	return time.Duration(u * float64(p.Backoff(retry)))
 }
 
 // Backoff returns the capped delay before retry number retry (0-based).

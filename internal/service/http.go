@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,9 +13,13 @@ import (
 // HTTP API of the proving service (stdlib net/http, Go 1.22 pattern mux):
 //
 //	POST /v1/circuits      register/compile a circuit, cache the proving key
+//	GET  /v1/circuits      export registered circuits as (id, spec) pairs
 //	POST /v1/prove         submit a job; ?async=1 returns 202 + job id,
 //	                       otherwise blocks for the proof (or client timeout)
 //	GET  /v1/jobs/{id}     poll an async job
+//	POST /v1/drain         stop accepting, finish admitted jobs within
+//	                       ?timeout=, return the checkpoint of whatever the
+//	                       deadline strands (cluster-coordinator admin hook)
 //	GET  /healthz          liveness
 //	GET  /readyz           readiness (503 while draining or all devices lost)
 //	GET  /metrics          JSON metrics snapshot (counters/gauges/histograms)
@@ -23,14 +28,27 @@ import (
 // rejection → 429 with Retry-After, draining → 503 with Retry-After.
 
 // maxBodyBytes bounds request bodies — another face of the same
-// reject-don't-grow policy the job queue applies.
-const maxBodyBytes = 1 << 20
+// reject-don't-grow policy the job queue applies. Key imports carry a
+// serialized proving key (dominated by the per-wire query points), so
+// that one route gets a larger cap.
+const (
+	maxBodyBytes    = 1 << 20
+	maxKeyBodyBytes = 64 << 20
+)
 
 // ProveRequest is the body of POST /v1/prove.
 type ProveRequest struct {
 	CircuitID string   `json:"circuit_id"`
 	Public    []string `json:"public"`
 	Secret    []string `json:"secret"`
+}
+
+// DrainResponse is the body of POST /v1/drain: how many jobs finished
+// during the window, plus the checkpoint of jobs the deadline stranded
+// (nil when everything finished).
+type DrainResponse struct {
+	Finished   int64       `json:"finished"`
+	Checkpoint *Checkpoint `json:"checkpoint,omitempty"`
 }
 
 type apiError struct {
@@ -74,7 +92,11 @@ func writeError(w http.ResponseWriter, err error) {
 }
 
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
-	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	return decodeBodyLimit(w, r, v, maxBodyBytes)
+}
+
+func decodeBodyLimit(w http.ResponseWriter, r *http.Request, v any, limit int64) error {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
@@ -105,6 +127,10 @@ func NewHandler(s *Service) http.Handler {
 		writeJSON(w, code, info)
 	})
 
+	mux.HandleFunc("GET /v1/circuits", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.ExportCircuits())
+	})
+
 	mux.HandleFunc("GET /v1/circuits/{id}", func(w http.ResponseWriter, r *http.Request) {
 		info, err := s.Circuit(r.PathValue("id"))
 		if err != nil {
@@ -112,6 +138,33 @@ func NewHandler(s *Service) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, info)
+	})
+
+	mux.HandleFunc("GET /v1/circuits/{id}/keys", func(w http.ResponseWriter, r *http.Request) {
+		kb, err := s.ExportKeys(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, kb)
+	})
+
+	mux.HandleFunc("POST /v1/circuits/import", func(w http.ResponseWriter, r *http.Request) {
+		var kb KeyBundle
+		if err := decodeBodyLimit(w, r, &kb, maxKeyBodyBytes); err != nil {
+			writeError(w, err)
+			return
+		}
+		info, err := s.RegisterImported(kb)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		code := http.StatusCreated
+		if info.Cached {
+			code = http.StatusOK
+		}
+		writeJSON(w, code, info)
 	})
 
 	mux.HandleFunc("POST /v1/prove", func(w http.ResponseWriter, r *http.Request) {
@@ -146,6 +199,28 @@ func NewHandler(s *Service) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, j.Snapshot())
+	})
+
+	mux.HandleFunc("POST /v1/drain", func(w http.ResponseWriter, r *http.Request) {
+		timeout := 30 * time.Second
+		if v := r.URL.Query().Get("timeout"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				writeError(w, &InputError{Msg: fmt.Sprintf("bad drain timeout %q", v)})
+				return
+			}
+			timeout = d
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		rep, err := s.Drain(ctx)
+		if err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+			writeError(w, err)
+			return
+		}
+		// A deadline is not a failure: the stranded jobs ride back in the
+		// checkpoint instead of being dropped.
+		writeJSON(w, http.StatusOK, DrainResponse{Finished: rep.Finished, Checkpoint: rep.Checkpointed})
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -197,6 +198,7 @@ type Service struct {
 	idle      *sync.Cond // admitted == 0, for Drain
 	circuits  map[string]*circuitEntry
 	jobs      map[string]*Job
+	restored  map[string]bool // checkpoint job ids already resubmitted
 	admitted  int
 	accepting bool
 	jobSeq    uint64
@@ -227,6 +229,7 @@ func New(cfg Config) *Service {
 		ctx:       ctx,
 		circuits:  map[string]*circuitEntry{},
 		jobs:      map[string]*Job{},
+		restored:  map[string]bool{},
 		accepting: true,
 	}
 	s.idle = sync.NewCond(&s.mu)
@@ -268,6 +271,11 @@ func (s *Service) Ready() bool {
 // DevicesAlive reports surviving devices.
 func (s *Service) DevicesAlive() int { return s.sched.devicesAlive() }
 
+// CircuitIDFor returns the content-hash id Register assigns spec. The
+// cluster coordinator computes consistent-hash placement from it before
+// any node has seen the spec.
+func CircuitIDFor(spec CircuitSpec) string { return circuitID(spec) }
+
 // circuitID content-addresses a spec: same curve + same definition = same
 // id, so re-registration is a cache hit, not a second trusted setup.
 func circuitID(spec CircuitSpec) string {
@@ -286,31 +294,16 @@ func curveByName(name string) (curve.ID, error) {
 	return 0, &InputError{Msg: fmt.Sprintf("unsupported curve %q (want bn254 or bls12381)", name)}
 }
 
-// Register compiles the circuit, runs the trusted setup, optionally builds
-// the GZKP tables, and caches everything under the spec's content hash.
-// Registering an already-known spec returns the cached entry.
-func (s *Service) Register(spec CircuitSpec) (*CircuitInfo, error) {
-	id := circuitID(spec)
-	s.mu.Lock()
-	if e, ok := s.circuits[id]; ok {
-		s.mu.Unlock()
-		return e.info(true), nil
-	}
-	if len(s.circuits) >= s.cfg.MaxCircuits {
-		s.mu.Unlock()
-		return nil, &OverloadError{
-			Depth: s.cfg.MaxCircuits, Capacity: s.cfg.MaxCircuits,
-			RetryAfter: time.Minute,
-		}
-	}
-	s.mu.Unlock()
-
+// compileSpec builds the circuit entry (system + wire names) for a spec;
+// shared by Register (which then runs its own setup) and RegisterImported
+// (which installs keys produced elsewhere).
+func compileSpec(spec CircuitSpec) (*circuitEntry, error) {
 	cid, err := curveByName(spec.Curve)
 	if err != nil {
 		return nil, err
 	}
 	c := curve.Get(cid)
-	e := &circuitEntry{id: id, spec: spec, curveID: cid}
+	e := &circuitEntry{id: circuitID(spec), spec: spec, curveID: cid}
 	switch {
 	case spec.Source != "":
 		prog, err := frontend.Compile(c.Fr, spec.Source)
@@ -332,11 +325,53 @@ func (s *Service) Register(spec CircuitSpec) (*CircuitInfo, error) {
 	default:
 		return nil, &InputError{Msg: "circuit spec needs source or synthetic_size"}
 	}
+	return e, nil
+}
+
+// checkCircuitCapacity rejects a new registration when the cache is full.
+func (s *Service) checkCircuitCapacity(id string) (*CircuitInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.circuits[id]; ok {
+		return e.info(true), nil
+	}
+	if len(s.circuits) >= s.cfg.MaxCircuits {
+		return nil, &OverloadError{
+			Depth: s.cfg.MaxCircuits, Capacity: s.cfg.MaxCircuits,
+			RetryAfter: time.Minute,
+		}
+	}
+	return nil, nil
+}
+
+// install caches a fully built entry (first writer wins under races).
+func (s *Service) install(e *circuitEntry, counter string) *CircuitInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.circuits[e.id]; ok {
+		return prev.info(true)
+	}
+	s.circuits[e.id] = e
+	s.reg.Counter(counter).Add(1)
+	return e.info(false)
+}
+
+// Register compiles the circuit, runs the trusted setup, optionally builds
+// the GZKP tables, and caches everything under the spec's content hash.
+// Registering an already-known spec returns the cached entry.
+func (s *Service) Register(spec CircuitSpec) (*CircuitInfo, error) {
+	if info, err := s.checkCircuitCapacity(circuitID(spec)); info != nil || err != nil {
+		return info, err
+	}
+	e, err := compileSpec(spec)
+	if err != nil {
+		return nil, err
+	}
 
 	sp, ctx := telemetry.StartSpan(s.ctx, "register")
-	sp.SetStr("circuit", id)
+	sp.SetStr("circuit", e.id)
 	defer sp.End()
-	pk, vk, err := groth16.Setup(e.sys, c, nil)
+	pk, vk, err := groth16.Setup(e.sys, curve.Get(e.curveID), nil)
 	if err != nil {
 		return nil, fmt.Errorf("service: setup: %w", err)
 	}
@@ -349,15 +384,79 @@ func (s *Service) Register(spec CircuitSpec) (*CircuitInfo, error) {
 	if e.vkBytes, err = vk.MarshalCompressed(); err != nil {
 		return nil, err
 	}
+	return s.install(e, "service.circuits.registered"), nil
+}
 
+// KeyBundle is a circuit's portable key material: the spec that rebuilds
+// the constraint system plus the serialized proving and verifying keys.
+// It is both the GET /v1/circuits/{id}/keys response and the POST
+// /v1/circuits/import request — the cluster coordinator replicates a
+// circuit by exporting the bundle from the node that ran the trusted
+// setup and importing it on the other replicas, so every replica proves
+// under the same CRS (setups are randomized; two independent Setup runs
+// would yield incompatible keys).
+type KeyBundle struct {
+	CircuitID    string      `json:"circuit_id"`
+	Spec         CircuitSpec `json:"spec"`
+	ProvingKey   []byte      `json:"proving_key"`   // groth16 binary encoding
+	VerifyingKey []byte      `json:"verifying_key"` // compressed wire encoding
+}
+
+// ExportKeys serializes a cached circuit's key material for replication.
+func (s *Service) ExportKeys(id string) (*KeyBundle, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if prev, ok := s.circuits[id]; ok { // raced with a concurrent Register
-		return prev.info(true), nil
+	e, ok := s.circuits[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, &NotFoundError{What: "circuit", ID: id}
 	}
-	s.circuits[id] = e
-	s.reg.Counter("service.circuits.registered").Add(1)
-	return e.info(false), nil
+	pkBytes, err := e.pk.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("service: export keys: %w", err)
+	}
+	return &KeyBundle{
+		CircuitID: id, Spec: e.spec,
+		ProvingKey:   pkBytes,
+		VerifyingKey: append([]byte(nil), e.vkBytes...),
+	}, nil
+}
+
+// RegisterImported installs a circuit with keys produced elsewhere
+// (another node's trusted setup) instead of sampling a fresh CRS: the
+// system is recompiled locally from the spec, the keys are decoded and
+// curve-checked, and GZKP preprocessing runs if configured. The caller is
+// trusted to pair spec and keys correctly — this is the cluster's
+// internal replication hook, not a public registration path.
+func (s *Service) RegisterImported(kb KeyBundle) (*CircuitInfo, error) {
+	id := circuitID(kb.Spec)
+	if info, err := s.checkCircuitCapacity(id); info != nil || err != nil {
+		return info, err
+	}
+	e, err := compileSpec(kb.Spec)
+	if err != nil {
+		return nil, err
+	}
+	pk := &groth16.ProvingKey{}
+	if err := pk.UnmarshalBinary(kb.ProvingKey); err != nil {
+		return nil, &InputError{Msg: fmt.Sprintf("import: bad proving key: %v", err)}
+	}
+	vk, err := groth16.UnmarshalVerifyingKeyAuto(kb.VerifyingKey)
+	if err != nil {
+		return nil, &InputError{Msg: fmt.Sprintf("import: bad verifying key: %v", err)}
+	}
+	if pk.CurveID != e.curveID || vk.CurveID != e.curveID {
+		return nil, &InputError{Msg: "import: key curve does not match spec curve"}
+	}
+	if s.cfg.Preprocess && s.cfg.MSM.Strategy == msm.GZKP {
+		if err := pk.PreprocessCtx(s.ctx, s.cfg.MSM); err != nil {
+			return nil, fmt.Errorf("service: preprocess imported: %w", err)
+		}
+	}
+	e.pk, e.vk = pk, vk
+	if e.vkBytes, err = vk.MarshalCompressed(); err != nil {
+		return nil, err
+	}
+	return s.install(e, "service.circuits.imported"), nil
 }
 
 // Circuit returns the registration info of a cached circuit.
@@ -697,6 +796,10 @@ func (s *Service) Drain(ctx context.Context) (*DrainReport, error) {
 
 // Restore re-registers a checkpoint's circuits and resubmits its jobs —
 // run at startup by a successor process. Returns the restored job count.
+// Restoring is idempotent over checkpoint job ids: a job id already
+// resubmitted by an earlier Restore is skipped, so replaying the same
+// checkpoint (or a merged cluster checkpoint carrying a duplicate) never
+// double-submits work.
 func (s *Service) Restore(cp *Checkpoint) (int, error) {
 	for _, spec := range cp.Circuits {
 		if _, err := s.Register(spec); err != nil {
@@ -705,12 +808,45 @@ func (s *Service) Restore(cp *Checkpoint) (int, error) {
 	}
 	n := 0
 	for _, e := range cp.Jobs {
+		s.mu.Lock()
+		if s.restored[e.JobID] {
+			s.mu.Unlock()
+			continue
+		}
+		s.restored[e.JobID] = true
+		s.mu.Unlock()
 		if _, err := s.Submit(e.CircuitID, e.Public, e.Secret); err != nil {
+			// The submit failed (overload, drain): un-claim the id so a
+			// later replay of the checkpoint can try again.
+			s.mu.Lock()
+			delete(s.restored, e.JobID)
+			s.mu.Unlock()
 			return n, fmt.Errorf("service: restore job %s: %w", e.JobID, err)
 		}
 		n++
 	}
 	return n, nil
+}
+
+// CircuitExport names one cached circuit: its content-hash id plus the
+// spec that rebuilds it. A cluster coordinator reads these off nodes to
+// re-register circuits on survivors after a node loss.
+type CircuitExport struct {
+	CircuitID string      `json:"circuit_id"`
+	Spec      CircuitSpec `json:"spec"`
+}
+
+// ExportCircuits lists every registered circuit as (id, spec) pairs, in
+// registration-stable (id-sorted) order.
+func (s *Service) ExportCircuits() []CircuitExport {
+	s.mu.Lock()
+	out := make([]CircuitExport, 0, len(s.circuits))
+	for id, e := range s.circuits {
+		out = append(out, CircuitExport{CircuitID: id, Spec: e.spec})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].CircuitID < out[j].CircuitID })
+	return out
 }
 
 // Close stops the device workers. Pending jobs are abandoned — call Drain
