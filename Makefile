@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fmt vet fuzz bench-baseline bench-gate serve loadtest cluster cluster-race
+.PHONY: build test race fmt vet fuzz bench-baseline bench-gate serve loadtest cluster cluster-race cluster-ha ha-race
 
 build:
 	$(GO) build ./...
@@ -64,3 +64,27 @@ cluster:
 # Local replica of the CI cluster-race job's test half.
 cluster-race:
 	$(GO) test -race -timeout 20m ./internal/cluster/... ./internal/resilience/...
+
+# Run the 3-node cluster behind a 2-replica HA coordinator group: coordA
+# (:8089) leads, coordB (:8088) stands by. Kill coordA and coordB takes
+# over within a lease interval; point loadgen at both
+# (`-target http://localhost:8089,http://localhost:8088`) to ride through
+# the failover.
+cluster-ha:
+	mkdir -p artifacts
+	$(GO) build -o artifacts/gzkp-serve ./cmd/gzkp-serve
+	$(GO) build -o artifacts/gzkp-coord ./cmd/gzkp-coord
+	artifacts/gzkp-serve -addr localhost:8090 & \
+	artifacts/gzkp-serve -addr localhost:8091 & \
+	artifacts/gzkp-serve -addr localhost:8092 & \
+	sleep 1 && artifacts/gzkp-coord -addr localhost:8088 \
+		-self coordB -peers coordA=http://localhost:8089,coordB=http://localhost:8088 \
+		-nodes n0=http://localhost:8090,n1=http://localhost:8091,n2=http://localhost:8092 & \
+	artifacts/gzkp-coord -addr localhost:8089 \
+		-self coordA -peers coordA=http://localhost:8089,coordB=http://localhost:8088 \
+		-nodes n0=http://localhost:8090,n1=http://localhost:8091,n2=http://localhost:8092 \
+		-checkpoint artifacts/cluster.ckpt
+
+# Local replica of the CI coordinator-failover job's test half.
+ha-race:
+	$(GO) test -race -timeout 20m -run 'TestReplica|TestJournal|TestChaos|TestParseChaosPlan' ./internal/cluster/

@@ -6,6 +6,15 @@
 // and merging their checkpoints into one restorable file.
 //
 //	gzkp-coord -addr :8089 -nodes a=http://localhost:8090,b=http://localhost:8091,c=http://localhost:8092
+//
+// With -self and -peers it runs as one replica of a highly available
+// coordinator group: one leader holds a time-bounded lease and replicates
+// its state journal to the standbys; a standby serves reads and
+// 307-redirects writes, and takes over (re-probing the fleet and
+// re-driving unfinished jobs) when the lease expires.
+//
+//	gzkp-coord -addr :8089 -self coordA -peers coordA=http://localhost:8089,coordB=http://localhost:8088 -nodes ...
+//	gzkp-coord -addr :8088 -self coordB -peers coordA=http://localhost:8089,coordB=http://localhost:8088 -nodes ...
 package main
 
 import (
@@ -40,6 +49,12 @@ func main() {
 		drainWait     = flag.Duration("drain-timeout", 60*time.Second, "max time for the cluster drain on shutdown")
 		nodeDrain     = flag.Duration("node-drain-timeout", 30*time.Second, "per-node drain budget within the cluster drain")
 		debugAddr     = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address")
+		self          = flag.String("self", "", "this replica's name in -peers (enables coordinator HA)")
+		peersSpec     = flag.String("peers", "", `comma-separated coordinator replicas "name=url" including self; empty = single coordinator`)
+		leaseEvery    = flag.Duration("lease-interval", 500*time.Millisecond, "leader heartbeat/replication period (HA mode)")
+		leaseTTL      = flag.Duration("lease-ttl", 0, "lease staleness before standbys elect (default 4x lease-interval)")
+		chaosSpec     = flag.String("chaos", "", `chaos schedule "KIND:TARGET@STEP[xN][+DUR],..." (kinds: leaderkill partition probedrop probedelay slowstandby)`)
+		chaosSeed     = flag.Int64("chaos-seed", 1, "seed resolving '?' steps in -chaos")
 	)
 	flag.Parse()
 	if *nodesSpec == "" {
@@ -58,8 +73,15 @@ func main() {
 		}
 	}
 
+	var chaos *cluster.ChaosPlan
+	if *chaosSpec != "" {
+		var err error
+		chaos, err = cluster.ParseChaosPlan(*chaosSpec, *chaosSeed)
+		die(err)
+	}
+
 	reg := telemetry.NewRegistry()
-	coord, err := cluster.New(cluster.Config{
+	ccfg := cluster.Config{
 		Nodes:            nodes,
 		Replicas:         *replicas,
 		MaxInflight:      *maxInflight,
@@ -68,7 +90,16 @@ func main() {
 		FailThreshold:    *failThreshold,
 		NodeDrainTimeout: *nodeDrain,
 		Registry:         reg,
-	})
+		Chaos:            chaos,
+	}
+
+	if *peersSpec != "" {
+		runReplica(ccfg, *addr, *self, *peersSpec, *leaseEvery, *leaseTTL, chaos,
+			*adopt, *checkpoint, *drainWait, *debugAddr)
+		return
+	}
+
+	coord, err := cluster.New(ccfg)
 	die(err)
 
 	if *debugAddr != "" {
@@ -82,14 +113,7 @@ func main() {
 		fmt.Printf("gzkp-coord: adopted %d circuits from running nodes\n", n)
 	}
 	if *checkpoint != "" {
-		if data, err := os.ReadFile(*checkpoint); err == nil {
-			var cp service.Checkpoint
-			die(json.Unmarshal(data, &cp))
-			n, err := coord.Restore(&cp)
-			die(err)
-			die(os.Remove(*checkpoint))
-			fmt.Printf("gzkp-coord: restored %d checkpointed jobs from %s\n", n, *checkpoint)
-		}
+		restoreFromFile(coord, *checkpoint)
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: cluster.NewHandler(coord)}
@@ -109,7 +133,124 @@ func main() {
 		fmt.Printf("gzkp-coord: %s — draining cluster (timeout %s)\n", s, *drainWait)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	drainAndCheckpoint(coord, *drainWait, *checkpoint)
+	shCtx, shCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shCancel()
+	_ = srv.Shutdown(shCtx)
+	coord.Close()
+}
+
+// runReplica is the HA-mode main loop: one replica of a coordinator
+// group. Role transitions print to stdout; SIGTERM drains the cluster
+// only if this replica currently leads (a standby just exits — the
+// leader owns the jobs).
+func runReplica(ccfg cluster.Config, addr, self, peersSpec string,
+	leaseEvery, leaseTTL time.Duration, chaos *cluster.ChaosPlan,
+	adopt bool, checkpoint string, drainWait time.Duration, debugAddr string) {
+	if self == "" {
+		die(errors.New("-peers requires -self"))
+	}
+	var peers []cluster.PeerSpec
+	for _, part := range strings.Split(peersSpec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(part, "=")
+		if !ok {
+			die(fmt.Errorf("-peers entry %q: want name=url", part))
+		}
+		peers = append(peers, cluster.PeerSpec{Name: name, URL: url})
+	}
+
+	rep, err := cluster.NewReplica(cluster.ReplicaConfig{
+		Self: self, Peers: peers,
+		LeaseInterval: leaseEvery, LeaseTTL: leaseTTL,
+		Cluster: ccfg, Chaos: chaos,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("gzkp-coord: "+format+"\n", args...)
+		},
+	})
+	die(err)
+
+	if debugAddr != "" {
+		dbg, at, err := telemetry.ServeDebug(debugAddr, rep.Registry())
+		die(err)
+		defer dbg.Close()
+		fmt.Printf("gzkp-coord: debug server on http://%s/debug/vars\n", at)
+	}
+
+	rep.Start()
+	if coord := rep.Coordinator(); coord != nil {
+		if adopt {
+			n := coord.AdoptCircuits()
+			fmt.Printf("gzkp-coord: adopted %d circuits from running nodes\n", n)
+		}
+		if checkpoint != "" {
+			restoreFromFile(coord, checkpoint)
+		}
+	} else if adopt || checkpoint != "" {
+		fmt.Println("gzkp-coord: standby at startup; -adopt/-checkpoint apply on the leader")
+	}
+
+	srv := &http.Server{Addr: addr, Handler: rep}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("gzkp-coord: replica %s listening on http://%s (peers=%d nodes=%d role=%s)\n",
+			self, addr, len(peers), len(ccfg.Nodes), rep.Role())
+		errCh <- srv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		die(err)
+	case <-rep.Halted():
+		fmt.Println("gzkp-coord: halted by chaos plan")
+		if chaos != nil {
+			for _, ev := range chaos.Trace() {
+				fmt.Printf("gzkp-coord: chaos fired %s\n", ev)
+			}
+		}
+		shCtx, shCancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer shCancel()
+		_ = srv.Shutdown(shCtx)
+		os.Exit(3)
+	case s := <-sig:
+		fmt.Printf("gzkp-coord: %s — shutting down replica %s (role=%s)\n", s, self, rep.Role())
+	}
+
+	if coord := rep.Coordinator(); coord != nil {
+		fmt.Printf("gzkp-coord: leader drain (timeout %s)\n", drainWait)
+		drainAndCheckpoint(coord, drainWait, checkpoint)
+	}
+	shCtx, shCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shCancel()
+	_ = srv.Shutdown(shCtx)
+	rep.Close()
+	if chaos != nil {
+		for _, ev := range chaos.Trace() {
+			fmt.Printf("gzkp-coord: chaos fired %s\n", ev)
+		}
+	}
+}
+
+func restoreFromFile(coord *cluster.Coordinator, path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return
+	}
+	var cp service.Checkpoint
+	die(json.Unmarshal(data, &cp))
+	n, err := coord.Restore(&cp)
+	die(err)
+	die(os.Remove(path))
+	fmt.Printf("gzkp-coord: restored %d checkpointed jobs from %s\n", n, path)
+}
+
+func drainAndCheckpoint(coord *cluster.Coordinator, drainWait time.Duration, checkpoint string) {
+	ctx, cancel := context.WithTimeout(context.Background(), drainWait)
 	defer cancel()
 	rep, derr := coord.Drain(ctx)
 	if derr != nil && !errors.Is(derr, context.DeadlineExceeded) && !errors.Is(derr, context.Canceled) {
@@ -117,21 +258,17 @@ func main() {
 	}
 	fmt.Printf("gzkp-coord: drained (%d jobs finished)\n", rep.Finished)
 	if rep.Checkpoint != nil {
-		if *checkpoint == "" {
+		if checkpoint == "" {
 			fmt.Fprintf(os.Stderr, "gzkp-coord: %d stranded jobs dropped (no -checkpoint path)\n",
 				len(rep.Checkpoint.Jobs))
 		} else {
 			blob, err := json.MarshalIndent(rep.Checkpoint, "", "  ")
 			die(err)
-			die(os.WriteFile(*checkpoint, blob, 0o644))
+			die(os.WriteFile(checkpoint, blob, 0o644))
 			fmt.Printf("gzkp-coord: checkpointed %d stranded jobs to %s\n",
-				len(rep.Checkpoint.Jobs), *checkpoint)
+				len(rep.Checkpoint.Jobs), checkpoint)
 		}
 	}
-	shCtx, shCancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer shCancel()
-	_ = srv.Shutdown(shCtx)
-	coord.Close()
 }
 
 func die(err error) {

@@ -13,7 +13,13 @@
 // re-attempts before counting the request as rejected — well-behaved
 // clients are part of what makes admission control work.
 //
+// -target accepts a comma-separated endpoint list (an HA coordinator
+// group); when the current endpoint stops answering, the generator fails
+// over to the next with full-jitter backoff and reports how many times it
+// switched (coordinator_failovers).
+//
 //	gzkp-loadgen -target http://localhost:8090 -rps 20 -duration 10s -out report.json
+//	gzkp-loadgen -target http://localhost:8089,http://localhost:8088 -rps 20 -duration 10s
 package main
 
 import (
@@ -54,7 +60,7 @@ type mixCircuit struct {
 
 func main() {
 	var (
-		target    = flag.String("target", "http://localhost:8090", "base URL of gzkp-serve")
+		target    = flag.String("target", "http://localhost:8090", "base URL(s) of gzkp-serve / gzkp-coord; comma-separated list fails over left to right")
 		curveName = flag.String("curve", "bn254", "bn254 | bls12381")
 		mixSpec   = flag.String("mix", "64,128,256", "comma-separated synthetic circuit sizes (the request mix round-robins over them)")
 		seed      = flag.Int64("seed", 1, "base seed for the synthetic circuits")
@@ -78,13 +84,18 @@ func main() {
 	}
 	f := curve.Get(id).Fr
 
+	tg := newTargets(*target)
+	if tg == nil {
+		die(fmt.Errorf("-target needs at least one endpoint"))
+	}
+
 	// Register the mix and recompute each circuit's inputs locally.
 	var mix []*mixCircuit
 	for i, part := range strings.Split(*mixSpec, ",") {
 		size, err := strconv.Atoi(strings.TrimSpace(part))
 		die(err)
 		cseed := *seed + int64(i)
-		mc, err := registerOne(*target, *curveName, f, size, cseed)
+		mc, err := registerOne(tg, *curveName, f, size, cseed)
 		die(err)
 		mix = append(mix, mc)
 		fmt.Printf("gzkp-loadgen: registered circuit %s (size %d, seed %d)\n", mc.id, size, cseed)
@@ -126,17 +137,34 @@ func main() {
 				st         *service.JobStatus
 				err        error
 			)
+		attempts:
 			for attempt := 0; ; attempt++ {
-				status, retryAfter, st, err = prove(client, *target, mc)
-				if err != nil || !shedding(status) || attempt >= *retries {
+				ep := tg.current()
+				status, retryAfter, st, err = prove(client, ep, mc)
+				if attempt >= *retries {
 					break
 				}
-				delay := backoff.JitterBackoff(attempt, rand.Float64())
-				if retryAfter > delay {
-					delay = retryAfter
+				switch {
+				case err != nil:
+					// Transport failure. If the endpoint is gone (leader
+					// killed mid-run) rotate to the next coordinator; either
+					// way re-send after a full-jitter pause so the in-flight
+					// fleet does not stampede the standby all at once.
+					if resilience.ClassifyHTTP(0, err) == resilience.DeviceLost {
+						tg.failover(ep)
+					}
+					retriedN.Add(1)
+					time.Sleep(backoff.JitterBackoff(attempt, rand.Float64()))
+				case shedding(status):
+					delay := backoff.JitterBackoff(attempt, rand.Float64())
+					if retryAfter > delay {
+						delay = retryAfter
+					}
+					retriedN.Add(1)
+					time.Sleep(delay)
+				default:
+					break attempts
 				}
-				retriedN.Add(1)
-				time.Sleep(delay)
 			}
 			elapsed := time.Since(t0).Nanoseconds()
 			switch {
@@ -165,15 +193,16 @@ func main() {
 	snap := lat.Snapshot()
 	ok, rej, fail := okN.Load(), rejectedN.Load(), failedN.Load()
 	vfail, terr, retried := verifyFailN.Load(), transportN.Load(), retriedN.Load()
-	fmt.Printf("gzkp-loadgen: sent %d in %.1fs — %d ok, %d rejected (429/503), %d failed, %d verify-failed, %d transport errors, %d backoff retries\n",
-		sent, elapsed.Seconds(), ok, rej, fail, vfail, terr, retried)
+	failovers := tg.failovers.Load()
+	fmt.Printf("gzkp-loadgen: sent %d in %.1fs — %d ok, %d rejected (429/503), %d failed, %d verify-failed, %d transport errors, %d backoff retries, %d coordinator failovers\n",
+		sent, elapsed.Seconds(), ok, rej, fail, vfail, terr, retried, failovers)
 	if ok > 0 {
 		fmt.Printf("gzkp-loadgen: throughput %.2f proofs/s, latency p50 %.1fms p95 %.1fms p99 %.1fms\n",
 			float64(ok)/elapsed.Seconds(),
 			float64(snap.P50)/1e6, float64(snap.P95)/1e6, float64(snap.P99)/1e6)
 	}
 
-	report := buildReport(sent, elapsed, snap, ok, rej, fail+vfail+terr, retried)
+	report := buildReport(sent, elapsed, snap, ok, rej, fail+vfail+terr, retried, failovers)
 	out := os.Stdout
 	if *outPath != "" {
 		fh, err := os.Create(*outPath)
@@ -195,7 +224,7 @@ func main() {
 // buildReport renders the run as the bench JSON schema (source tag
 // "gzkp-loadgen") so benchdiff -validate and the CI artifact tooling accept
 // it: counts ride in n, durations in ns_op.
-func buildReport(sent int, elapsed time.Duration, snap telemetry.HistogramSnapshot, ok, rejected, failed, retried int64) any {
+func buildReport(sent int, elapsed time.Duration, snap telemetry.HistogramSnapshot, ok, rejected, failed, retried, failovers int64) any {
 	perOp := int64(0)
 	if ok > 0 {
 		perOp = elapsed.Nanoseconds() / ok
@@ -210,6 +239,7 @@ func buildReport(sent int, elapsed time.Duration, snap telemetry.HistogramSnapsh
 		{Experiment: "loadgen", Section: "measured", Name: "rejected_429", N: int(rejected)},
 		{Experiment: "loadgen", Section: "measured", Name: "failed", N: int(failed)},
 		{Experiment: "loadgen", Section: "measured", Name: "backoff_retries", N: int(retried)},
+		{Experiment: "loadgen", Section: "measured", Name: "coordinator_failovers", N: int(failovers)},
 	}
 	return struct {
 		Source  string         `json:"source"`
@@ -217,16 +247,67 @@ func buildReport(sent int, elapsed time.Duration, snap telemetry.HistogramSnapsh
 	}{Source: "gzkp-loadgen", Samples: samples}
 }
 
-func registerOne(target, curveName string, f *ff.Field, size int, seed int64) (*mixCircuit, error) {
+// targets is the failover-aware endpoint list: requests go to the
+// current endpoint until someone observes it dead and rotates. The
+// compare-and-swap keeps a burst of concurrent failures from skipping
+// past a healthy endpoint (only the first observer advances the cursor).
+type targets struct {
+	urls      []string
+	cur       atomic.Int64
+	failovers atomic.Int64
+}
+
+func newTargets(spec string) *targets {
+	t := &targets{}
+	for _, part := range strings.Split(spec, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			t.urls = append(t.urls, strings.TrimRight(part, "/"))
+		}
+	}
+	if len(t.urls) == 0 {
+		return nil
+	}
+	return t
+}
+
+func (t *targets) current() string {
+	return t.urls[int(t.cur.Load())%len(t.urls)]
+}
+
+// failover rotates past a dead endpoint. No-op if another request
+// already moved the cursor off it.
+func (t *targets) failover(dead string) {
+	i := t.cur.Load()
+	if t.urls[int(i)%len(t.urls)] != dead {
+		return
+	}
+	if t.cur.CompareAndSwap(i, i+1) {
+		t.failovers.Add(1)
+		fmt.Printf("gzkp-loadgen: endpoint %s unreachable, failing over to %s\n", dead, t.current())
+	}
+}
+
+func registerOne(tg *targets, curveName string, f *ff.Field, size int, seed int64) (*mixCircuit, error) {
 	_, pub, sec, err := workload.SyntheticR1CS(f, size, seed)
 	if err != nil {
 		return nil, err
 	}
 	spec := service.CircuitSpec{Curve: curveName, SyntheticSize: size, SyntheticSeed: seed}
 	body, _ := json.Marshal(spec)
-	resp, err := http.Post(target+"/v1/circuits", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
+	var resp *http.Response
+	for attempt := 0; ; attempt++ {
+		ep := tg.current()
+		resp, err = http.Post(ep+"/v1/circuits", "application/json", bytes.NewReader(body))
+		if err == nil {
+			break
+		}
+		if attempt >= len(tg.urls) {
+			return nil, err
+		}
+		if resilience.ClassifyHTTP(0, err) == resilience.DeviceLost {
+			tg.failover(ep)
+		}
+		time.Sleep(100 * time.Millisecond)
 	}
 	data, err := io.ReadAll(resp.Body)
 	resp.Body.Close()

@@ -1,0 +1,391 @@
+package cluster
+
+import (
+	"fmt"
+	mrand "math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"gzkp/internal/telemetry"
+)
+
+// The cluster chaos harness extends the gpusim FaultPlan vocabulary one
+// layer up, to the control plane: scripted leader kills, coordinator↔node
+// partitions, dropped or delayed probes, and slow standby replication —
+// all from a seeded, reproducible schedule, so failover paths are
+// exercised by deterministic tests instead of only by process-kill
+// smokes.
+//
+// Determinism needs a clock that does not depend on goroutine
+// interleaving. The harness uses the coordinator's own sequential loops
+// as that clock:
+//
+//   - node-targeted events advance on health probes (probeAll walks nodes
+//     in construction order, one at a time, every ProbeInterval);
+//   - peer-targeted partitions and slowstandby advance on the leader's
+//     replicate attempts to that peer (one heartbeat loop per peer,
+//     sequential per peer);
+//   - leaderkill advances on heartbeat rounds of the named replica.
+//
+// Data-path requests (forwarded proves) consult the current partition
+// state but never advance any counter, so a racy burst of jobs cannot
+// perturb the schedule.
+
+// ChaosKind names one injectable control-plane failure.
+type ChaosKind int
+
+const (
+	// ChaosLeaderKill halts the named coordinator replica at its Nth
+	// heartbeat round — the in-process analogue of kill -9 on the leader.
+	ChaosLeaderKill ChaosKind = iota
+	// ChaosPartition blocks coordinator↔target traffic for Times
+	// occurrences of the target's clock (probes for nodes, replicate
+	// attempts for peers). Requests fail as if the network refused them.
+	ChaosPartition
+	// ChaosProbeDrop drops Times consecutive probe requests to a node.
+	ChaosProbeDrop
+	// ChaosProbeDelay delays Times consecutive probe requests by Delay.
+	ChaosProbeDelay
+	// ChaosSlowStandby delays Times replicate calls to a peer by Delay.
+	ChaosSlowStandby
+)
+
+func (k ChaosKind) String() string {
+	switch k {
+	case ChaosLeaderKill:
+		return "leaderkill"
+	case ChaosPartition:
+		return "partition"
+	case ChaosProbeDrop:
+		return "probedrop"
+	case ChaosProbeDelay:
+		return "probedelay"
+	case ChaosSlowStandby:
+		return "slowstandby"
+	}
+	return fmt.Sprintf("chaos(%d)", int(k))
+}
+
+// ChaosEvent schedules one injection against a named target (a node name
+// for probe/partition kinds, a replica name for leaderkill/slowstandby).
+type ChaosEvent struct {
+	Kind   ChaosKind
+	Target string
+	// Step is the 0-based tick of the target's clock at which the event
+	// fires; negative steps resolve from the plan seed (uniform in [0,8)).
+	Step int
+	// Times is how many consecutive ticks the event covers (0 means 1).
+	Times int
+	// Delay applies to probedelay and slowstandby (default 500ms).
+	Delay time.Duration
+}
+
+// ChaosPlan is the seeded schedule plus its per-target clocks and trace.
+type ChaosPlan struct {
+	mu     sync.Mutex
+	events []ChaosEvent
+	ticks  map[string]int // per-target clock (probe or replicate ticks)
+	rounds map[string]int // per-replica heartbeat-round clock
+	// partitioned[target] counts remaining blocked ticks; data-path
+	// requests consult it without advancing anything.
+	partitioned map[string]int
+	trace       []string
+
+	cFired *telemetry.Counter
+	kinds  map[string]*telemetry.Counter
+	reg    *telemetry.Registry
+}
+
+// NewChaosPlan builds a plan from a seed and a schedule; the seed only
+// matters for events with negative steps.
+func NewChaosPlan(seed int64, events ...ChaosEvent) *ChaosPlan {
+	rng := mrand.New(mrand.NewSource(seed))
+	p := &ChaosPlan{
+		ticks:       map[string]int{},
+		rounds:      map[string]int{},
+		partitioned: map[string]int{},
+		kinds:       map[string]*telemetry.Counter{},
+	}
+	for _, e := range events {
+		if e.Step < 0 {
+			e.Step = rng.Intn(8)
+		}
+		if e.Times <= 0 {
+			e.Times = 1
+		}
+		if e.Delay <= 0 {
+			e.Delay = 500 * time.Millisecond
+		}
+		p.events = append(p.events, e)
+	}
+	return p
+}
+
+// Bind attaches the plan's counters to a registry (idempotent; nil ok).
+func (p *ChaosPlan) Bind(reg *telemetry.Registry) {
+	if p == nil || reg == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.reg == reg {
+		return
+	}
+	p.reg = reg
+	p.cFired = reg.Counter("cluster.chaos.fired")
+	for _, k := range []ChaosKind{ChaosLeaderKill, ChaosPartition, ChaosProbeDrop, ChaosProbeDelay, ChaosSlowStandby} {
+		p.kinds[k.String()] = reg.Counter("cluster.chaos." + k.String())
+	}
+}
+
+// Trace returns the ordered fired-event log — the reproducibility
+// artifact tests compare across seeds.
+func (p *ChaosPlan) Trace() []string {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.trace...)
+}
+
+func (p *ChaosPlan) record(ev ChaosEvent, tick int) {
+	p.trace = append(p.trace, fmt.Sprintf("%s:%s@%d", ev.Kind, ev.Target, tick))
+	if p.cFired != nil {
+		p.cFired.Add(1)
+		p.kinds[ev.Kind.String()].Add(1)
+	}
+}
+
+// hit finds the scheduled event of kind covering tick for target.
+func (p *ChaosPlan) hit(kind ChaosKind, target string, tick int) (ChaosEvent, bool) {
+	for _, e := range p.events {
+		if e.Kind == kind && e.Target == target && tick >= e.Step && tick < e.Step+e.Times {
+			return e, true
+		}
+	}
+	return ChaosEvent{}, false
+}
+
+// partitionErr is what a chaos partition injects: it wraps ECONNREFUSED
+// so resilience.ClassifyHTTP sees exactly what a real dead network path
+// produces (DeviceLost), exercising the same strike/evict/migrate code.
+func partitionErr(target string) error {
+	return fmt.Errorf("chaos: partition to %s: %w", target, syscall.ECONNREFUSED)
+}
+
+// onProbe advances the node's probe clock and returns the action for this
+// probe: a non-nil error means drop the request (partition or probedrop),
+// a positive delay means stall it first.
+func (p *ChaosPlan) onProbe(node string) (error, time.Duration) {
+	if p == nil {
+		return nil, 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	tick := p.ticks[node]
+	p.ticks[node] = tick + 1
+	if ev, ok := p.hit(ChaosPartition, node, tick); ok {
+		p.record(ev, tick)
+		p.partitioned[node] = ev.Step + ev.Times - tick // ticks left incl. this one
+		return partitionErr(node), 0
+	}
+	// A probe past the partition window heals it for the data path too.
+	p.partitioned[node] = 0
+	if ev, ok := p.hit(ChaosProbeDrop, node, tick); ok {
+		p.record(ev, tick)
+		return partitionErr(node), 0
+	}
+	if ev, ok := p.hit(ChaosProbeDelay, node, tick); ok {
+		p.record(ev, tick)
+		return nil, ev.Delay
+	}
+	return nil, 0
+}
+
+// onData consults (without advancing) the partition state for a
+// data-path request to a node.
+func (p *ChaosPlan) onData(node string) error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.partitioned[node] > 0 {
+		return partitionErr(node)
+	}
+	return nil
+}
+
+// onReplicate advances the peer's replicate clock: partitions block the
+// heartbeat, slowstandby stalls it.
+func (p *ChaosPlan) onReplicate(peer string) (error, time.Duration) {
+	if p == nil {
+		return nil, 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	tick := p.ticks[peer]
+	p.ticks[peer] = tick + 1
+	if ev, ok := p.hit(ChaosPartition, peer, tick); ok {
+		p.record(ev, tick)
+		return partitionErr(peer), 0
+	}
+	if ev, ok := p.hit(ChaosSlowStandby, peer, tick); ok {
+		p.record(ev, tick)
+		return nil, ev.Delay
+	}
+	return nil, 0
+}
+
+// onHeartbeatRound advances the replica's round clock and reports whether
+// a scheduled leaderkill fires now.
+func (p *ChaosPlan) onHeartbeatRound(self string) bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	round := p.rounds[self]
+	p.rounds[self] = round + 1
+	if ev, ok := p.hit(ChaosLeaderKill, self, round); ok {
+		p.record(ev, round)
+		return true
+	}
+	return false
+}
+
+// chaosTransport wraps an http.RoundTripper and applies the plan to probe
+// (/healthz, /readyz, /metrics) and data requests by host. Probe-clock
+// advancement happens only on /healthz — the first call of every
+// sequential probeOne — so one probe round is exactly one tick.
+type chaosTransport struct {
+	plan  *ChaosPlan
+	base  http.RoundTripper
+	names map[string]string // host -> target name
+}
+
+func (t *chaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	name, ok := t.names[req.URL.Host]
+	if !ok {
+		return t.base.RoundTrip(req)
+	}
+	switch req.URL.Path {
+	case "/healthz":
+		err, delay := t.plan.onProbe(name)
+		if err != nil {
+			return nil, err
+		}
+		if delay > 0 {
+			select {
+			case <-req.Context().Done():
+				return nil, req.Context().Err()
+			case <-time.After(delay):
+			}
+		}
+	case "/readyz", "/metrics":
+		// Same probe round as the /healthz tick: only consult state.
+		if err := t.plan.onData(name); err != nil {
+			return nil, err
+		}
+	default:
+		if err := t.plan.onData(name); err != nil {
+			return nil, err
+		}
+	}
+	return t.base.RoundTrip(req)
+}
+
+// ChaosClient wraps client so requests to the named hosts flow through
+// the plan. names maps host:port -> target name.
+func ChaosClient(plan *ChaosPlan, client *http.Client, names map[string]string) *http.Client {
+	if plan == nil || len(names) == 0 {
+		return client
+	}
+	base := http.DefaultTransport
+	out := &http.Client{}
+	if client != nil {
+		*out = *client
+		if client.Transport != nil {
+			base = client.Transport
+		}
+	}
+	out.Transport = &chaosTransport{plan: plan, base: base, names: names}
+	return out
+}
+
+// ParseChaosPlan parses the -chaos syntax, mirroring gpusim's
+// ParseFaultPlan one layer up: comma-separated KIND:TARGET@STEP[xN][+DUR]
+// where KIND is leaderkill | partition | probedrop | probedelay |
+// slowstandby, TARGET is a node or replica name, STEP is the 0-based tick
+// of the target's clock (or "?" for a seeded random step), xN covers N
+// consecutive ticks, and +DUR sets the delay for the delaying kinds.
+//
+//	leaderkill:coordA@3          halt coordA at its 4th heartbeat round
+//	partition:n1@2x3             block n1 traffic for probe ticks 2-4
+//	probedelay:n0@1x2+200ms      delay n0's probes 1 and 2 by 200ms
+func ParseChaosPlan(spec string, seed int64) (*ChaosPlan, error) {
+	var events []ChaosEvent
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		kindStr, rest, ok := strings.Cut(entry, ":")
+		if !ok {
+			return nil, fmt.Errorf("cluster: chaos %q: want KIND:TARGET@STEP[xN][+DUR]", entry)
+		}
+		var kind ChaosKind
+		switch kindStr {
+		case "leaderkill":
+			kind = ChaosLeaderKill
+		case "partition":
+			kind = ChaosPartition
+		case "probedrop":
+			kind = ChaosProbeDrop
+		case "probedelay":
+			kind = ChaosProbeDelay
+		case "slowstandby":
+			kind = ChaosSlowStandby
+		default:
+			return nil, fmt.Errorf("cluster: chaos %q: unknown kind %q", entry, kindStr)
+		}
+		target, stepStr, ok := strings.Cut(rest, "@")
+		if !ok || target == "" {
+			return nil, fmt.Errorf("cluster: chaos %q: missing TARGET@STEP", entry)
+		}
+		var delay time.Duration
+		if s, durStr, ok := strings.Cut(stepStr, "+"); ok {
+			d, err := time.ParseDuration(durStr)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("cluster: chaos %q: bad duration %q", entry, durStr)
+			}
+			delay, stepStr = d, s
+		}
+		times := 1
+		if s, timesStr, ok := strings.Cut(stepStr, "x"); ok {
+			n, err := strconv.Atoi(timesStr)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("cluster: chaos %q: bad repeat %q", entry, timesStr)
+			}
+			times, stepStr = n, s
+		}
+		step := -1
+		if stepStr != "?" {
+			n, err := strconv.Atoi(stepStr)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("cluster: chaos %q: bad step %q", entry, stepStr)
+			}
+			step = n
+		}
+		events = append(events, ChaosEvent{Kind: kind, Target: target, Step: step, Times: times, Delay: delay})
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("cluster: empty chaos spec %q", spec)
+	}
+	return NewChaosPlan(seed, events...), nil
+}

@@ -1,0 +1,210 @@
+package cluster
+
+import (
+	"errors"
+	"reflect"
+	"syscall"
+	"testing"
+	"time"
+
+	"gzkp/internal/resilience"
+)
+
+func TestParseChaosPlan(t *testing.T) {
+	p, err := ParseChaosPlan("leaderkill:coordA@3,partition:n1@2x3,probedelay:n0@1x2+200ms,slowstandby:coordB@?,probedrop:n2@0", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.events) != 5 {
+		t.Fatalf("parsed %d events, want 5", len(p.events))
+	}
+	checks := []struct {
+		kind   ChaosKind
+		target string
+		step   int
+		times  int
+		delay  time.Duration
+	}{
+		{ChaosLeaderKill, "coordA", 3, 1, 500 * time.Millisecond},
+		{ChaosPartition, "n1", 2, 3, 500 * time.Millisecond},
+		{ChaosProbeDelay, "n0", 1, 2, 200 * time.Millisecond},
+		{ChaosSlowStandby, "coordB", -1, 1, 500 * time.Millisecond}, // step resolved below
+		{ChaosProbeDrop, "n2", 0, 1, 500 * time.Millisecond},
+	}
+	for i, want := range checks {
+		e := p.events[i]
+		if e.Kind != want.kind || e.Target != want.target || e.Times != want.times || e.Delay != want.delay {
+			t.Errorf("event %d = %+v, want %+v", i, e, want)
+		}
+		if want.step >= 0 && e.Step != want.step {
+			t.Errorf("event %d step = %d, want %d", i, e.Step, want.step)
+		}
+		if want.step < 0 && (e.Step < 0 || e.Step >= 8) {
+			t.Errorf("event %d random step = %d, want [0,8)", i, e.Step)
+		}
+	}
+
+	for _, bad := range []string{
+		"", "nonsense", "explode:n1@0", "partition:@0", "partition:n1",
+		"partition:n1@-1", "partition:n1@x", "partition:n1@0x0",
+		"probedelay:n0@1+nonsense", "probedelay:n0@1+-3ms",
+	} {
+		if _, err := ParseChaosPlan(bad, 1); err == nil {
+			t.Errorf("spec %q parsed without error", bad)
+		}
+	}
+}
+
+// TestChaosDeterministicTrace drives two plans built from the same seed
+// and spec through an identical clock sequence: the fired-event traces
+// (including seed-resolved "?" steps) must match exactly, and a
+// different seed must be allowed to differ.
+func TestChaosDeterministicTrace(t *testing.T) {
+	const spec = "partition:n0@?x2,probedrop:n1@1,leaderkill:coordA@2,slowstandby:coordB@1"
+	drive := func(p *ChaosPlan) []string {
+		for tick := 0; tick < 10; tick++ {
+			p.onProbe("n0")
+			p.onProbe("n1")
+			p.onReplicate("coordB")
+			p.onHeartbeatRound("coordA")
+		}
+		return p.Trace()
+	}
+	a, err := ParseChaosPlan(spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseChaosPlan(spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, tb := drive(a), drive(b)
+	if len(ta) == 0 {
+		t.Fatal("no events fired")
+	}
+	if !reflect.DeepEqual(ta, tb) {
+		t.Fatalf("same seed diverged:\n  %v\n  %v", ta, tb)
+	}
+}
+
+func TestChaosClocks(t *testing.T) {
+	p := NewChaosPlan(1,
+		ChaosEvent{Kind: ChaosPartition, Target: "n0", Step: 1, Times: 2},
+		ChaosEvent{Kind: ChaosProbeDelay, Target: "n1", Step: 0, Delay: 5 * time.Millisecond},
+		ChaosEvent{Kind: ChaosLeaderKill, Target: "coordA", Step: 2},
+	)
+
+	// Tick 0: clean probe; data path open.
+	if err, _ := p.onProbe("n0"); err != nil {
+		t.Fatalf("tick 0 probe failed: %v", err)
+	}
+	if err := p.onData("n0"); err != nil {
+		t.Fatalf("tick 0 data failed: %v", err)
+	}
+	// Ticks 1-2: partitioned. Probes fail like a refused network and the
+	// data path is blocked without advancing the clock.
+	for tick := 1; tick <= 2; tick++ {
+		err, _ := p.onProbe("n0")
+		if !errors.Is(err, syscall.ECONNREFUSED) {
+			t.Fatalf("tick %d probe err = %v, want ECONNREFUSED", tick, err)
+		}
+		if resilience.ClassifyHTTP(0, err) != resilience.DeviceLost {
+			t.Fatalf("tick %d partition error classifies %v", tick, resilience.ClassifyHTTP(0, err))
+		}
+		for i := 0; i < 3; i++ { // data consults, never advances
+			if p.onData("n0") == nil {
+				t.Fatalf("tick %d data path open during partition", tick)
+			}
+		}
+	}
+	// Tick 3: past the window — probe succeeds and heals the data path.
+	if err, _ := p.onProbe("n0"); err != nil {
+		t.Fatalf("tick 3 probe failed: %v", err)
+	}
+	if err := p.onData("n0"); err != nil {
+		t.Fatalf("tick 3 data still blocked: %v", err)
+	}
+
+	if _, delay := p.onProbe("n1"); delay != 5*time.Millisecond {
+		t.Fatalf("probedelay tick 0 delay = %v", delay)
+	}
+	if _, delay := p.onProbe("n1"); delay != 0 {
+		t.Fatalf("probedelay tick 1 delay = %v, want 0", delay)
+	}
+
+	if p.onHeartbeatRound("coordA") || p.onHeartbeatRound("coordA") {
+		t.Fatal("leaderkill fired before its round")
+	}
+	if !p.onHeartbeatRound("coordA") {
+		t.Fatal("leaderkill did not fire at round 2")
+	}
+
+	want := []string{"partition:n0@1", "partition:n0@2", "probedelay:n1@0", "leaderkill:coordA@2"}
+	if !reflect.DeepEqual(p.Trace(), want) {
+		t.Fatalf("trace = %v, want %v", p.Trace(), want)
+	}
+}
+
+// TestChaosNilPlanIsInert: every hook must be safe on a nil plan (the
+// no-chaos production path).
+func TestChaosNilPlanIsInert(t *testing.T) {
+	var p *ChaosPlan
+	if err, d := p.onProbe("n0"); err != nil || d != 0 {
+		t.Fatal("nil plan probe acted")
+	}
+	if p.onData("n0") != nil {
+		t.Fatal("nil plan data acted")
+	}
+	if err, d := p.onReplicate("x"); err != nil || d != 0 {
+		t.Fatal("nil plan replicate acted")
+	}
+	if p.onHeartbeatRound("x") {
+		t.Fatal("nil plan heartbeat acted")
+	}
+	if p.Trace() != nil {
+		t.Fatal("nil plan trace non-nil")
+	}
+	p.Bind(nil)
+}
+
+// TestChaosPartitionEvictsAndHeals runs a real coordinator under a
+// scripted partition: the target node must be evicted while the window
+// holds and rejoin after the first clean probe heals it.
+func TestChaosPartitionEvictsAndHeals(t *testing.T) {
+	plan := NewChaosPlan(1,
+		ChaosEvent{Kind: ChaosPartition, Target: "node-1", Step: 1, Times: 4},
+	)
+	c, _ := startCluster(t, 2, func(cfg *Config) {
+		cfg.Chaos = plan
+	})
+
+	nodeState := func(name string) (alive bool) {
+		for _, ns := range c.Nodes() {
+			if ns.Name == name {
+				return ns.Alive
+			}
+		}
+		t.Fatalf("node %s missing from status", name)
+		return false
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for nodeState("node-1") {
+		if time.Now().After(deadline) {
+			t.Fatal("partitioned node never evicted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for !nodeState("node-1") {
+		if time.Now().After(deadline) {
+			t.Fatal("healed node never rejoined")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := c.Registry().Counter("cluster.chaos.fired").Value(); got != 4 {
+		t.Fatalf("chaos.fired = %d, want 4", got)
+	}
+	if trace := plan.Trace(); len(trace) != 4 || trace[0] != "partition:node-1@1" {
+		t.Fatalf("trace = %v", trace)
+	}
+}

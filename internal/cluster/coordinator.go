@@ -35,6 +35,16 @@ type NodeSpec struct {
 
 // Config sizes and wires one Coordinator. Zero values take defaults.
 type Config struct {
+	// ID names this coordinator replica; when set, cluster job ids are
+	// namespaced cj-<ID>-<seq> so ids stay unique across leader changes.
+	ID string
+	// Journal, when set, receives every placement and job lifecycle event
+	// for replication to standby coordinators (see Replica).
+	Journal *Journal
+	// Chaos, when set, injects scripted control-plane failures into node
+	// traffic (the client is wrapped so probes and forwards flow through
+	// the plan's deterministic clocks).
+	Chaos *ChaosPlan
 	// Nodes is the initial membership (at least one).
 	Nodes []NodeSpec
 	// Replicas is how many nodes hold each circuit's proving key
@@ -149,13 +159,24 @@ type Coordinator struct {
 	jobSeq    uint64
 	admitted  int
 	accepting bool
+	// journal mirrors cfg.Journal but is detachable: a deposed leader
+	// detaches before closing so its dying goroutines cannot append to a
+	// log that now belongs to the new leader's history.
+	journal *Journal
+	// pendingRepl tracks in-flight async key replications (circuit/node),
+	// both for the gauge and to dedupe re-enqueues.
+	pendingRepl map[string]bool
+
+	replCh chan replTask
 
 	cAccepted, cRejected, cDone, cFailed *telemetry.Counter
 	cCheckpointed, cMigrated             *telemetry.Counter
 	cProbes, cProbeFailures              *telemetry.Counter
 	cEvictions, cRejoins                 *telemetry.Counter
 	cRegistered, cReregistered           *telemetry.Counter
+	cRedriven, cReplicated               *telemetry.Counter
 	gNodesAlive, gInflight               *telemetry.Gauge
+	gReplPending                         *telemetry.Gauge
 }
 
 // New builds the coordinator and starts its health prober.
@@ -168,12 +189,15 @@ func New(cfg Config) (*Coordinator, error) {
 	c := &Coordinator{
 		cfg: cfg, reg: cfg.Registry,
 		ctx: ctx, cancel: cancel,
-		nodes:     map[string]*node{},
-		ring:      newRing(0),
-		circuits:  map[string]*circuit{},
-		jobs:      map[string]*Job{},
-		restored:  map[string]bool{},
-		accepting: true,
+		nodes:       map[string]*node{},
+		ring:        newRing(0),
+		circuits:    map[string]*circuit{},
+		jobs:        map[string]*Job{},
+		restored:    map[string]bool{},
+		accepting:   true,
+		journal:     cfg.Journal,
+		pendingRepl: map[string]bool{},
+		replCh:      make(chan replTask, 256),
 	}
 	c.idle = sync.NewCond(&c.mu)
 	r := c.reg
@@ -189,10 +213,28 @@ func New(cfg Config) (*Coordinator, error) {
 	c.cRejoins = r.Counter("cluster.rejoins")
 	c.cRegistered = r.Counter("cluster.circuits.registered")
 	c.cReregistered = r.Counter("cluster.circuits.reregistered")
+	c.cRedriven = r.Counter("cluster.jobs.redriven")
+	c.cReplicated = r.Counter("cluster.circuits.replicated")
 	c.gNodesAlive = r.Gauge("cluster.nodes_alive")
 	c.gInflight = r.Gauge("cluster.inflight")
+	c.gReplPending = r.Gauge("cluster.replication_pending")
+	client := cfg.Client
+	if cfg.Chaos != nil {
+		names := map[string]string{}
+		for _, ns := range cfg.Nodes {
+			if u, err := url.Parse(ns.URL); err == nil && u.Host != "" {
+				name := ns.Name
+				if name == "" {
+					name = u.Host
+				}
+				names[u.Host] = name
+			}
+		}
+		cfg.Chaos.Bind(r)
+		client = ChaosClient(cfg.Chaos, client, names)
+	}
 	c.fwd = &forwarder{
-		client: cfg.Client, policy: cfg.Retry, timeout: cfg.ControlTimeout,
+		client: client, policy: cfg.Retry, timeout: cfg.ControlTimeout,
 		hForward:  r.Histogram("cluster.cluster_forward_ns"),
 		cForwards: r.Counter("cluster.forwarded"),
 	}
@@ -220,9 +262,30 @@ func New(cfg Config) (*Coordinator, error) {
 		c.ring.add(name)
 	}
 	c.gNodesAlive.Set(float64(len(c.nodes)))
-	c.wg.Add(1)
+	c.wg.Add(2)
 	go c.probeLoop()
+	go c.replicatorLoop()
 	return c, nil
+}
+
+// journalAppend records one entry unless the journal was detached (a
+// deposed leader's goroutines finishing after step-down).
+func (c *Coordinator) journalAppend(e Entry) {
+	c.mu.Lock()
+	jl := c.journal
+	c.mu.Unlock()
+	if jl != nil {
+		jl.Append(e)
+	}
+}
+
+// detachJournal cuts the coordinator off from the replicated journal;
+// called before Close when a leader is deposed or halted, so in-flight
+// goroutines cannot write to a log that now belongs to another leader.
+func (c *Coordinator) detachJournal() {
+	c.mu.Lock()
+	c.journal = nil
+	c.mu.Unlock()
 }
 
 // Registry exposes the metrics registry (for /metrics and tests).
@@ -313,29 +376,115 @@ func (c *Coordinator) Register(spec service.CircuitSpec) (*service.CircuitInfo, 
 		return nil, fmt.Errorf("cluster: register circuit: no replica reachable: %w", firstErr)
 	}
 
-	// Secondaries: import the primary's keys.
-	for _, name := range targets {
-		if name == primary {
-			continue
-		}
-		if err := c.fwd.control(c.ctx, http.MethodPost, c.baseOf(name)+"/v1/circuits/import", keys, nil); err != nil {
-			// Under-replication is survivable (the prober's re-replication
-			// and the per-job replacement path repair it); note and go on.
-			c.noteNodeError(name, err)
-			continue
-		}
-		c.markHolds(name, id)
-	}
-
 	c.mu.Lock()
 	if c.circuits[id] == nil {
 		c.circuits[id] = &circuit{id: id, spec: spec, info: info, keys: keys}
 		c.cRegistered.Add(1)
 	}
 	c.mu.Unlock()
+	c.journalAppend(Entry{Kind: EntryCircuit, Circuit: &CircuitRecord{
+		ID: id, Spec: spec, Info: *info, Keys: keys,
+	}})
+
+	// Secondaries import asynchronously: registration returns as soon as
+	// the primary holds the keys, and the background replicator retries
+	// imports until the k-replica invariant holds. Under-replication in
+	// the window is survivable — the per-job replaceReplica path proves
+	// from the coordinator's cached bundle on demand.
+	for _, name := range targets {
+		if name != primary {
+			c.enqueueReplication(id, name)
+		}
+	}
+
 	out := *info
 	out.Cached = false
 	return &out, nil
+}
+
+// replTask is one pending async key replication: install circuitID's
+// cached key bundle on node.
+type replTask struct {
+	circuitID string
+	node      string
+	attempt   int
+}
+
+const maxReplAttempts = 6
+
+// enqueueReplication schedules an async key import, deduping per
+// (circuit, node) so retries and repeated registrations do not stack.
+func (c *Coordinator) enqueueReplication(circuitID, node string) {
+	key := circuitID + "/" + node
+	c.mu.Lock()
+	if c.pendingRepl[key] {
+		c.mu.Unlock()
+		return
+	}
+	c.pendingRepl[key] = true
+	pending := len(c.pendingRepl)
+	c.mu.Unlock()
+	c.gReplPending.Set(float64(pending))
+	select {
+	case c.replCh <- replTask{circuitID: circuitID, node: node}:
+	case <-c.ctx.Done():
+		c.finishReplication(key)
+	}
+}
+
+func (c *Coordinator) finishReplication(key string) {
+	c.mu.Lock()
+	delete(c.pendingRepl, key)
+	pending := len(c.pendingRepl)
+	c.mu.Unlock()
+	c.gReplPending.Set(float64(pending))
+}
+
+// replicatorLoop drains the async replication queue: one worker, jittered
+// backoff between attempts on the same task, bounded attempts (the
+// strike/evict/replaceReplica machinery repairs anything dropped here).
+func (c *Coordinator) replicatorLoop() {
+	defer c.wg.Done()
+	p := c.cfg.Retry.WithDefaults()
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case t := <-c.replCh:
+			key := t.circuitID + "/" + t.node
+			c.mu.Lock()
+			e := c.circuits[t.circuitID]
+			nd := c.nodes[t.node]
+			done := e == nil || e.keys == nil || nd == nil || !nd.alive || nd.circuits[t.circuitID]
+			c.mu.Unlock()
+			if done {
+				c.finishReplication(key)
+				continue
+			}
+			err := c.fwd.control(c.ctx, http.MethodPost, c.baseOf(t.node)+"/v1/circuits/import", e.keys, nil)
+			if err == nil {
+				c.markHolds(t.node, t.circuitID)
+				c.cReplicated.Add(1)
+				c.finishReplication(key)
+				continue
+			}
+			c.noteNodeError(t.node, err)
+			if t.attempt+1 >= maxReplAttempts || c.ctx.Err() != nil {
+				c.finishReplication(key)
+				continue
+			}
+			t.attempt++
+			delay := p.JitterBackoff(t.attempt-1, rand.Float64())
+			task := t
+			time.AfterFunc(delay, func() {
+				select {
+				case c.replCh <- task:
+				case <-c.ctx.Done():
+					c.finishReplication(key)
+				}
+			})
+		}
+	}
 }
 
 // Circuit answers GET /v1/circuits/{id} from the coordinator's cache.
@@ -376,11 +525,63 @@ func (c *Coordinator) Submit(circuitID string, public, secret []string) (*Job, e
 	c.admitted++
 	c.jobSeq++
 	id := fmt.Sprintf("cj-%08d", c.jobSeq)
+	if c.cfg.ID != "" {
+		id = fmt.Sprintf("cj-%s-%08d", c.cfg.ID, c.jobSeq)
+	}
 	j := newJob(id, circuitID, public, secret, c.jobDone)
 	c.jobs[id] = j
 	c.mu.Unlock()
 
 	c.cAccepted.Add(1)
+	c.gInflight.Set(float64(c.inflightCount()))
+	// The accepted entry replicates BEFORE the job can reach a terminal
+	// state: a standby that takes over knows about every admitted job.
+	c.journalAppend(Entry{Kind: EntryJob, Job: &JobRecord{
+		ID: id, Event: JobEventAccepted, CircuitID: circuitID,
+		Public: public, Secret: secret,
+	}})
+	c.wg.Add(1)
+	go c.runJob(j)
+	return j, nil
+}
+
+// InstallCircuit seeds the coordinator's circuit cache from a journaled
+// record — the promoted standby's warm start. No node traffic, no
+// journal append: the record already lives in the journal.
+func (c *Coordinator) InstallCircuit(rec CircuitRecord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.circuits[rec.ID] == nil {
+		info := rec.Info
+		c.circuits[rec.ID] = &circuit{id: rec.ID, spec: rec.Spec, info: &info, keys: rec.Keys}
+	}
+}
+
+// Redrive re-admits an accepted-but-unfinished job from the replicated
+// journal under its ORIGINAL cluster id, preferring the node it was last
+// forwarded to (the node-side client-job dedupe attaches to the running
+// prove instead of starting a second one). Redriven jobs bypass the
+// admission cap — they were already admitted once, by the old leader —
+// and count toward cluster.jobs.accepted so the done+failed+checkpointed
+// == accepted invariant holds on the new leader too.
+func (c *Coordinator) Redrive(id, circuitID string, public, secret []string, preferred string) (*Job, error) {
+	c.mu.Lock()
+	if existing := c.jobs[id]; existing != nil {
+		c.mu.Unlock()
+		return existing, nil
+	}
+	if c.circuits[circuitID] == nil {
+		c.mu.Unlock()
+		return nil, &service.NotFoundError{What: "circuit", ID: circuitID}
+	}
+	c.admitted++
+	j := newJob(id, circuitID, public, secret, c.jobDone)
+	j.preferred = preferred
+	c.jobs[id] = j
+	c.mu.Unlock()
+
+	c.cAccepted.Add(1)
+	c.cRedriven.Add(1)
 	c.gInflight.Set(float64(c.inflightCount()))
 	c.wg.Add(1)
 	go c.runJob(j)
@@ -398,7 +599,7 @@ func (c *Coordinator) Job(id string) (*Job, error) {
 	return j, nil
 }
 
-func (c *Coordinator) jobDone(*Job) {
+func (c *Coordinator) jobDone(j *Job) {
 	c.mu.Lock()
 	c.admitted--
 	if c.admitted == 0 {
@@ -406,6 +607,24 @@ func (c *Coordinator) jobDone(*Job) {
 	}
 	c.mu.Unlock()
 	c.gInflight.Set(float64(c.inflightCount()))
+	// Journal the terminal state so standbys stop counting the job as
+	// re-drivable.
+	var event string
+	switch j.State() {
+	case service.JobDone:
+		event = JobEventDone
+	case service.JobFailed:
+		event = JobEventFailed
+	case service.JobCheckpointed:
+		event = JobEventCheckpointed
+	default:
+		return
+	}
+	rec := &JobRecord{ID: j.ID, Event: event, Node: j.nodeName()}
+	if st := j.Status(); st.Error != "" {
+		rec.Error = st.Error
+	}
+	c.journalAppend(Entry{Kind: EntryJob, Job: rec})
 }
 
 func (c *Coordinator) inflightCount() int {
@@ -429,6 +648,14 @@ func (c *Coordinator) markHolds(name, circuitID string) {
 		nd.circuits[circuitID] = true
 	}
 	c.mu.Unlock()
+}
+
+// nodeUsable reports whether name can run a job for circuitID right now.
+func (c *Coordinator) nodeUsable(name, circuitID string, skip map[string]bool) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	nd := c.nodes[name]
+	return nd != nil && nd.alive && !skip[name] && nd.circuits[circuitID]
 }
 
 // pickNode chooses the best alive replica for a circuit: the node holding
@@ -486,7 +713,13 @@ func (c *Coordinator) replaceReplica(circuitID string, skip map[string]bool) str
 // of failing when the cluster is draining.
 func (c *Coordinator) runJob(j *Job) {
 	defer c.wg.Done()
-	req := service.ProveRequest{CircuitID: j.CircuitID, Public: j.Public, Secret: j.Secret}
+	// ClientJobID makes re-forwards idempotent: if a new leader re-drives
+	// this job to a node already proving it, the node attaches to the
+	// running job instead of proving twice.
+	req := service.ProveRequest{
+		CircuitID: j.CircuitID, Public: j.Public, Secret: j.Secret,
+		ClientJobID: j.ID,
+	}
 	p := c.cfg.Retry.WithDefaults()
 	tried := map[string]bool{} // nodes struck for this job (transport-dead)
 	transient := 0
@@ -497,7 +730,16 @@ func (c *Coordinator) runJob(j *Job) {
 			c.cFailed.Add(1)
 			return
 		}
-		name := c.pickNode(j.CircuitID, tried)
+		name := ""
+		// A redriven job goes back to the node the old leader forwarded it
+		// to, if that node is still usable — that is where the dedupe key
+		// finds the running prove.
+		if pref := j.takePreferred(); pref != "" && c.nodeUsable(pref, j.CircuitID, tried) {
+			name = pref
+		}
+		if name == "" {
+			name = c.pickNode(j.CircuitID, tried)
+		}
 		if name == "" {
 			name = c.replaceReplica(j.CircuitID, tried)
 		}
@@ -514,6 +756,9 @@ func (c *Coordinator) runJob(j *Job) {
 		}
 
 		j.markForwarded(name)
+		c.journalAppend(Entry{Kind: EntryJob, Job: &JobRecord{
+			ID: j.ID, Event: JobEventForwarded, Node: name,
+		}})
 		c.addInflight(name, 1)
 		var st service.JobStatus
 		status, err := c.fwd.prove(c.ctx, c.baseOf(name), req, &st)
@@ -676,6 +921,7 @@ func (c *Coordinator) strike(name string) {
 	if evict {
 		c.cEvictions.Add(1)
 		c.gNodesAlive.Set(float64(alive))
+		c.journalAppend(Entry{Kind: EntryNode, Node: &NodeRecord{Name: name, Alive: false}})
 		// Repair replication for every circuit the dead node held. The
 		// per-job replaceReplica path already guarantees correctness; this
 		// restores the k-replica invariant eagerly so the NEXT loss also
@@ -752,11 +998,17 @@ func (c *Coordinator) AdoptCircuits() int {
 				continue
 			}
 			c.mu.Lock()
-			if c.circuits[ex.CircuitID] == nil {
+			fresh := c.circuits[ex.CircuitID] == nil
+			if fresh {
 				c.circuits[ex.CircuitID] = &circuit{id: ex.CircuitID, spec: ex.Spec, info: &info, keys: &kb}
 				adopted++
 			}
 			c.mu.Unlock()
+			if fresh {
+				c.journalAppend(Entry{Kind: EntryCircuit, Circuit: &CircuitRecord{
+					ID: ex.CircuitID, Spec: ex.Spec, Info: info, Keys: &kb,
+				}})
+			}
 		}
 	}
 	return adopted
@@ -871,7 +1123,7 @@ func (c *Coordinator) Drain(ctx context.Context) (*DrainReport, error) {
 	// node DID checkpoint but whose drain response never made it back
 	// (node died mid-drain): their inputs exist nowhere else, so the
 	// coordinator re-checkpoints them rather than lose them.
-	coordCp := &service.Checkpoint{}
+	coordCp := &service.Checkpoint{Version: service.CheckpointVersion}
 	seenSpec := map[string]bool{}
 	c.mu.Lock()
 	for _, j := range c.jobs {
@@ -909,6 +1161,10 @@ func (c *Coordinator) Drain(ctx context.Context) (*DrainReport, error) {
 // normal admission. Restoring is idempotent over checkpoint job ids —
 // replaying the same checkpoint never double-submits.
 func (c *Coordinator) Restore(cp *service.Checkpoint) (int, error) {
+	if cp.Version != 0 && cp.Version != service.CheckpointVersion {
+		return 0, &service.InputError{Msg: fmt.Sprintf(
+			"checkpoint schema version %d not supported (want %d)", cp.Version, service.CheckpointVersion)}
+	}
 	for _, spec := range cp.Circuits {
 		if _, err := c.Register(spec); err != nil {
 			return 0, fmt.Errorf("cluster: restore circuit: %w", err)

@@ -1,0 +1,446 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gzkp/internal/service"
+)
+
+// testReplica is one coordinator replica behind a real HTTP listener.
+// The listener outlives the replica pointer (peers need the URL before
+// NewReplica can run), so the handler dereferences atomically.
+type testReplica struct {
+	name string
+	rep  *Replica
+	srv  *httptest.Server
+	slot *atomic.Pointer[Replica]
+}
+
+// kill simulates process death: the replica halts (stops heartbeating,
+// abandons its coordinator) and the listener starts refusing.
+func (r *testReplica) kill() {
+	r.rep.Halt()
+	r.srv.CloseClientConnections()
+	r.srv.Close()
+}
+
+func startNodes(t *testing.T, count int) ([]*testNode, []NodeSpec) {
+	t.Helper()
+	var nodes []*testNode
+	var specs []NodeSpec
+	for i := 0; i < count; i++ {
+		svc := service.New(fastNodeConfig())
+		srv := httptest.NewServer(service.NewHandler(svc))
+		n := &testNode{name: fmt.Sprintf("node-%d", i), svc: svc, srv: srv}
+		nodes = append(nodes, n)
+		specs = append(specs, NodeSpec{Name: n.name, URL: srv.URL})
+		t.Cleanup(func() {
+			n.srv.Close()
+			n.svc.Close()
+		})
+	}
+	return nodes, specs
+}
+
+// startReplicaGroup boots len(names) coordinator replicas over the given
+// nodes with test-speed leases. tune can inspect cfg.Self to customize
+// one member (e.g. hand only the future leader a chaos plan).
+func startReplicaGroup(t *testing.T, names []string, specs []NodeSpec, tune func(*ReplicaConfig)) []*testReplica {
+	t.Helper()
+	slots := make([]*atomic.Pointer[Replica], len(names))
+	var peers []PeerSpec
+	var reps []*testReplica
+	for i, name := range names {
+		slot := &atomic.Pointer[Replica]{}
+		slots[i] = slot
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			if rep := slot.Load(); rep != nil {
+				rep.ServeHTTP(w, req)
+				return
+			}
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}))
+		t.Cleanup(srv.Close)
+		peers = append(peers, PeerSpec{Name: name, URL: srv.URL})
+		reps = append(reps, &testReplica{name: name, srv: srv, slot: slot})
+	}
+	for i, name := range names {
+		cfg := ReplicaConfig{
+			Self:          name,
+			Peers:         peers,
+			LeaseInterval: 25 * time.Millisecond,
+			Cluster: Config{
+				Nodes:         specs,
+				Replicas:      2,
+				ProbeInterval: 20 * time.Millisecond,
+				ProbeTimeout:  500 * time.Millisecond,
+				FailThreshold: 2,
+			},
+			Logf: t.Logf,
+		}
+		cfg.Cluster.Retry.BaseDelay = time.Millisecond
+		cfg.Cluster.Retry.MaxDelay = 10 * time.Millisecond
+		if tune != nil {
+			tune(&cfg)
+		}
+		rep, err := NewReplica(cfg)
+		if err != nil {
+			t.Fatalf("replica %s: %v", name, err)
+		}
+		reps[i].rep = rep
+		slots[i].Store(rep)
+		t.Cleanup(rep.Close)
+	}
+	for _, r := range reps {
+		r.rep.Start()
+	}
+	return reps
+}
+
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestReplicaFailoverMidLoad is the HA acceptance e2e: two coordinator
+// replicas over three nodes, jobs in flight, leader killed. The standby
+// must promote within the lease budget and every accepted job must land
+// done with a verifying proof — none lost, none failed, and none
+// executed twice (the node-side accepted total stays exactly one per
+// cluster job, because re-forwards dedupe on the cluster job id).
+func TestReplicaFailoverMidLoad(t *testing.T) {
+	nodes, specs := startNodes(t, 3)
+	reps := startReplicaGroup(t, []string{"coordA", "coordB"}, specs, nil)
+	a, b := reps[0], reps[1]
+
+	waitFor(t, 5*time.Second, "initial leader", func() bool { return a.rep.Role() == RoleLeader })
+	coordA := a.rep.Coordinator()
+	info, err := coordA.Register(cubicSpec)
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+
+	const jobs = 12
+	ids := make([]string, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		j, err := coordA.Submit(info.CircuitID, []string{"35"}, []string{"3"})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids = append(ids, j.ID)
+	}
+	if ids[0] != "cj-coordA-00000001" {
+		t.Fatalf("job id = %q, want coordinator-scoped cj-coordA-...", ids[0])
+	}
+
+	// Let replication carry every job past "accepted" into the standby's
+	// journal — once each job is journaled as forwarded (or terminal),
+	// the new leader's re-forwards are guaranteed to target the node
+	// already holding the job, so the node-side dedupe can attach.
+	waitFor(t, 10*time.Second, "standby journal to see all forwards", func() bool {
+		for _, id := range ids {
+			st, ok := b.rep.Journal().JobView(id)
+			if !ok || st.State == "queued" {
+				return false
+			}
+		}
+		return true
+	})
+
+	unfinishedAtKill := len(b.rep.Journal().UnfinishedJobs())
+	a.kill()
+
+	waitFor(t, 5*time.Second, "standby promotion", func() bool { return b.rep.Coordinator() != nil })
+	if got := b.rep.Epoch(); got != 2 {
+		t.Fatalf("post-takeover epoch = %d, want 2", got)
+	}
+	coordB := b.rep.Coordinator()
+
+	// Every accepted job must reach "done" — either it finished under the
+	// old leader (terminal in the journal) or the new leader re-drove it.
+	waitFor(t, 20*time.Second, "all jobs terminal", func() bool {
+		for _, id := range ids {
+			if st, ok := b.rep.Journal().JobView(id); ok && st.State == "done" {
+				continue
+			}
+			j, err := coordB.Job(id)
+			if err != nil || j.State() != service.JobDone {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Proofs produced after takeover must verify client-side.
+	verified := 0
+	for _, id := range ids {
+		j, err := coordB.Job(id)
+		if err != nil {
+			continue // finished under the old leader; journal says done
+		}
+		st := j.Status()
+		if st.State != "done" {
+			t.Fatalf("job %s state %s after takeover", id, st.State)
+		}
+		verifyProof(t, info.VerifyingKey, st.Proof)
+		verified++
+	}
+	if unfinishedAtKill > 0 && verified == 0 {
+		t.Fatalf("%d jobs were unfinished at kill but none re-driven", unfinishedAtKill)
+	}
+	t.Logf("unfinished at kill: %d, verified post-takeover: %d", unfinishedAtKill, verified)
+
+	// No double execution: each cluster job was accepted by exactly one
+	// node-side service exactly once; re-forwards attached via dedupe.
+	var nodeAccepted, nodeDeduped int64
+	for _, n := range nodes {
+		nodeAccepted += n.svc.Registry().Counter("service.jobs.accepted").Value()
+		nodeDeduped += n.svc.Registry().Counter("service.jobs.deduped").Value()
+	}
+	if nodeAccepted != jobs {
+		t.Fatalf("node-side accepted = %d, want exactly %d (deduped %d)", nodeAccepted, jobs, nodeDeduped)
+	}
+
+	// The promoted leader's books balance: done+failed+checkpointed ==
+	// accepted, with zero failures.
+	reg := b.rep.Registry()
+	done := reg.Counter("cluster.jobs.done").Value()
+	failed := reg.Counter("cluster.jobs.failed").Value()
+	checkpointed := reg.Counter("cluster.jobs.checkpointed").Value()
+	accepted := reg.Counter("cluster.jobs.accepted").Value()
+	if failed != 0 || done+failed+checkpointed != accepted {
+		t.Fatalf("books: done=%d failed=%d checkpointed=%d accepted=%d", done, failed, checkpointed, accepted)
+	}
+	if redriven := reg.Counter("cluster.jobs.redriven").Value(); redriven != int64(unfinishedAtKill) {
+		t.Fatalf("redriven = %d, want %d", redriven, unfinishedAtKill)
+	}
+	if reg.Counter("cluster.ha.promotions").Value() != 1 {
+		t.Fatal("promotion not counted")
+	}
+}
+
+// TestRegisterReplicatesAsync: registration returns as soon as the
+// primary holds the keys; the remaining replica targets fill in off the
+// register path, tracked by the replication_pending gauge and the
+// replicated counter.
+func TestRegisterReplicatesAsync(t *testing.T) {
+	c, _ := startCluster(t, 3, nil) // Replicas: 2
+	if _, err := c.Register(cubicSpec); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	reg := c.Registry()
+	waitFor(t, 10*time.Second, "async key replication to finish", func() bool {
+		return reg.Counter("cluster.circuits.replicated").Value() == 1 &&
+			reg.Gauge("cluster.replication_pending").Value() == 0
+	})
+	holders := 0
+	for _, ns := range c.Nodes() {
+		if ns.Circuits > 0 {
+			holders++
+		}
+	}
+	if holders != 2 {
+		t.Fatalf("%d nodes hold the circuit, want 2 (primary + async replica)", holders)
+	}
+}
+
+// TestReplicaRedirectAndReadOnly: a standby answers reads from its
+// journal and 307-redirects writes to the leader; Go clients follow the
+// redirect transparently, so the standby's URL is a fully usable
+// endpoint for the whole API.
+func TestReplicaRedirectAndReadOnly(t *testing.T) {
+	_, specs := startNodes(t, 2)
+	reps := startReplicaGroup(t, []string{"coordA", "coordB"}, specs, nil)
+	a, b := reps[0], reps[1]
+	waitFor(t, 5*time.Second, "initial leader", func() bool { return a.rep.Role() == RoleLeader })
+	waitFor(t, 5*time.Second, "standby adopts leader", func() bool { return b.rep.Leader() == "coordA" })
+
+	// Raw write to the standby: a 307 pointing at the leader.
+	noFollow := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	spec, _ := json.Marshal(cubicSpec)
+	resp, err := noFollow.Post(b.srv.URL+"/v1/circuits", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("standby write = %d, want 307", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != a.srv.URL+"/v1/circuits" {
+		t.Fatalf("redirect location = %q, want leader", loc)
+	}
+
+	// A default client follows the redirect: registering and proving
+	// through the standby just works.
+	resp, err = http.Post(b.srv.URL+"/v1/circuits", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info service.CircuitInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		t.Fatalf("register via standby = %d", resp.StatusCode)
+	}
+	body, _ := json.Marshal(service.ProveRequest{
+		CircuitID: info.CircuitID, Public: []string{"35"}, Secret: []string{"3"},
+	})
+	resp, err = http.Post(b.srv.URL+"/v1/prove", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || st.State != "done" {
+		t.Fatalf("prove via standby = %d state %q", resp.StatusCode, st.State)
+	}
+	verifyProof(t, info.VerifyingKey, st.Proof)
+
+	// Standby read-only surface: /readyz says standby, /v1/nodes serves
+	// from config+journal, and a replicated job resolves from the journal.
+	resp, err = http.Get(b.srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("standby readyz = %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Get(b.srv.URL + "/v1/nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodeList []NodeStatus
+	if err := json.NewDecoder(resp.Body).Decode(&nodeList); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(nodeList) != 2 || !nodeList[0].Alive {
+		t.Fatalf("standby /v1/nodes = %d %+v", resp.StatusCode, nodeList)
+	}
+	waitFor(t, 5*time.Second, "job replicated to standby journal", func() bool {
+		got, ok := b.rep.Journal().JobView(st.ID)
+		return ok && got.State == "done"
+	})
+	resp, err = http.Get(b.srv.URL + "/v1/jobs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("standby job read = %d, want 200 from journal", resp.StatusCode)
+	}
+}
+
+// TestReplicaEpochArbitration drives the split-brain protocol directly:
+// a leader receiving a replicate from a higher epoch steps down; a stale
+// sender gets 409 with the winning claim; an equal-epoch duel goes to
+// the lower peer index.
+func TestReplicaEpochArbitration(t *testing.T) {
+	_, specs := startNodes(t, 1)
+	reps := startReplicaGroup(t, []string{"coordA", "coordB"}, specs, nil)
+	a := reps[0]
+	waitFor(t, 5*time.Second, "initial leader", func() bool { return a.rep.Role() == RoleLeader })
+
+	post := func(from string, epoch uint64) (*http.Response, replicateResponse) {
+		t.Helper()
+		body, _ := json.Marshal(replicateRequest{From: from, Epoch: epoch})
+		resp, err := http.Post(a.srv.URL+"/v1/cluster/replicate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rr replicateResponse
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp, rr
+	}
+
+	// Equal-epoch duel from a higher-indexed peer: the leader keeps the
+	// lease and answers 409 with its own claim.
+	resp, rr := post("coordB", a.rep.Epoch())
+	if resp.StatusCode != http.StatusConflict || rr.Leader != "coordA" {
+		t.Fatalf("equal-epoch duel: %d %+v, want 409 leader coordA", resp.StatusCode, rr)
+	}
+	if a.rep.Role() != RoleLeader {
+		t.Fatal("leader lost an equal-epoch duel it should win")
+	}
+
+	// A higher epoch deposes the leader on the spot.
+	resp, _ = post("coordB", 7)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("higher-epoch replicate = %d, want 200", resp.StatusCode)
+	}
+	waitFor(t, 5*time.Second, "leader steps down", func() bool { return a.rep.Role() == RoleStandby })
+	if a.rep.Epoch() != 7 || a.rep.Leader() != "coordB" {
+		t.Fatalf("post-stepdown epoch=%d leader=%q, want 7/coordB", a.rep.Epoch(), a.rep.Leader())
+	}
+	if a.rep.Registry().Counter("cluster.ha.stepdowns").Value() != 1 {
+		t.Fatal("stepdown not counted")
+	}
+	if a.rep.Coordinator() != nil {
+		t.Fatal("deposed leader still exposes a coordinator")
+	}
+
+	// The deposed leader now rejects claims staler than what it knows.
+	resp, rr = post("coordA", 3)
+	if resp.StatusCode != http.StatusConflict || rr.Epoch != 7 || rr.Leader != "coordB" {
+		t.Fatalf("stale replicate: %d %+v, want 409 epoch 7 leader coordB", resp.StatusCode, rr)
+	}
+}
+
+// TestReplicaChaosLeaderKillFailover runs the scripted in-process
+// leader kill: the chaos plan halts the leader at a fixed heartbeat
+// round and the standby must take over — the deterministic analogue of
+// the CI process-kill smoke.
+func TestReplicaChaosLeaderKillFailover(t *testing.T) {
+	_, specs := startNodes(t, 1)
+	plan, err := ParseChaosPlan("leaderkill:coordA@3", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := startReplicaGroup(t, []string{"coordA", "coordB"}, specs, func(cfg *ReplicaConfig) {
+		if cfg.Self == "coordA" {
+			cfg.Chaos = plan
+		}
+	})
+	a, b := reps[0], reps[1]
+
+	select {
+	case <-a.rep.Halted():
+	case <-time.After(5 * time.Second):
+		t.Fatal("chaos never halted the leader")
+	}
+	if a.rep.Role() != RoleHalted {
+		t.Fatalf("halted replica role = %s", a.rep.Role())
+	}
+	waitFor(t, 5*time.Second, "standby takes over", func() bool { return b.rep.Role() == RoleLeader })
+	if b.rep.Epoch() < 2 {
+		t.Fatalf("takeover epoch = %d, want >= 2", b.rep.Epoch())
+	}
+	trace := plan.Trace()
+	if len(trace) != 1 || trace[0] != "leaderkill:coordA@3" {
+		t.Fatalf("chaos trace = %v", trace)
+	}
+}

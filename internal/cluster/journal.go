@@ -1,0 +1,357 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"gzkp/internal/service"
+	"gzkp/internal/telemetry"
+)
+
+// The journal is the coordinator's replicated state: an append-only,
+// deterministic log of everything a standby needs to take over — circuit
+// placements with their cached key bundles, accepted-job records with
+// their inputs and lifecycle events, and node liveness transitions. The
+// leader appends as it acts and ships entries to standbys inside its
+// lease heartbeats; a promoted standby rebuilds the full coordinator
+// state purely from its journal copy, so takeover never depends on the
+// dead leader answering anything.
+//
+// Entries carry a dense, monotonically increasing sequence number. A
+// follower acknowledges the highest contiguous seq it holds; the leader
+// resends from there, so replication survives dropped or reordered
+// heartbeats without ever leaving a gap in a follower's log.
+
+// EntryKind tags what one journal entry records.
+type EntryKind string
+
+const (
+	// EntryCircuit records a circuit registration (or adoption): the spec,
+	// the registration info, and the exported key bundle.
+	EntryCircuit EntryKind = "circuit"
+	// EntryJob records a job lifecycle event (accepted, forwarded, or a
+	// terminal state).
+	EntryJob EntryKind = "job"
+	// EntryNode records a node liveness transition (eviction or rejoin).
+	EntryNode EntryKind = "node"
+)
+
+// Job lifecycle events carried by EntryJob entries.
+const (
+	JobEventAccepted     = "accepted"
+	JobEventForwarded    = "forwarded"
+	JobEventDone         = "done"
+	JobEventFailed       = "failed"
+	JobEventCheckpointed = "checkpointed"
+)
+
+// CircuitRecord is the journaled form of one registered circuit. Keys ride
+// along so a promoted standby can repair replication without any node
+// cooperating (the same no-cold-start property the coordinator's local
+// cache provides).
+type CircuitRecord struct {
+	ID   string              `json:"id"`
+	Spec service.CircuitSpec `json:"spec"`
+	Info service.CircuitInfo `json:"info"`
+	Keys *service.KeyBundle  `json:"keys,omitempty"`
+}
+
+// JobRecord is one job lifecycle event. The accepted event carries the
+// full inputs (the new leader must be able to re-forward from the journal
+// alone); later events carry only the delta.
+type JobRecord struct {
+	ID    string `json:"id"`
+	Event string `json:"event"`
+	// Accepted event payload.
+	CircuitID string   `json:"circuit_id,omitempty"`
+	Public    []string `json:"public,omitempty"`
+	Secret    []string `json:"secret,omitempty"`
+	// Forwarded event payload: which node is running it (the new leader
+	// re-forwards there first so the node-side dedupe can attach).
+	Node string `json:"node,omitempty"`
+	// Terminal event payload.
+	Error string `json:"error,omitempty"`
+}
+
+// NodeRecord is one node liveness transition.
+type NodeRecord struct {
+	Name  string `json:"name"`
+	Alive bool   `json:"alive"`
+}
+
+// Entry is one journal record. Exactly one of Circuit/Job/Node is set,
+// matching Kind.
+type Entry struct {
+	Seq     uint64         `json:"seq"`
+	Kind    EntryKind      `json:"kind"`
+	Circuit *CircuitRecord `json:"circuit,omitempty"`
+	Job     *JobRecord     `json:"job,omitempty"`
+	Node    *NodeRecord    `json:"node,omitempty"`
+}
+
+// jobView is the journal's applied state for one job: the accepted inputs
+// folded with every later event, in order.
+type jobView struct {
+	ID        string
+	CircuitID string
+	Public    []string
+	Secret    []string
+	Node      string // last forwarded node ("" if never forwarded)
+	Terminal  string // "", or done/failed/checkpointed
+	Error     string
+}
+
+// Journal is the mutex-guarded log plus its applied state. Both the
+// leader (appending) and standbys (ingesting) use the same type; a
+// standby's journal becomes the leader's the moment it promotes.
+type Journal struct {
+	mu      sync.Mutex
+	log     []Entry
+	seq     uint64
+	circs   map[string]*CircuitRecord
+	jobs    map[string]*jobView
+	jobIDs  []string // accept order, for deterministic re-drive
+	nodes   map[string]bool
+	gSeq    *telemetry.Gauge
+	notifyC chan struct{} // closed-and-replaced signal for eager heartbeats
+}
+
+// NewJournal builds an empty journal. reg may be nil (no gauge).
+func NewJournal(reg *telemetry.Registry) *Journal {
+	j := &Journal{
+		circs:   map[string]*CircuitRecord{},
+		jobs:    map[string]*jobView{},
+		nodes:   map[string]bool{},
+		notifyC: make(chan struct{}),
+	}
+	if reg != nil {
+		j.gSeq = reg.Gauge("cluster.journal_seq")
+	}
+	return j
+}
+
+// Seq reports the highest sequence number in the log.
+func (jl *Journal) Seq() uint64 {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	return jl.seq
+}
+
+// Changed returns a channel that closes when the next entry lands — the
+// replica's heartbeat loop selects on it to ship new entries eagerly
+// instead of waiting out the lease interval.
+func (jl *Journal) Changed() <-chan struct{} {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	return jl.notifyC
+}
+
+// Append assigns the next sequence number, applies the entry, and stores
+// it. Only the current leader appends.
+func (jl *Journal) Append(e Entry) uint64 {
+	jl.mu.Lock()
+	jl.seq++
+	e.Seq = jl.seq
+	jl.log = append(jl.log, e)
+	jl.applyLocked(e)
+	if jl.gSeq != nil {
+		jl.gSeq.Set(float64(jl.seq))
+	}
+	ch := jl.notifyC
+	jl.notifyC = make(chan struct{})
+	jl.mu.Unlock()
+	close(ch)
+	return e.Seq
+}
+
+// Since returns up to max entries with seq > after, for one heartbeat.
+func (jl *Journal) Since(after uint64, max int) []Entry {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if after >= jl.seq {
+		return nil
+	}
+	// log[i].Seq == i+1 always: the log is dense from 1.
+	start := int(after)
+	end := len(jl.log)
+	if max > 0 && end-start > max {
+		end = start + max
+	}
+	out := make([]Entry, end-start)
+	copy(out, jl.log[start:end])
+	return out
+}
+
+// Ingest applies entries shipped by the leader. from is the seq the batch
+// starts after (i.e. entries[0].Seq == from+1 when non-empty). Returns
+// the highest contiguous seq this journal now holds — the ack the leader
+// uses to decide what to resend.
+//
+// Two non-happy paths:
+//   - from > seq: a gap (we missed a batch). Ignore and ack our current
+//     seq; the leader resends from there.
+//   - from < seq: the leader's history diverges from ours below our tip —
+//     a deposed leader appended entries that never replicated, then a new
+//     leader (us or a peer we synced from) wrote different ones, and now
+//     some leader is shipping the canonical line. Truncate to from and
+//     rebuild; the leader's log is the only truth.
+func (jl *Journal) Ingest(from uint64, entries []Entry) uint64 {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if from > jl.seq {
+		return jl.seq
+	}
+	if from < jl.seq {
+		jl.log = jl.log[:from]
+		jl.seq = from
+		jl.rebuildLocked()
+	}
+	for _, e := range entries {
+		if e.Seq != jl.seq+1 {
+			break // non-contiguous inside the batch; ack what we have
+		}
+		jl.seq = e.Seq
+		jl.log = append(jl.log, e)
+		jl.applyLocked(e)
+	}
+	if jl.gSeq != nil {
+		jl.gSeq.Set(float64(jl.seq))
+	}
+	return jl.seq
+}
+
+func (jl *Journal) rebuildLocked() {
+	jl.circs = map[string]*CircuitRecord{}
+	jl.jobs = map[string]*jobView{}
+	jl.jobIDs = nil
+	jl.nodes = map[string]bool{}
+	for _, e := range jl.log {
+		jl.applyLocked(e)
+	}
+}
+
+func (jl *Journal) applyLocked(e Entry) {
+	switch e.Kind {
+	case EntryCircuit:
+		if e.Circuit != nil {
+			cr := *e.Circuit
+			jl.circs[cr.ID] = &cr
+		}
+	case EntryJob:
+		if e.Job == nil {
+			return
+		}
+		r := e.Job
+		v := jl.jobs[r.ID]
+		if v == nil {
+			v = &jobView{ID: r.ID}
+			jl.jobs[r.ID] = v
+			jl.jobIDs = append(jl.jobIDs, r.ID)
+		}
+		switch r.Event {
+		case JobEventAccepted:
+			v.CircuitID = r.CircuitID
+			v.Public = append([]string(nil), r.Public...)
+			v.Secret = append([]string(nil), r.Secret...)
+		case JobEventForwarded:
+			v.Node = r.Node
+		case JobEventDone, JobEventFailed, JobEventCheckpointed:
+			v.Terminal = r.Event
+			v.Error = r.Error
+		}
+	case EntryNode:
+		if e.Node != nil {
+			jl.nodes[e.Node.Name] = e.Node.Alive
+		}
+	}
+}
+
+// CircuitRecords returns every journaled circuit, ordered by id for
+// deterministic takeover.
+func (jl *Journal) CircuitRecords() []CircuitRecord {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	out := make([]CircuitRecord, 0, len(jl.circs))
+	for _, cr := range jl.circs {
+		out = append(out, *cr)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// UnfinishedJobs returns accepted-but-unfinished jobs in accept order —
+// the exact set a promoted leader must re-drive.
+func (jl *Journal) UnfinishedJobs() []jobView {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	var out []jobView
+	for _, id := range jl.jobIDs {
+		v := jl.jobs[id]
+		if v.Terminal != "" || v.CircuitID == "" {
+			continue
+		}
+		cp := *v
+		cp.Public = append([]string(nil), v.Public...)
+		cp.Secret = append([]string(nil), v.Secret...)
+		out = append(out, cp)
+	}
+	return out
+}
+
+// JobView answers a standby's GET /v1/jobs/{id} from the journal.
+func (jl *Journal) JobView(id string) (service.JobStatus, bool) {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	v, ok := jl.jobs[id]
+	if !ok {
+		return service.JobStatus{}, false
+	}
+	st := service.JobStatus{ID: v.ID, CircuitID: v.CircuitID, Error: v.Error}
+	switch v.Terminal {
+	case "":
+		if v.Node != "" {
+			st.State = "running"
+		} else {
+			st.State = "queued"
+		}
+	default:
+		st.State = v.Terminal
+	}
+	return st, true
+}
+
+// CircuitInfo answers a standby's GET /v1/circuits/{id} from the journal.
+func (jl *Journal) CircuitInfo(id string) (*service.CircuitInfo, bool) {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	cr, ok := jl.circs[id]
+	if !ok {
+		return nil, false
+	}
+	info := cr.Info
+	return &info, true
+}
+
+// NodeAlive reports the journaled liveness for a node (defaulting to true
+// for nodes with no recorded transition).
+func (jl *Journal) NodeAlive(name string) bool {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	alive, ok := jl.nodes[name]
+	return !ok || alive
+}
+
+// Summary is a small debug string for logs and tests.
+func (jl *Journal) Summary() string {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	unfinished := 0
+	for _, v := range jl.jobs {
+		if v.Terminal == "" && v.CircuitID != "" {
+			unfinished++
+		}
+	}
+	return fmt.Sprintf("seq=%d circuits=%d jobs=%d unfinished=%d",
+		jl.seq, len(jl.circs), len(jl.jobs), unfinished)
+}

@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"testing"
+
+	"gzkp/internal/service"
+)
+
+func acceptedEntry(id, circuit string) Entry {
+	return Entry{Kind: EntryJob, Job: &JobRecord{
+		ID: id, Event: JobEventAccepted, CircuitID: circuit,
+		Public: []string{"35"}, Secret: []string{"3"},
+	}}
+}
+
+func jobEvent(id, event, node string) Entry {
+	return Entry{Kind: EntryJob, Job: &JobRecord{ID: id, Event: event, Node: node}}
+}
+
+func TestJournalAppendAndSince(t *testing.T) {
+	jl := NewJournal(nil)
+	if jl.Seq() != 0 {
+		t.Fatalf("fresh journal seq = %d", jl.Seq())
+	}
+	for i, e := range []Entry{
+		{Kind: EntryCircuit, Circuit: &CircuitRecord{ID: "c1"}},
+		acceptedEntry("j1", "c1"),
+		jobEvent("j1", JobEventForwarded, "n0"),
+	} {
+		if got := jl.Append(e); got != uint64(i+1) {
+			t.Fatalf("append %d assigned seq %d", i, got)
+		}
+	}
+	if got := jl.Since(0, 0); len(got) != 3 || got[0].Seq != 1 || got[2].Seq != 3 {
+		t.Fatalf("Since(0) = %+v", got)
+	}
+	if got := jl.Since(2, 0); len(got) != 1 || got[0].Seq != 3 {
+		t.Fatalf("Since(2) = %+v", got)
+	}
+	if got := jl.Since(3, 0); got != nil {
+		t.Fatalf("Since(tip) = %+v, want nil", got)
+	}
+	// max caps one batch; the rest ships on the next beat.
+	if got := jl.Since(0, 2); len(got) != 2 || got[1].Seq != 2 {
+		t.Fatalf("Since(0, max 2) = %+v", got)
+	}
+}
+
+func TestJournalChangedSignal(t *testing.T) {
+	jl := NewJournal(nil)
+	ch := jl.Changed()
+	select {
+	case <-ch:
+		t.Fatal("Changed closed before any append")
+	default:
+	}
+	jl.Append(acceptedEntry("j1", "c1"))
+	select {
+	case <-ch:
+	default:
+		t.Fatal("Changed did not close after append")
+	}
+}
+
+func TestJournalIngestContiguousAndGap(t *testing.T) {
+	leader := NewJournal(nil)
+	for _, e := range []Entry{
+		{Kind: EntryCircuit, Circuit: &CircuitRecord{ID: "c1"}},
+		acceptedEntry("j1", "c1"),
+		acceptedEntry("j2", "c1"),
+		jobEvent("j1", JobEventDone, ""),
+	} {
+		leader.Append(e)
+	}
+
+	follower := NewJournal(nil)
+	// A gapped batch (starting past the follower's tip) must be refused:
+	// the ack tells the leader where to resend from.
+	if ack := follower.Ingest(2, leader.Since(2, 0)); ack != 0 {
+		t.Fatalf("gapped ingest acked %d, want 0", ack)
+	}
+	if ack := follower.Ingest(0, leader.Since(0, 2)); ack != 2 {
+		t.Fatalf("first batch acked %d, want 2", ack)
+	}
+	if ack := follower.Ingest(2, leader.Since(2, 0)); ack != 4 {
+		t.Fatalf("second batch acked %d, want 4", ack)
+	}
+	// Re-delivery of an already-held batch is harmless.
+	if ack := follower.Ingest(0, leader.Since(0, 0)); ack != 4 {
+		t.Fatalf("redelivered ingest acked %d, want 4", ack)
+	}
+
+	unfinished := follower.UnfinishedJobs()
+	if len(unfinished) != 1 || unfinished[0].ID != "j2" {
+		t.Fatalf("unfinished = %+v, want exactly j2", unfinished)
+	}
+}
+
+// TestJournalIngestTruncatesDivergedTail is the deposed-leader scenario:
+// a standby promoted and appended its own entries while the old leader's
+// unreplicated tail still sat in some follower's log. When the new
+// leader ships from a lower seq, the follower must drop its diverged
+// tail and adopt the leader's line wholesale.
+func TestJournalIngestTruncatesDivergedTail(t *testing.T) {
+	follower := NewJournal(nil)
+	follower.Append(acceptedEntry("j1", "c1"))
+	follower.Append(acceptedEntry("j-old-leader", "c1")) // never replicated
+
+	leader := NewJournal(nil)
+	leader.Append(acceptedEntry("j1", "c1"))
+	leader.Append(acceptedEntry("j-new-leader", "c1"))
+	leader.Append(jobEvent("j-new-leader", JobEventDone, ""))
+
+	if ack := follower.Ingest(1, leader.Since(1, 0)); ack != 3 {
+		t.Fatalf("diverged ingest acked %d, want 3", ack)
+	}
+	if _, ok := follower.JobView("j-old-leader"); ok {
+		t.Fatal("diverged entry survived truncation")
+	}
+	unfinished := follower.UnfinishedJobs()
+	if len(unfinished) != 1 || unfinished[0].ID != "j1" {
+		t.Fatalf("unfinished after rebuild = %+v, want exactly j1", unfinished)
+	}
+}
+
+func TestJournalAppliedState(t *testing.T) {
+	jl := NewJournal(nil)
+	jl.Append(Entry{Kind: EntryCircuit, Circuit: &CircuitRecord{
+		ID: "c1", Info: service.CircuitInfo{CircuitID: "c1", Constraints: 7},
+	}})
+	jl.Append(acceptedEntry("j1", "c1"))
+	jl.Append(jobEvent("j1", JobEventForwarded, "n2"))
+	jl.Append(acceptedEntry("j2", "c1"))
+	jl.Append(jobEvent("j2", JobEventFailed, ""))
+	jl.Append(Entry{Kind: EntryNode, Node: &NodeRecord{Name: "n2", Alive: false}})
+
+	if st, ok := jl.JobView("j1"); !ok || st.State != "running" {
+		t.Fatalf("j1 view = %+v ok=%v, want running", st, ok)
+	}
+	if st, ok := jl.JobView("j2"); !ok || st.State != "failed" {
+		t.Fatalf("j2 view = %+v ok=%v, want failed", st, ok)
+	}
+	if _, ok := jl.JobView("nope"); ok {
+		t.Fatal("unknown job resolved")
+	}
+	if info, ok := jl.CircuitInfo("c1"); !ok || info.Constraints != 7 {
+		t.Fatalf("circuit view = %+v ok=%v", info, ok)
+	}
+	if jl.NodeAlive("n2") {
+		t.Fatal("n2 journaled dead but reads alive")
+	}
+	if !jl.NodeAlive("n0") {
+		t.Fatal("untouched node must default alive")
+	}
+	// The unfinished set carries the forwarded node so a new leader can
+	// re-drive to where the job already runs.
+	unfinished := jl.UnfinishedJobs()
+	if len(unfinished) != 1 || unfinished[0].ID != "j1" || unfinished[0].Node != "n2" {
+		t.Fatalf("unfinished = %+v, want j1 on n2", unfinished)
+	}
+}

@@ -102,6 +102,7 @@ func (c *Coordinator) probeOne(name string) {
 	if rejoined {
 		c.cRejoins.Add(1)
 		c.gNodesAlive.Set(float64(alive))
+		c.journalAppend(Entry{Kind: EntryNode, Node: &NodeRecord{Name: name, Alive: true}})
 	}
 }
 

@@ -1,0 +1,800 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"gzkp/internal/service"
+	"gzkp/internal/telemetry"
+)
+
+// Replica is one gzkp-coord process in a k-replica coordinator group.
+// Exactly one replica leads at a time: the leader runs the real
+// Coordinator (prober, placement, job forwarding) and holds a
+// time-bounded lease it renews by shipping journal entries to every
+// standby each LeaseInterval. Standbys ingest the journal, serve
+// read-only endpoints, 307-redirect writes to the leader, and — when the
+// lease goes LeaseTTL stale — elect a successor: the reachable standby
+// with the longest journal (ties to the lowest peer index) promotes under
+// a fresh epoch, re-probes the fleet, re-installs journaled circuits, and
+// re-drives every accepted-but-unfinished job.
+//
+// Split-brain is prevented by epochs, not by a quorum: every replicate
+// call carries the sender's epoch, a receiver that knows a higher epoch
+// answers 409 with it, and a leader that sees a higher epoch (or an
+// equal epoch from a lower-indexed peer) steps down immediately. Two
+// leaders can overlap for at most one heartbeat round, during which the
+// node-side client-job dedupe makes double-forwarded work harmless.
+
+// Role is a replica's current position in the group.
+type Role int
+
+const (
+	// RoleStandby ingests the journal and redirects writes.
+	RoleStandby Role = iota
+	// RoleLeader runs the Coordinator and replicates the journal.
+	RoleLeader
+	// RoleHalted is a chaos-killed replica: it answers nothing but 503.
+	RoleHalted
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleStandby:
+		return "standby"
+	case RoleLeader:
+		return "leader"
+	case RoleHalted:
+		return "halted"
+	}
+	return fmt.Sprintf("role(%d)", int(r))
+}
+
+// PeerSpec names one coordinator replica.
+type PeerSpec struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+// ReplicaConfig wires one replica. Peer order is significant: it breaks
+// election ties, and the first peer leads a fresh group.
+type ReplicaConfig struct {
+	// Self is this replica's name; it must appear in Peers.
+	Self string
+	// Peers is the full replica group, identical on every member.
+	Peers []PeerSpec
+	// LeaseInterval paces leader heartbeats (default 500ms).
+	LeaseInterval time.Duration
+	// LeaseTTL is how stale the lease may go before standbys elect
+	// (default 4x LeaseInterval).
+	LeaseTTL time.Duration
+	// ReplicateTimeout bounds one replicate call (default 10s: the first
+	// heartbeat after a registration ships a key bundle).
+	ReplicateTimeout time.Duration
+	// Cluster configures the Coordinator the leader runs. Registry and
+	// Client are shared with the replica layer.
+	Cluster Config
+	// Chaos optionally injects scripted control-plane failures.
+	Chaos *ChaosPlan
+	// Logf receives role transitions and takeover reports (nil: silent).
+	Logf func(format string, args ...any)
+}
+
+func (c ReplicaConfig) withDefaults() ReplicaConfig {
+	if c.LeaseInterval <= 0 {
+		c.LeaseInterval = 500 * time.Millisecond
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 4 * c.LeaseInterval
+	}
+	if c.ReplicateTimeout <= 0 {
+		c.ReplicateTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// maxEntriesPerBeat caps one heartbeat's journal batch; a lagging standby
+// catches up across consecutive beats.
+const maxEntriesPerBeat = 256
+
+// maxReplicateBody caps a replicate request body (entries carry key
+// bundles, which share the node-side 64MiB import cap).
+const maxReplicateBody = 128 << 20
+
+// Replica implements http.Handler: mount it where a plain coordinator
+// handler would go.
+type Replica struct {
+	cfg     ReplicaConfig
+	reg     *telemetry.Registry
+	client  *http.Client
+	journal *Journal
+	selfIdx int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	role     Role
+	epoch    uint64
+	leader   string // current known leader name ("" = unknown)
+	lastBeat time.Time
+	coord    *Coordinator
+	handler  http.Handler      // NewHandler(coord) while leading
+	acked    map[string]uint64 // per-peer highest acknowledged seq
+
+	haltOnce sync.Once
+	haltedCh chan struct{}
+
+	cHeartbeats, cHeartbeatFailures     *telemetry.Counter
+	cPromotions, cStepdowns, cElections *telemetry.Counter
+	gIsLeader, gEpoch                   *telemetry.Gauge
+}
+
+// NewReplica validates the group config and prepares (but does not start)
+// a replica. Call Start to join the group.
+func NewReplica(cfg ReplicaConfig) (*Replica, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Peers) == 0 {
+		return nil, errors.New("cluster: replica needs at least one peer (itself)")
+	}
+	if len(cfg.Cluster.Nodes) == 0 {
+		return nil, errors.New("cluster: replica needs at least one prover node")
+	}
+	selfIdx := -1
+	for i, p := range cfg.Peers {
+		if p.Name == cfg.Self {
+			selfIdx = i
+		}
+	}
+	if selfIdx < 0 {
+		return nil, fmt.Errorf("cluster: self %q not in peer list", cfg.Self)
+	}
+	if cfg.Cluster.Registry == nil {
+		cfg.Cluster.Registry = telemetry.NewRegistry()
+	}
+	if cfg.Cluster.Client == nil {
+		cfg.Cluster.Client = &http.Client{}
+	}
+	reg := cfg.Cluster.Registry
+	cfg.Chaos.Bind(reg)
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Replica{
+		cfg: cfg, reg: reg, client: cfg.Cluster.Client,
+		journal: NewJournal(reg), selfIdx: selfIdx,
+		ctx: ctx, cancel: cancel,
+		acked:    map[string]uint64{},
+		haltedCh: make(chan struct{}),
+	}
+	r.cHeartbeats = reg.Counter("cluster.ha.heartbeats")
+	r.cHeartbeatFailures = reg.Counter("cluster.ha.heartbeat_failures")
+	r.cPromotions = reg.Counter("cluster.ha.promotions")
+	r.cStepdowns = reg.Counter("cluster.ha.stepdowns")
+	r.cElections = reg.Counter("cluster.ha.elections")
+	r.gIsLeader = reg.Gauge("cluster.ha.is_leader")
+	r.gEpoch = reg.Gauge("cluster.ha.epoch")
+	return r, nil
+}
+
+// Start joins the group: the first peer leads a fresh group immediately
+// (if it is down, the others elect past it after one TTL); everyone else
+// starts as a standby with a fresh lease.
+func (r *Replica) Start() {
+	r.mu.Lock()
+	r.lastBeat = time.Now()
+	r.mu.Unlock()
+	if r.selfIdx == 0 {
+		r.promote(1)
+	}
+	r.wg.Add(1)
+	go r.run()
+}
+
+// Journal exposes the replica's journal (for tests and debugging).
+func (r *Replica) Journal() *Journal { return r.journal }
+
+// Registry exposes the shared metrics registry.
+func (r *Replica) Registry() *telemetry.Registry { return r.reg }
+
+// Role reports the replica's current role.
+func (r *Replica) Role() Role {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.role
+}
+
+// Epoch reports the highest epoch this replica has seen.
+func (r *Replica) Epoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epoch
+}
+
+// Leader reports the current known leader name ("" if unknown).
+func (r *Replica) Leader() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.leader
+}
+
+// Coordinator returns the inner Coordinator while leading (nil otherwise).
+func (r *Replica) Coordinator() *Coordinator {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.coord
+}
+
+// Halted closes when a chaos leaderkill (or explicit Halt) fires —
+// tests use it to tear down the replica's listener like a process death.
+func (r *Replica) Halted() <-chan struct{} { return r.haltedCh }
+
+// Halt is the in-process kill -9: the replica stops heartbeating,
+// abandons its coordinator, and answers every request 503 forever.
+func (r *Replica) Halt() {
+	r.haltOnce.Do(func() {
+		r.mu.Lock()
+		coord := r.coord
+		r.coord = nil
+		r.handler = nil
+		wasLeader := r.role == RoleLeader
+		r.role = RoleHalted
+		r.mu.Unlock()
+		if wasLeader {
+			r.gIsLeader.Set(0)
+		}
+		r.logf("replica %s: halted", r.cfg.Self)
+		r.cancel()
+		if coord != nil {
+			coord.detachJournal()
+			coord.Close()
+		}
+		close(r.haltedCh)
+	})
+}
+
+// Close stops the replica cleanly (run loop, then the coordinator if
+// leading). Unlike Halt it is a graceful local stop, not a simulated
+// crash — but it performs no drain; use the coordinator's Drain first.
+func (r *Replica) Close() {
+	r.cancel()
+	r.wg.Wait()
+	r.mu.Lock()
+	coord := r.coord
+	r.coord = nil
+	r.handler = nil
+	r.mu.Unlock()
+	if coord != nil {
+		coord.detachJournal()
+		coord.Close()
+	}
+}
+
+func (r *Replica) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+func (r *Replica) peerIndex(name string) int {
+	for i, p := range r.cfg.Peers {
+		if p.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func (r *Replica) peerURL(name string) string {
+	for _, p := range r.cfg.Peers {
+		if p.Name == name {
+			return p.URL
+		}
+	}
+	return ""
+}
+
+// run is the replica's single control loop: leaders heartbeat every
+// LeaseInterval (and eagerly on journal appends); standbys watch the
+// lease and elect when it expires.
+func (r *Replica) run() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.LeaseInterval)
+	defer t.Stop()
+	for {
+		changed := r.journal.Changed()
+		select {
+		case <-r.ctx.Done():
+			return
+		case <-t.C:
+		case <-changed:
+			if r.Role() != RoleLeader {
+				continue // standbys ingest; only leaders ship eagerly
+			}
+		}
+		switch r.Role() {
+		case RoleLeader:
+			r.heartbeatAll()
+		case RoleStandby:
+			r.maybeElect()
+		case RoleHalted:
+			return
+		}
+	}
+}
+
+// --- leader side -----------------------------------------------------
+
+func (r *Replica) heartbeatAll() {
+	if r.cfg.Chaos.onHeartbeatRound(r.cfg.Self) {
+		r.logf("replica %s: chaos leaderkill fired", r.cfg.Self)
+		r.Halt()
+		return
+	}
+	var wg sync.WaitGroup
+	for _, p := range r.cfg.Peers {
+		if p.Name == r.cfg.Self {
+			continue
+		}
+		wg.Add(1)
+		go func(peer PeerSpec) {
+			defer wg.Done()
+			r.heartbeatOne(peer)
+		}(p)
+	}
+	wg.Wait()
+}
+
+func (r *Replica) heartbeatOne(peer PeerSpec) {
+	r.mu.Lock()
+	if r.role != RoleLeader {
+		r.mu.Unlock()
+		return
+	}
+	epoch := r.epoch
+	from := r.acked[peer.Name]
+	r.mu.Unlock()
+
+	if err, delay := r.cfg.Chaos.onReplicate(peer.Name); err != nil {
+		r.cHeartbeats.Add(1)
+		r.cHeartbeatFailures.Add(1)
+		return
+	} else if delay > 0 {
+		select {
+		case <-r.ctx.Done():
+			return
+		case <-time.After(delay):
+		}
+	}
+
+	entries := r.journal.Since(from, maxEntriesPerBeat)
+	body, err := json.Marshal(replicateRequest{
+		From: r.cfg.Self, Epoch: epoch, FromSeq: from, Entries: entries,
+	})
+	if err != nil {
+		r.cHeartbeatFailures.Add(1)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.ctx, r.cfg.ReplicateTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		peer.URL+"/v1/cluster/replicate", bytes.NewReader(body))
+	if err != nil {
+		r.cHeartbeatFailures.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	r.cHeartbeats.Add(1)
+	if err != nil {
+		r.cHeartbeatFailures.Add(1)
+		return
+	}
+	defer resp.Body.Close()
+	var rr replicateResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&rr); err != nil {
+		r.cHeartbeatFailures.Add(1)
+		return
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		r.mu.Lock()
+		if rr.Ack > r.acked[peer.Name] {
+			r.acked[peer.Name] = rr.Ack
+		}
+		r.mu.Unlock()
+	case http.StatusConflict:
+		r.onConflict(rr.Epoch, rr.Leader)
+	default:
+		r.cHeartbeatFailures.Add(1)
+	}
+}
+
+// onConflict handles a 409 from a peer that knows a competing claim: a
+// higher epoch always wins; an equal epoch goes to the lower peer index.
+func (r *Replica) onConflict(epoch uint64, leader string) {
+	r.mu.Lock()
+	if r.role != RoleLeader {
+		r.mu.Unlock()
+		return
+	}
+	lIdx := r.peerIndex(leader)
+	yield := epoch > r.epoch ||
+		(epoch == r.epoch && leader != r.cfg.Self && lIdx >= 0 && lIdx < r.selfIdx)
+	r.mu.Unlock()
+	if yield {
+		r.stepDown(epoch, leader)
+	}
+}
+
+// stepDown demotes a deposed leader: detach the journal first so its
+// dying job goroutines cannot append to a log that now belongs to the
+// new leader's line, then close the coordinator in the background.
+func (r *Replica) stepDown(epoch uint64, leader string) {
+	r.mu.Lock()
+	if r.role != RoleLeader {
+		r.mu.Unlock()
+		return
+	}
+	coord := r.coord
+	r.coord = nil
+	r.handler = nil
+	r.role = RoleStandby
+	if epoch > r.epoch {
+		r.epoch = epoch
+	}
+	r.leader = leader
+	r.lastBeat = time.Now()
+	epochNow := r.epoch
+	r.mu.Unlock()
+	r.cStepdowns.Add(1)
+	r.gIsLeader.Set(0)
+	r.gEpoch.Set(float64(epochNow))
+	r.logf("replica %s: stepping down (epoch %d, leader %s)", r.cfg.Self, epochNow, leader)
+	if coord != nil {
+		coord.detachJournal()
+		go coord.Close()
+	}
+}
+
+// --- standby side ----------------------------------------------------
+
+func (r *Replica) maybeElect() {
+	r.mu.Lock()
+	expired := time.Since(r.lastBeat) > r.cfg.LeaseTTL
+	r.mu.Unlock()
+	if expired {
+		r.elect()
+	}
+}
+
+// elect runs one election round from this standby's point of view: adopt
+// any reachable live leader; otherwise promote iff no reachable standby
+// is fresher (longer journal, or equal journal and lower peer index).
+func (r *Replica) elect() {
+	r.cElections.Add(1)
+	mySeq := r.journal.Seq()
+	r.mu.Lock()
+	maxEpoch := r.epoch
+	r.mu.Unlock()
+
+	defer2 := false
+	for idx, p := range r.cfg.Peers {
+		if p.Name == r.cfg.Self {
+			continue
+		}
+		info, err := r.queryRole(p)
+		if err != nil {
+			continue
+		}
+		if info.Epoch > maxEpoch {
+			maxEpoch = info.Epoch
+		}
+		if info.Role == RoleLeader.String() {
+			// A live leader exists — our lease view was stale (partition,
+			// slow beat). Adopt it and stand down from the election.
+			r.mu.Lock()
+			if r.role == RoleStandby {
+				if info.Epoch > r.epoch {
+					r.epoch = info.Epoch
+				}
+				r.leader = p.Name
+				r.lastBeat = time.Now()
+			}
+			r.mu.Unlock()
+			return
+		}
+		if info.Seq > mySeq || (info.Seq == mySeq && idx < r.selfIdx) {
+			defer2 = true // a fresher (or tie-winning) standby will promote
+		}
+	}
+	if defer2 {
+		return
+	}
+	r.promote(maxEpoch + 1)
+}
+
+func (r *Replica) queryRole(p PeerSpec) (*roleInfo, error) {
+	ctx, cancel := context.WithTimeout(r.ctx, r.cfg.LeaseInterval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.URL+"/v1/cluster/role", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: role query to %s: HTTP %d", p.Name, resp.StatusCode)
+	}
+	var info roleInfo
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// promote makes this replica the leader under epoch and rebuilds the
+// cluster control plane from the journal: fresh Coordinator, synchronous
+// fleet re-probe, journaled circuits re-installed (keys and all, no node
+// cooperation needed), node inventories adopted, and every
+// accepted-but-unfinished job re-driven in accept order. Re-forwards are
+// idempotent: they carry the cluster job id as the node-side client job
+// key, so a node already running the job attaches instead of re-proving.
+func (r *Replica) promote(epoch uint64) {
+	r.mu.Lock()
+	if r.role != RoleStandby {
+		r.mu.Unlock()
+		return
+	}
+	r.role = RoleLeader
+	r.epoch = epoch
+	r.leader = r.cfg.Self
+	r.mu.Unlock()
+	r.cPromotions.Add(1)
+	r.gIsLeader.Set(1)
+	r.gEpoch.Set(float64(epoch))
+	r.logf("replica %s: promoting to leader (epoch %d, journal %s)",
+		r.cfg.Self, epoch, r.journal.Summary())
+
+	ccfg := r.cfg.Cluster
+	ccfg.ID = r.cfg.Self
+	ccfg.Journal = r.journal
+	ccfg.Registry = r.reg
+	ccfg.Client = r.client
+	ccfg.Chaos = r.cfg.Chaos
+	coord, err := New(ccfg)
+	if err != nil {
+		// Config was validated in NewReplica; this cannot happen outside
+		// programmer error. Fail loudly rather than lead without a brain.
+		panic(fmt.Sprintf("cluster: promote %s: %v", r.cfg.Self, err))
+	}
+	for _, rec := range r.journal.CircuitRecords() {
+		coord.InstallCircuit(rec)
+	}
+	coord.probeAll()
+	coord.AdoptCircuits()
+	redriven := 0
+	for _, v := range r.journal.UnfinishedJobs() {
+		if _, err := coord.Redrive(v.ID, v.CircuitID, v.Public, v.Secret, v.Node); err == nil {
+			redriven++
+		}
+	}
+	if redriven > 0 {
+		r.logf("replica %s: re-driving %d unfinished jobs", r.cfg.Self, redriven)
+	}
+
+	r.mu.Lock()
+	if r.role != RoleLeader { // halted or deposed mid-takeover
+		r.mu.Unlock()
+		coord.detachJournal()
+		coord.Close()
+		return
+	}
+	r.coord = coord
+	r.handler = NewHandler(coord)
+	r.mu.Unlock()
+	// Claim the lease before any peer's TTL expires.
+	r.heartbeatAll()
+}
+
+// --- wire types ------------------------------------------------------
+
+type replicateRequest struct {
+	From    string  `json:"from"`
+	Epoch   uint64  `json:"epoch"`
+	FromSeq uint64  `json:"from_seq"`
+	Entries []Entry `json:"entries,omitempty"`
+}
+
+type replicateResponse struct {
+	Ack    uint64 `json:"ack"`
+	Epoch  uint64 `json:"epoch"`
+	Leader string `json:"leader,omitempty"`
+}
+
+type roleInfo struct {
+	Self   string `json:"self"`
+	Role   string `json:"role"`
+	Epoch  uint64 `json:"epoch"`
+	Seq    uint64 `json:"seq"`
+	Leader string `json:"leader,omitempty"`
+}
+
+// --- HTTP surface ----------------------------------------------------
+
+// ServeHTTP multiplexes the replica: group-internal endpoints first,
+// then the full coordinator API while leading, read-only + 307 while
+// standing by, and a blanket 503 when halted.
+func (r *Replica) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	switch {
+	case req.URL.Path == "/v1/cluster/replicate" && req.Method == http.MethodPost:
+		r.handleReplicate(w, req)
+		return
+	case req.URL.Path == "/v1/cluster/role" && req.Method == http.MethodGet:
+		r.handleRole(w)
+		return
+	case req.URL.Path == "/metrics" && req.Method == http.MethodGet:
+		if r.Role() == RoleHalted {
+			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "replica halted"})
+			return
+		}
+		writeJSON(w, http.StatusOK, r.reg.Snapshot())
+		return
+	case req.URL.Path == "/healthz":
+		if r.Role() == RoleHalted {
+			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "replica halted"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "role": r.Role().String()})
+		return
+	}
+
+	r.mu.Lock()
+	role := r.role
+	handler := r.handler
+	leader := r.leader
+	r.mu.Unlock()
+	switch role {
+	case RoleHalted:
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "replica halted"})
+	case RoleLeader:
+		if handler == nil {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "promoting", RetryAfter: 1})
+			return
+		}
+		handler.ServeHTTP(w, req)
+	default:
+		r.serveStandby(w, req, leader)
+	}
+}
+
+func (r *Replica) handleRole(w http.ResponseWriter) {
+	r.mu.Lock()
+	info := roleInfo{
+		Self: r.cfg.Self, Role: r.role.String(),
+		Epoch: r.epoch, Leader: r.leader,
+	}
+	r.mu.Unlock()
+	if info.Role == RoleHalted.String() {
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "replica halted"})
+		return
+	}
+	info.Seq = r.journal.Seq()
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleReplicate is the standby's ingest path and the epoch arbiter: a
+// stale sender gets 409 with the higher claim; a valid sender renews the
+// lease and gets the contiguous ack. A leader that receives a replicate
+// from a peer with a winning claim steps down right here.
+func (r *Replica) handleReplicate(w http.ResponseWriter, req *http.Request) {
+	var in replicateRequest
+	req.Body = http.MaxBytesReader(w, req.Body, maxReplicateBody)
+	if err := json.NewDecoder(req.Body).Decode(&in); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("bad replicate body: %v", err)})
+		return
+	}
+	r.mu.Lock()
+	if r.role == RoleHalted {
+		r.mu.Unlock()
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "replica halted"})
+		return
+	}
+	if in.Epoch < r.epoch {
+		resp := replicateResponse{Ack: r.journal.Seq(), Epoch: r.epoch, Leader: r.leader}
+		r.mu.Unlock()
+		writeJSON(w, http.StatusConflict, resp)
+		return
+	}
+	if r.role == RoleLeader {
+		senderIdx := r.peerIndex(in.From)
+		if in.Epoch == r.epoch && (senderIdx < 0 || senderIdx > r.selfIdx) {
+			// Equal-epoch duel: the lower index keeps the lease.
+			resp := replicateResponse{Ack: r.journal.Seq(), Epoch: r.epoch, Leader: r.cfg.Self}
+			r.mu.Unlock()
+			writeJSON(w, http.StatusConflict, resp)
+			return
+		}
+		r.mu.Unlock()
+		r.stepDown(in.Epoch, in.From)
+		r.mu.Lock()
+	}
+	if in.Epoch > r.epoch {
+		r.epoch = in.Epoch
+		r.gEpoch.Set(float64(r.epoch))
+	}
+	r.leader = in.From
+	r.lastBeat = time.Now()
+	r.mu.Unlock()
+	ack := r.journal.Ingest(in.FromSeq, in.Entries)
+	writeJSON(w, http.StatusOK, replicateResponse{Ack: ack, Epoch: in.Epoch, Leader: in.From})
+}
+
+// serveStandby answers what the journal can answer and 307-redirects the
+// rest to the leader. Go's http.Client follows 307 re-sending the body,
+// so clients of a standby transparently reach the leader.
+func (r *Replica) serveStandby(w http.ResponseWriter, req *http.Request, leader string) {
+	switch {
+	case req.URL.Path == "/readyz":
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "standby", "leader": leader,
+		})
+		return
+	case req.URL.Path == "/v1/nodes" && req.Method == http.MethodGet:
+		// Topology from config, liveness from the journal: good enough for
+		// dashboards without bothering the leader.
+		out := make([]NodeStatus, 0, len(r.cfg.Cluster.Nodes))
+		for _, ns := range r.cfg.Cluster.Nodes {
+			name := ns.Name
+			if name == "" {
+				name = ns.URL
+			}
+			out = append(out, NodeStatus{Name: name, URL: ns.URL, Alive: r.journal.NodeAlive(name)})
+		}
+		writeJSON(w, http.StatusOK, out)
+		return
+	case strings.HasPrefix(req.URL.Path, "/v1/jobs/") && req.Method == http.MethodGet:
+		id := strings.TrimPrefix(req.URL.Path, "/v1/jobs/")
+		if st, ok := r.journal.JobView(id); ok {
+			writeJSON(w, http.StatusOK, st)
+			return
+		}
+		writeError(w, &service.NotFoundError{What: "job", ID: id})
+		return
+	case strings.HasPrefix(req.URL.Path, "/v1/circuits/") && req.Method == http.MethodGet:
+		id := strings.TrimPrefix(req.URL.Path, "/v1/circuits/")
+		if !strings.Contains(id, "/") {
+			if info, ok := r.journal.CircuitInfo(id); ok {
+				info.Cached = true
+				writeJSON(w, http.StatusOK, info)
+				return
+			}
+			writeError(w, &service.NotFoundError{What: "circuit", ID: id})
+			return
+		}
+	}
+	if leader == "" || leader == r.cfg.Self {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "no leader known", RetryAfter: 1})
+		return
+	}
+	base := r.peerURL(leader)
+	if base == "" {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "leader unknown to peer list", RetryAfter: 1})
+		return
+	}
+	http.Redirect(w, req, base+req.URL.RequestURI(), http.StatusTemporaryRedirect)
+}

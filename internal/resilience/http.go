@@ -21,8 +21,10 @@ import (
 //
 //	transport refused / reset / EOF  → DeviceLost (endpoint unreachable)
 //	transport / context timeout      → Transient  (endpoint may be slow)
+//	408 / 425                        → Transient  (timing, not the request)
 //	429 Too Many Requests            → Transient  (honor Retry-After)
 //	502 / 503 / 504                  → Transient  (alive but not ready)
+//	307 / 308 (unfollowed redirect)  → Transient  (retry lands on the target)
 //	other 4xx / 5xx                  → Fatal      (this request is doomed)
 
 // HTTPError is a non-2xx HTTP outcome carrying enough context to classify
@@ -68,10 +70,19 @@ func classifyHTTPStatus(status int) Class {
 	switch {
 	case status == http.StatusTooManyRequests:
 		return Transient // overload: back off (per Retry-After) and retry
+	case status == http.StatusRequestTimeout,
+		status == http.StatusTooEarly:
+		return Transient // the timing failed, not the request; retry is safe
 	case status == http.StatusBadGateway,
 		status == http.StatusServiceUnavailable,
 		status == http.StatusGatewayTimeout:
 		return Transient // endpoint alive but not ready; probes decide eviction
+	case status == http.StatusTemporaryRedirect,
+		status == http.StatusPermanentRedirect:
+		// A surfaced (unfollowed) redirect — e.g. a standby coordinator
+		// pointing at a leader mid-failover: retrying shortly reaches a
+		// leader, so treat it like a not-ready endpoint.
+		return Transient
 	default:
 		return Fatal // 400/404/500/...: retrying the same request cannot help
 	}

@@ -51,9 +51,17 @@ func TestClassifyHTTPStatus(t *testing.T) {
 		{http.StatusBadGateway, Transient},
 		{http.StatusServiceUnavailable, Transient},
 		{http.StatusGatewayTimeout, Transient},
+		// Timing failures indict the moment, not the request.
+		{http.StatusRequestTimeout, Transient},
+		{http.StatusTooEarly, Transient},
+		// A surfaced redirect (standby → leader mid-failover) retries clean.
+		{http.StatusTemporaryRedirect, Transient},
+		{http.StatusPermanentRedirect, Transient},
 		{http.StatusInternalServerError, Fatal},
 		{http.StatusBadRequest, Fatal},
 		{http.StatusNotFound, Fatal},
+		{http.StatusUnauthorized, Fatal},
+		{http.StatusConflict, Fatal},
 	}
 	for _, tc := range cases {
 		if got := ClassifyHTTP(tc.status, nil); got != tc.want {

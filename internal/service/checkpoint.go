@@ -10,7 +10,9 @@ import "sort"
 // while staying stable for Restore's idempotency bookkeeping. Duplicate
 // job ids within one node's checkpoint (a replayed file) collapse to the
 // first occurrence. Nodes merge in name order so the output is
-// deterministic; nil checkpoints are skipped.
+// deterministic; nil checkpoints are skipped, as are parts whose schema
+// version this build cannot read (a valid-JSON checkpoint from a
+// different schema must not be half-merged into silently wrong output).
 func MergeCheckpoints(parts map[string]*Checkpoint) *Checkpoint {
 	names := make([]string, 0, len(parts))
 	for name := range parts {
@@ -18,12 +20,12 @@ func MergeCheckpoints(parts map[string]*Checkpoint) *Checkpoint {
 	}
 	sort.Strings(names)
 
-	merged := &Checkpoint{}
+	merged := &Checkpoint{Version: CheckpointVersion}
 	seenCircuit := map[string]bool{}
 	seenJob := map[string]bool{}
 	for _, name := range names {
 		cp := parts[name]
-		if cp == nil {
+		if cp == nil || !cp.versionOK() {
 			continue
 		}
 		for _, spec := range cp.Circuits {

@@ -116,3 +116,75 @@ func TestMergeCheckpoints(t *testing.T) {
 		t.Fatalf("finished %d of 3 restored jobs", got)
 	}
 }
+
+// TestMergeCheckpointsEdgeCases pins down the merge's less-traveled
+// paths: empty and nil parts, namespaced-id aliasing across part names,
+// and schema-version gating on both merge input and output.
+func TestMergeCheckpointsEdgeCases(t *testing.T) {
+	spec := CircuitSpec{Curve: "bn254", Source: cubicSrc}
+	id := circuitID(spec)
+	entry := func(jid string) CheckpointEntry {
+		return CheckpointEntry{JobID: jid, CircuitID: id, Public: []string{"35"}, Secret: []string{"3"}}
+	}
+
+	t.Run("empty and nil parts", func(t *testing.T) {
+		merged := MergeCheckpoints(map[string]*Checkpoint{
+			"node-a": {}, // drained clean: no circuits, no stranded jobs
+			"node-b": nil,
+		})
+		if len(merged.Circuits) != 0 || len(merged.Jobs) != 0 {
+			t.Fatalf("merged %d circuits / %d jobs from empty parts", len(merged.Circuits), len(merged.Jobs))
+		}
+		if merged.Version != CheckpointVersion {
+			t.Fatalf("merged version = %d, want %d", merged.Version, CheckpointVersion)
+		}
+		if MergeCheckpoints(nil).Version != CheckpointVersion {
+			t.Fatal("nil parts must still produce a versioned checkpoint")
+		}
+	})
+
+	t.Run("namespaced id aliasing", func(t *testing.T) {
+		// Part "node-a" holding job "b/job-1" and part "node-a/b" holding
+		// job "job-1" both namespace to "node-a/b/job-1". The merge keeps
+		// the first (part names sort first) — aliased ids must collapse
+		// deterministically rather than double-restore one identity.
+		merged := MergeCheckpoints(map[string]*Checkpoint{
+			"node-a":   {Jobs: []CheckpointEntry{entry("b/job-1")}},
+			"node-a/b": {Jobs: []CheckpointEntry{entry("job-1")}},
+		})
+		if len(merged.Jobs) != 1 || merged.Jobs[0].JobID != "node-a/b/job-1" {
+			t.Fatalf("aliased merge = %+v, want exactly node-a/b/job-1", merged.Jobs)
+		}
+	})
+
+	t.Run("wrong schema version part skipped", func(t *testing.T) {
+		merged := MergeCheckpoints(map[string]*Checkpoint{
+			"node-a": {Version: CheckpointVersion, Jobs: []CheckpointEntry{entry("job-1")}},
+			"node-b": {Version: 99, Jobs: []CheckpointEntry{entry("job-1")}},
+			"node-c": {Jobs: []CheckpointEntry{entry("job-1")}}, // 0 = legacy, readable
+		})
+		want := []string{"node-a/job-1", "node-c/job-1"}
+		if len(merged.Jobs) != len(want) {
+			t.Fatalf("merged %d jobs, want %d (version-99 part skipped)", len(merged.Jobs), len(want))
+		}
+		for i, j := range merged.Jobs {
+			if j.JobID != want[i] {
+				t.Fatalf("job %d id %q, want %q", i, j.JobID, want[i])
+			}
+		}
+	})
+
+	t.Run("restore rejects wrong version", func(t *testing.T) {
+		cfg := fastConfig()
+		cfg.Devices = 1
+		svc := New(cfg)
+		defer svc.Close()
+		bad := &Checkpoint{Version: 99, Circuits: []CircuitSpec{spec}, Jobs: []CheckpointEntry{entry("job-1")}}
+		if _, err := svc.Restore(bad); err == nil {
+			t.Fatal("restore accepted a checkpoint from an unknown schema version")
+		}
+		if got := svc.Registry().Counter("service.jobs.accepted").Value(); got != 0 {
+			t.Fatalf("rejected restore still accepted %d jobs", got)
+		}
+	})
+}

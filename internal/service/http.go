@@ -36,11 +36,15 @@ const (
 	maxKeyBodyBytes = 64 << 20
 )
 
-// ProveRequest is the body of POST /v1/prove.
+// ProveRequest is the body of POST /v1/prove. ClientJobID is an optional
+// idempotency key: requests sharing one attach to one job (a cluster
+// coordinator sets it to the cluster job id so leader-failover
+// re-forwards never prove twice).
 type ProveRequest struct {
-	CircuitID string   `json:"circuit_id"`
-	Public    []string `json:"public"`
-	Secret    []string `json:"secret"`
+	CircuitID   string   `json:"circuit_id"`
+	Public      []string `json:"public"`
+	Secret      []string `json:"secret"`
+	ClientJobID string   `json:"client_job_id,omitempty"`
 }
 
 // DrainResponse is the body of POST /v1/drain: how many jobs finished
@@ -173,7 +177,7 @@ func NewHandler(s *Service) http.Handler {
 			writeError(w, err)
 			return
 		}
-		j, err := s.Submit(req.CircuitID, req.Public, req.Secret)
+		j, err := s.SubmitKeyed(req.ClientJobID, req.CircuitID, req.Public, req.Secret)
 		if err != nil {
 			writeError(w, err)
 			return

@@ -194,20 +194,26 @@ type Service struct {
 	ctx   context.Context // base context for workers (carries the tracer)
 	wg    sync.WaitGroup
 
-	mu        sync.Mutex
-	idle      *sync.Cond // admitted == 0, for Drain
-	circuits  map[string]*circuitEntry
-	jobs      map[string]*Job
-	restored  map[string]bool // checkpoint job ids already resubmitted
-	admitted  int
-	accepting bool
-	jobSeq    uint64
+	mu       sync.Mutex
+	idle     *sync.Cond // admitted == 0, for Drain
+	circuits map[string]*circuitEntry
+	jobs     map[string]*Job
+	restored map[string]bool // checkpoint job ids already resubmitted
+	// clientJobs maps a caller-chosen idempotency key to the job it
+	// admitted: re-submitting the same key attaches to the running (or
+	// finished) job instead of proving twice. This is what makes a new
+	// cluster leader's re-forwards exactly-once from the node's view.
+	clientJobs map[string]*Job
+	admitted   int
+	accepting  bool
+	jobSeq     uint64
 
 	inflight atomic.Int64
 
 	// Cached metric handles (hot path: one atomic op each).
 	cAccepted, cRejected, cDone, cFailed  *telemetry.Counter
 	cRequeued, cBatches, cSteals          *telemetry.Counter
+	cDeduped                              *telemetry.Counter
 	gQueueDepth, gInflight, gDevicesAlive *telemetry.Gauge
 	hQueueWait, hProve, hE2E              *telemetry.Histogram
 }
@@ -223,14 +229,15 @@ func New(cfg Config) *Service {
 		}
 	}
 	s := &Service{
-		cfg:       cfg,
-		reg:       cfg.Registry,
-		sched:     newScheduler(cfg.Devices, cfg.MaxBatch),
-		ctx:       ctx,
-		circuits:  map[string]*circuitEntry{},
-		jobs:      map[string]*Job{},
-		restored:  map[string]bool{},
-		accepting: true,
+		cfg:        cfg,
+		reg:        cfg.Registry,
+		sched:      newScheduler(cfg.Devices, cfg.MaxBatch),
+		ctx:        ctx,
+		circuits:   map[string]*circuitEntry{},
+		jobs:       map[string]*Job{},
+		restored:   map[string]bool{},
+		clientJobs: map[string]*Job{},
+		accepting:  true,
 	}
 	s.idle = sync.NewCond(&s.mu)
 	r := s.reg
@@ -239,6 +246,7 @@ func New(cfg Config) *Service {
 	s.cDone = r.Counter("service.jobs.done")
 	s.cFailed = r.Counter("service.jobs.failed")
 	s.cRequeued = r.Counter("service.jobs.requeued")
+	s.cDeduped = r.Counter("service.jobs.deduped")
 	s.cBatches = r.Counter("service.batches")
 	s.cSteals = r.Counter("service.steals")
 	s.sched.stealCtr = s.cSteals
@@ -492,10 +500,27 @@ func parseInputs(f *ff.Field, vals []string, want int, kind string) ([]ff.Elemen
 // into the bounded queue or rejects with an OverloadError carrying the
 // Retry-After estimate. Accepted jobs always reach a terminal state.
 func (s *Service) Submit(circuitID string, public, secret []string) (*Job, error) {
+	return s.SubmitKeyed("", circuitID, public, secret)
+}
+
+// SubmitKeyed is Submit with an optional caller-chosen idempotency key:
+// when clientKey is non-empty and a job with the same key was already
+// admitted, the existing job is returned instead of admitting a second
+// one. A failover-ed cluster coordinator re-forwards accepted jobs under
+// their cluster ids; the dedupe turns those re-forwards into attaches,
+// so a leader change never proves the same job twice.
+func (s *Service) SubmitKeyed(clientKey, circuitID string, public, secret []string) (*Job, error) {
 	s.mu.Lock()
 	if !s.accepting {
 		s.mu.Unlock()
 		return nil, ErrDraining
+	}
+	if clientKey != "" {
+		if j := s.clientJobs[clientKey]; j != nil {
+			s.mu.Unlock()
+			s.cDeduped.Add(1)
+			return j, nil
+		}
 	}
 	e, ok := s.circuits[circuitID]
 	s.mu.Unlock()
@@ -518,6 +543,15 @@ func (s *Service) Submit(circuitID string, public, secret []string) (*Job, error
 		s.mu.Unlock()
 		return nil, ErrDraining
 	}
+	// Re-check the key under the admission lock: two concurrent
+	// re-forwards of the same job must collapse to one admission.
+	if clientKey != "" {
+		if j := s.clientJobs[clientKey]; j != nil {
+			s.mu.Unlock()
+			s.cDeduped.Add(1)
+			return j, nil
+		}
+	}
 	if s.admitted >= s.cfg.QueueCapacity {
 		depth := s.admitted
 		s.mu.Unlock()
@@ -532,6 +566,9 @@ func (s *Service) Submit(circuitID string, public, secret []string) (*Job, error
 	id := fmt.Sprintf("job-%08d", s.jobSeq)
 	j := newJob(id, circuitID, public, secret, s.jobDone)
 	s.jobs[id] = j
+	if clientKey != "" {
+		s.clientJobs[clientKey] = j
+	}
 	s.mu.Unlock()
 
 	s.cAccepted.Add(1)
@@ -722,12 +759,24 @@ type CheckpointEntry struct {
 	Secret    []string `json:"secret"`
 }
 
+// CheckpointVersion is the current checkpoint schema version. Version 0
+// (the field absent) is the legacy schema and is accepted everywhere;
+// any other mismatch is rejected rather than misread.
+const CheckpointVersion = 1
+
 // Checkpoint is the drain artifact: the circuit specs (so a successor can
 // rebuild the registry deterministically — ids are content hashes) and the
 // jobs that were admitted but never scheduled before the deadline.
 type Checkpoint struct {
+	Version  int               `json:"version,omitempty"`
 	Circuits []CircuitSpec     `json:"circuits"`
 	Jobs     []CheckpointEntry `json:"jobs"`
+}
+
+// versionOK reports whether a checkpoint's schema version is readable by
+// this build (current, or the pre-versioning 0).
+func (cp *Checkpoint) versionOK() bool {
+	return cp.Version == 0 || cp.Version == CheckpointVersion
 }
 
 // DrainReport summarizes a drain.
@@ -772,7 +821,7 @@ func (s *Service) Drain(ctx context.Context) (*DrainReport, error) {
 	if len(pending) == 0 {
 		return rep, ctx.Err()
 	}
-	cp := &Checkpoint{}
+	cp := &Checkpoint{Version: CheckpointVersion}
 	seen := map[string]bool{}
 	s.mu.Lock()
 	for _, j := range pending {
@@ -801,6 +850,10 @@ func (s *Service) Drain(ctx context.Context) (*DrainReport, error) {
 // checkpoint (or a merged cluster checkpoint carrying a duplicate) never
 // double-submits work.
 func (s *Service) Restore(cp *Checkpoint) (int, error) {
+	if !cp.versionOK() {
+		return 0, &InputError{Msg: fmt.Sprintf(
+			"checkpoint schema version %d not supported (want %d)", cp.Version, CheckpointVersion)}
+	}
 	for _, spec := range cp.Circuits {
 		if _, err := s.Register(spec); err != nil {
 			return 0, fmt.Errorf("service: restore circuit: %w", err)
