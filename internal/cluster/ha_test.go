@@ -350,6 +350,172 @@ func TestReplicaRedirectAndReadOnly(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("standby job read = %d, want 200 from journal", resp.StatusCode)
 	}
+
+	// An id the journal does not hold is NOT authoritatively absent (the
+	// journal lags the leader by up to a heartbeat): the standby must
+	// redirect rather than 404, so a client polling a just-accepted job
+	// never sees a spurious Fatal. Only the leader may say 404.
+	resp, err = noFollow.Get(b.srv.URL + "/v1/jobs/cj-coordA-99999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("standby unknown-job read = %d, want 307 to leader", resp.StatusCode)
+	}
+	resp, err = http.Get(b.srv.URL + "/v1/jobs/cj-coordA-99999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("leader's answer for unknown job = %d, want authoritative 404", resp.StatusCode)
+	}
+	resp, err = noFollow.Get(b.srv.URL + "/v1/circuits/no-such-circuit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("standby unknown-circuit read = %d, want 307 to leader", resp.StatusCode)
+	}
+}
+
+// deadURL refuses every connection instantly (reserved port).
+const deadURL = "http://127.0.0.1:1"
+
+// soloReplicaConfig builds a replica config whose peers and nodes are
+// unreachable — for white-box tests that drive promote/heartbeat/elect
+// directly without a live group behind them.
+func soloReplicaConfig(self string, peers []PeerSpec) ReplicaConfig {
+	cfg := ReplicaConfig{
+		Self:             self,
+		Peers:            peers,
+		LeaseInterval:    10 * time.Millisecond,
+		LeaseTTL:         30 * time.Millisecond,
+		ReplicateTimeout: 200 * time.Millisecond,
+		Cluster: Config{
+			Nodes:         []NodeSpec{{Name: "n0", URL: deadURL}},
+			Replicas:      1,
+			ProbeInterval: 10 * time.Millisecond,
+			ProbeTimeout:  50 * time.Millisecond,
+			FailThreshold: 2,
+		},
+	}
+	cfg.Cluster.Retry.BaseDelay = time.Millisecond
+	cfg.Cluster.Retry.MaxDelay = 5 * time.Millisecond
+	return cfg
+}
+
+// TestPromoteResetsPeerAcks: acks recorded during an earlier reign must
+// not survive promotion — a peer may have truncated below them under
+// another leader, and a from > peer-seq heartbeat combined with a
+// raise-only ack would wedge replication to that standby forever while
+// its lease kept renewing (silent durability loss on the next failover).
+func TestPromoteResetsPeerAcks(t *testing.T) {
+	rep, err := NewReplica(soloReplicaConfig("coordB", []PeerSpec{
+		{Name: "coordA", URL: deadURL}, {Name: "coordB", URL: deadURL},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	rep.mu.Lock()
+	rep.acked["coordA"] = 42 // stale leftover from a previous leadership
+	rep.mu.Unlock()
+	rep.promote(2)
+	rep.mu.Lock()
+	got, present := rep.acked["coordA"]
+	rep.mu.Unlock()
+	if present || got != 0 {
+		t.Fatalf("acked[coordA] after promote = %d (present=%v), want reset", got, present)
+	}
+	if rep.Role() != RoleLeader {
+		t.Fatalf("role after promote = %s", rep.Role())
+	}
+}
+
+// TestHeartbeatAdoptsLowerAck: the follower's ack is authoritative in
+// both directions. When the leader's recorded ack exceeds the peer's
+// real contiguous seq (stale state from any path), the peer acks lower
+// and the leader must adopt it so the next beat resends from the truth.
+func TestHeartbeatAdoptsLowerAck(t *testing.T) {
+	follower := NewJournal(nil)
+	peerSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var in replicateRequest
+		if err := json.NewDecoder(req.Body).Decode(&in); err != nil {
+			t.Errorf("bad replicate body: %v", err)
+		}
+		ack := follower.Ingest(in.FromSeq, in.Entries)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(replicateResponse{Ack: ack, Epoch: in.Epoch, Leader: in.From})
+	}))
+	defer peerSrv.Close()
+
+	rep, err := NewReplica(soloReplicaConfig("coordA", []PeerSpec{
+		{Name: "coordA", URL: deadURL}, {Name: "coordB", URL: peerSrv.URL},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	// Lead without a coordinator: heartbeatOne needs only role, epoch,
+	// and the journal.
+	rep.mu.Lock()
+	rep.role = RoleLeader
+	rep.epoch = 3
+	rep.acked["coordB"] = 42 // stale: the follower actually holds nothing
+	rep.mu.Unlock()
+	for _, id := range []string{"j1", "j2", "j3"} {
+		rep.journal.Append(acceptedEntry(id, "c1"))
+	}
+
+	peer := PeerSpec{Name: "coordB", URL: peerSrv.URL}
+	rep.heartbeatOne(peer)
+	rep.mu.Lock()
+	got := rep.acked["coordB"]
+	rep.mu.Unlock()
+	if got != 0 {
+		t.Fatalf("acked after stale-from heartbeat = %d, want 0 (peer's truth)", got)
+	}
+
+	// The next beat resends from 0 and replication converges.
+	rep.heartbeatOne(peer)
+	if follower.Seq() != 3 {
+		t.Fatalf("follower seq after resync = %d, want 3", follower.Seq())
+	}
+	rep.mu.Lock()
+	got = rep.acked["coordB"]
+	rep.mu.Unlock()
+	if got != 3 {
+		t.Fatalf("acked after resync = %d, want 3", got)
+	}
+}
+
+// TestElectRefusesWithoutMajority: in a group of three, a standby that
+// can reach no peer (the symmetric-partition minority view) keeps
+// running elections but never promotes — the majority gate is what
+// keeps both sides of a partition from leading at once for k >= 3.
+func TestElectRefusesWithoutMajority(t *testing.T) {
+	cfg := soloReplicaConfig("coordC", []PeerSpec{
+		{Name: "coordA", URL: deadURL}, {Name: "coordB", URL: deadURL}, {Name: "coordC", URL: deadURL},
+	})
+	cfg.Logf = t.Logf
+	rep, err := NewReplica(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+	rep.Start()
+	waitFor(t, 5*time.Second, "repeated election attempts", func() bool {
+		return rep.Registry().Counter("cluster.ha.elections").Value() >= 3
+	})
+	if rep.Role() != RoleStandby {
+		t.Fatalf("isolated minority replica promoted to %s", rep.Role())
+	}
+	if n := rep.Registry().Counter("cluster.ha.promotions").Value(); n != 0 {
+		t.Fatalf("promotions = %d, want 0 without a majority", n)
+	}
 }
 
 // TestReplicaEpochArbitration drives the split-brain protocol directly:

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
@@ -22,6 +23,14 @@ import (
 // follower acknowledges the highest contiguous seq it holds; the leader
 // resends from there, so replication survives dropped or reordered
 // heartbeats without ever leaving a gap in a follower's log.
+//
+// Growth is bounded by in-place compaction rather than log truncation
+// (truncation would break the dense-seq invariant catch-up relies on):
+// when a job goes terminal, its accepted entry's Public/Secret inputs —
+// the dominant per-job payload — are cleared from both the applied state
+// and the stored log entry, on leader and standby alike. What remains
+// per terminal job is a few small metadata entries; circuit entries
+// (key bundles) are retained, bounded by the number of circuits.
 
 // EntryKind tags what one journal entry records.
 type EntryKind string
@@ -100,6 +109,7 @@ type jobView struct {
 	Node      string // last forwarded node ("" if never forwarded)
 	Terminal  string // "", or done/failed/checkpointed
 	Error     string
+	acceptSeq uint64 // seq of the accepted entry, for terminal compaction
 }
 
 // Journal is the mutex-guarded log plus its applied state. Both the
@@ -108,6 +118,7 @@ type jobView struct {
 type Journal struct {
 	mu      sync.Mutex
 	log     []Entry
+	sizes   []int // lazily-filled encoded size per entry (0 = not yet measured)
 	seq     uint64
 	circs   map[string]*CircuitRecord
 	jobs    map[string]*jobView
@@ -154,6 +165,7 @@ func (jl *Journal) Append(e Entry) uint64 {
 	jl.seq++
 	e.Seq = jl.seq
 	jl.log = append(jl.log, e)
+	jl.sizes = append(jl.sizes, 0)
 	jl.applyLocked(e)
 	if jl.gSeq != nil {
 		jl.gSeq.Set(float64(jl.seq))
@@ -165,8 +177,15 @@ func (jl *Journal) Append(e Entry) uint64 {
 	return e.Seq
 }
 
-// Since returns up to max entries with seq > after, for one heartbeat.
-func (jl *Journal) Since(after uint64, max int) []Entry {
+// Since returns entries with seq > after for one heartbeat, bounded both
+// by entry count (maxEntries) and by total encoded bytes (maxBytes); a
+// zero bound means unbounded. The byte bound is what actually matters:
+// circuit entries carry key bundles tens of MiB big, and a batch that
+// exceeds the receiver's request-body cap would be rejected forever —
+// so batches stop before crossing maxBytes, except that the first entry
+// always ships alone even when oversized (a single entry is always
+// below the wire cap; see maxReplicateBody).
+func (jl *Journal) Since(after uint64, maxEntries, maxBytes int) []Entry {
 	jl.mu.Lock()
 	defer jl.mu.Unlock()
 	if after >= jl.seq {
@@ -175,12 +194,34 @@ func (jl *Journal) Since(after uint64, max int) []Entry {
 	// log[i].Seq == i+1 always: the log is dense from 1.
 	start := int(after)
 	end := len(jl.log)
-	if max > 0 && end-start > max {
-		end = start + max
+	if maxEntries > 0 && end-start > maxEntries {
+		end = start + maxEntries
 	}
-	out := make([]Entry, end-start)
-	copy(out, jl.log[start:end])
+	var out []Entry
+	total := 0
+	for i := start; i < end; i++ {
+		sz := jl.entrySizeLocked(i)
+		if maxBytes > 0 && len(out) > 0 && total+sz > maxBytes {
+			break
+		}
+		out = append(out, jl.log[i])
+		total += sz
+	}
 	return out
+}
+
+// entrySizeLocked returns the encoded size of log[i], measuring and
+// caching it on first use (and re-measuring after compaction resets it)
+// so the register path never pays for marshalling a key bundle twice.
+func (jl *Journal) entrySizeLocked(i int) int {
+	if jl.sizes[i] == 0 {
+		b, err := json.Marshal(jl.log[i])
+		if err != nil {
+			return 0
+		}
+		jl.sizes[i] = len(b)
+	}
+	return jl.sizes[i]
 }
 
 // Ingest applies entries shipped by the leader. from is the seq the batch
@@ -204,6 +245,7 @@ func (jl *Journal) Ingest(from uint64, entries []Entry) uint64 {
 	}
 	if from < jl.seq {
 		jl.log = jl.log[:from]
+		jl.sizes = jl.sizes[:from]
 		jl.seq = from
 		jl.rebuildLocked()
 	}
@@ -213,6 +255,7 @@ func (jl *Journal) Ingest(from uint64, entries []Entry) uint64 {
 		}
 		jl.seq = e.Seq
 		jl.log = append(jl.log, e)
+		jl.sizes = append(jl.sizes, 0)
 		jl.applyLocked(e)
 	}
 	if jl.gSeq != nil {
@@ -254,17 +297,44 @@ func (jl *Journal) applyLocked(e Entry) {
 			v.CircuitID = r.CircuitID
 			v.Public = append([]string(nil), r.Public...)
 			v.Secret = append([]string(nil), r.Secret...)
+			v.acceptSeq = e.Seq
 		case JobEventForwarded:
 			v.Node = r.Node
 		case JobEventDone, JobEventFailed, JobEventCheckpointed:
 			v.Terminal = r.Event
 			v.Error = r.Error
+			jl.compactJobLocked(v)
 		}
 	case EntryNode:
 		if e.Node != nil {
 			jl.nodes[e.Node.Name] = e.Node.Alive
 		}
 	}
+}
+
+// compactJobLocked drops a terminal job's prove inputs from the applied
+// state AND from the stored accepted entry. Terminal jobs are never
+// re-driven, so the inputs — the dominant per-job payload — are dead
+// weight: compacting bounds the journal's growth on long-running groups
+// and shrinks catch-up transfers for fresh standbys. It runs inside
+// applyLocked, so leaders and standbys compact deterministically at the
+// same seq and their logs stay equivalent. The accepted entry's
+// JobRecord is replaced rather than mutated: Since hands out Entry
+// copies that share the old pointer outside the lock.
+func (jl *Journal) compactJobLocked(v *jobView) {
+	v.Public, v.Secret = nil, nil
+	i := int(v.acceptSeq) - 1
+	if i < 0 || i >= len(jl.log) || jl.log[i].Job == nil {
+		return
+	}
+	old := jl.log[i].Job
+	if old.Public == nil && old.Secret == nil {
+		return
+	}
+	compacted := *old
+	compacted.Public, compacted.Secret = nil, nil
+	jl.log[i].Job = &compacted
+	jl.sizes[i] = 0 // re-measure the now-smaller entry on next ship
 }
 
 // CircuitRecords returns every journaled circuit, ordered by id for

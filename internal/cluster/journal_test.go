@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"encoding/json"
 	"testing"
 
 	"gzkp/internal/service"
@@ -31,18 +32,100 @@ func TestJournalAppendAndSince(t *testing.T) {
 			t.Fatalf("append %d assigned seq %d", i, got)
 		}
 	}
-	if got := jl.Since(0, 0); len(got) != 3 || got[0].Seq != 1 || got[2].Seq != 3 {
+	if got := jl.Since(0, 0, 0); len(got) != 3 || got[0].Seq != 1 || got[2].Seq != 3 {
 		t.Fatalf("Since(0) = %+v", got)
 	}
-	if got := jl.Since(2, 0); len(got) != 1 || got[0].Seq != 3 {
+	if got := jl.Since(2, 0, 0); len(got) != 1 || got[0].Seq != 3 {
 		t.Fatalf("Since(2) = %+v", got)
 	}
-	if got := jl.Since(3, 0); got != nil {
+	if got := jl.Since(3, 0, 0); got != nil {
 		t.Fatalf("Since(tip) = %+v, want nil", got)
 	}
 	// max caps one batch; the rest ships on the next beat.
-	if got := jl.Since(0, 2); len(got) != 2 || got[1].Seq != 2 {
+	if got := jl.Since(0, 2, 0); len(got) != 2 || got[1].Seq != 2 {
 		t.Fatalf("Since(0, max 2) = %+v", got)
+	}
+}
+
+// TestJournalSinceByteBound: batches stop before their encoded size
+// crosses maxBytes — the receiver enforces a request-body cap, and a
+// batch that exceeds it would be rejected (and resent, identically)
+// forever. The first entry always ships even when it alone exceeds the
+// budget, so an oversized entry cannot stall the log.
+func TestJournalSinceByteBound(t *testing.T) {
+	jl := NewJournal(nil)
+	jl.Append(acceptedEntry("j1", "c1"))
+	jl.Append(acceptedEntry("j2", "c1"))
+	jl.Append(acceptedEntry("j3", "c1"))
+
+	all := jl.Since(0, 0, 0)
+	if len(all) != 3 {
+		t.Fatalf("unbounded Since = %d entries", len(all))
+	}
+	size := func(e Entry) int {
+		b, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(b)
+	}
+
+	// A budget below even the first entry still ships exactly that entry.
+	if got := jl.Since(0, 0, 1); len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("oversized-entry batch = %+v, want exactly seq 1", got)
+	}
+	// A budget for exactly one entry excludes the second.
+	if got := jl.Since(0, 0, size(all[0])); len(got) != 1 {
+		t.Fatalf("one-entry budget shipped %d entries", len(got))
+	}
+	// A budget for two entries stops before the third.
+	if got := jl.Since(0, 0, size(all[0])+size(all[1])); len(got) != 2 || got[1].Seq != 2 {
+		t.Fatalf("two-entry budget shipped %d entries", len(got))
+	}
+	// The byte bound composes with the entry-count bound.
+	if got := jl.Since(0, 1, size(all[0])+size(all[1])); len(got) != 1 {
+		t.Fatalf("count bound ignored under byte budget: %d entries", len(got))
+	}
+}
+
+// TestJournalCompactsTerminalJobs: a terminal event clears the job's
+// prove inputs from the applied state and from the stored accepted
+// entry — terminal jobs are never re-driven, so retaining their inputs
+// would grow the journal (and every fresh standby's catch-up transfer)
+// without bound. Followers apply the identical compaction when they
+// ingest the terminal entry.
+func TestJournalCompactsTerminalJobs(t *testing.T) {
+	leader := NewJournal(nil)
+	leader.Append(acceptedEntry("j1", "c1"))
+	leader.Append(acceptedEntry("j2", "c1"))
+	leader.Append(jobEvent("j1", JobEventDone, ""))
+
+	shipped := leader.Since(0, 0, 0)
+	if j := shipped[0].Job; j.Public != nil || j.Secret != nil {
+		t.Fatalf("terminal j1's inputs survive in the log: %+v", j)
+	}
+	if j := shipped[1].Job; len(j.Public) == 0 || len(j.Secret) == 0 {
+		t.Fatal("unfinished j2's inputs must be retained for re-drive")
+	}
+	if st, ok := leader.JobView("j1"); !ok || st.State != "done" {
+		t.Fatalf("compacted job view = %+v ok=%v, want done", st, ok)
+	}
+	unfinished := leader.UnfinishedJobs()
+	if len(unfinished) != 1 || unfinished[0].ID != "j2" || len(unfinished[0].Public) == 0 {
+		t.Fatalf("unfinished after compaction = %+v, want j2 with inputs", unfinished)
+	}
+
+	follower := NewJournal(nil)
+	if ack := follower.Ingest(0, shipped); ack != 3 {
+		t.Fatalf("follower ingest acked %d, want 3", ack)
+	}
+	if got := follower.Since(0, 0, 0); got[0].Job.Public != nil || got[0].Job.Secret != nil {
+		t.Fatal("follower retained a terminal job's inputs")
+	}
+	// Truncate-and-rebuild replays compaction deterministically.
+	follower.Ingest(1, shipped[1:])
+	if got := follower.Since(0, 0, 0); got[0].Job.Public != nil {
+		t.Fatal("rebuild resurrected a terminal job's inputs")
 	}
 }
 
@@ -76,17 +159,17 @@ func TestJournalIngestContiguousAndGap(t *testing.T) {
 	follower := NewJournal(nil)
 	// A gapped batch (starting past the follower's tip) must be refused:
 	// the ack tells the leader where to resend from.
-	if ack := follower.Ingest(2, leader.Since(2, 0)); ack != 0 {
+	if ack := follower.Ingest(2, leader.Since(2, 0, 0)); ack != 0 {
 		t.Fatalf("gapped ingest acked %d, want 0", ack)
 	}
-	if ack := follower.Ingest(0, leader.Since(0, 2)); ack != 2 {
+	if ack := follower.Ingest(0, leader.Since(0, 2, 0)); ack != 2 {
 		t.Fatalf("first batch acked %d, want 2", ack)
 	}
-	if ack := follower.Ingest(2, leader.Since(2, 0)); ack != 4 {
+	if ack := follower.Ingest(2, leader.Since(2, 0, 0)); ack != 4 {
 		t.Fatalf("second batch acked %d, want 4", ack)
 	}
 	// Re-delivery of an already-held batch is harmless.
-	if ack := follower.Ingest(0, leader.Since(0, 0)); ack != 4 {
+	if ack := follower.Ingest(0, leader.Since(0, 0, 0)); ack != 4 {
 		t.Fatalf("redelivered ingest acked %d, want 4", ack)
 	}
 
@@ -111,7 +194,7 @@ func TestJournalIngestTruncatesDivergedTail(t *testing.T) {
 	leader.Append(acceptedEntry("j-new-leader", "c1"))
 	leader.Append(jobEvent("j-new-leader", JobEventDone, ""))
 
-	if ack := follower.Ingest(1, leader.Since(1, 0)); ack != 3 {
+	if ack := follower.Ingest(1, leader.Since(1, 0, 0)); ack != 3 {
 		t.Fatalf("diverged ingest acked %d, want 3", ack)
 	}
 	if _, ok := follower.JobView("j-old-leader"); ok {

@@ -12,7 +12,6 @@ import (
 	"sync"
 	"time"
 
-	"gzkp/internal/service"
 	"gzkp/internal/telemetry"
 )
 
@@ -27,12 +26,22 @@ import (
 // a fresh epoch, re-probes the fleet, re-installs journaled circuits, and
 // re-drives every accepted-but-unfinished job.
 //
-// Split-brain is prevented by epochs, not by a quorum: every replicate
-// call carries the sender's epoch, a receiver that knows a higher epoch
-// answers 409 with it, and a leader that sees a higher epoch (or an
-// equal epoch from a lower-indexed peer) steps down immediately. Two
-// leaders can overlap for at most one heartbeat round, during which the
-// node-side client-job dedupe makes double-forwarded work harmless.
+// Split-brain is bounded by epochs plus, for k >= 3, a majority gate:
+// every replicate call carries the sender's epoch, a receiver that knows
+// a higher epoch answers 409 with it, and a leader that sees a higher
+// epoch (or an equal epoch from a lower-indexed peer) steps down
+// immediately — so two leaders that can reach each other overlap for at
+// most one heartbeat round, during which the node-side client-job dedupe
+// makes double-forwarded work harmless. Mutually UNREACHABLE leaders are
+// a different story: in a symmetric partition each side would elect its
+// own leader and both would lead until the partition heals, at which
+// point epoch/index arbitration converges within one heartbeat round and
+// the loser's unreplicated entries are truncated (accepted jobs recorded
+// only there are dropped). Groups of three or more close that window by
+// refusing to promote without sight of a majority of the group; a
+// two-replica group cannot (a dead leader and a partitioned one look
+// identical to the lone standby), so k=2 accepts the partition caveat in
+// exchange for failover availability.
 
 // Role is a replica's current position in the group.
 type Role int
@@ -106,8 +115,17 @@ func (c ReplicaConfig) withDefaults() ReplicaConfig {
 const maxEntriesPerBeat = 256
 
 // maxReplicateBody caps a replicate request body (entries carry key
-// bundles, which share the node-side 64MiB import cap).
+// bundles, which share the node-side 64MiB import cap; base64-encoded a
+// single entry stays well under this).
 const maxReplicateBody = 128 << 20
+
+// maxBatchBytes caps one batch's encoded entries at half the receiver's
+// body cap, leaving headroom for the envelope and encoding overhead. A
+// single oversized entry still ships alone (Journal.Since always allows
+// one), so a key-bundle burst can never assemble a batch the receiver
+// must reject — which would wedge replication forever, since the leader
+// would resend the identical oversized batch every beat.
+const maxBatchBytes = maxReplicateBody / 2
 
 // Replica implements http.Handler: mount it where a plain coordinator
 // handler would go.
@@ -374,7 +392,7 @@ func (r *Replica) heartbeatOne(peer PeerSpec) {
 		}
 	}
 
-	entries := r.journal.Since(from, maxEntriesPerBeat)
+	entries := r.journal.Since(from, maxEntriesPerBeat, maxBatchBytes)
 	body, err := json.Marshal(replicateRequest{
 		From: r.cfg.Self, Epoch: epoch, FromSeq: from, Entries: entries,
 	})
@@ -405,10 +423,14 @@ func (r *Replica) heartbeatOne(peer PeerSpec) {
 	}
 	switch resp.StatusCode {
 	case http.StatusOK:
+		// The peer's ack is its true contiguous seq and is authoritative
+		// in BOTH directions: a lower ack means the peer holds less than
+		// we believed (it truncated a diverged tail, or our belief is a
+		// stale leftover from an earlier reign) and we must re-send from
+		// there — raising-only would wedge replication to that peer
+		// forever while its lease keeps renewing.
 		r.mu.Lock()
-		if rr.Ack > r.acked[peer.Name] {
-			r.acked[peer.Name] = rr.Ack
-		}
+		r.acked[peer.Name] = rr.Ack
 		r.mu.Unlock()
 	case http.StatusConflict:
 		r.onConflict(rr.Epoch, rr.Leader)
@@ -477,7 +499,14 @@ func (r *Replica) maybeElect() {
 
 // elect runs one election round from this standby's point of view: adopt
 // any reachable live leader; otherwise promote iff no reachable standby
-// is fresher (longer journal, or equal journal and lower peer index).
+// is fresher (longer journal, or equal journal and lower peer index) —
+// and, in groups of three or more, iff this standby can see a majority
+// of the group (itself included). The majority gate stops both sides of
+// a symmetric partition from leading at once: the minority side keeps
+// electing but never promotes. Two-replica groups cannot distinguish "a
+// dead leader" from "a partitioned one", so k=2 trades that guarantee
+// for availability and promotes on lease expiry alone (see the package
+// comment for the reconciliation consequences).
 func (r *Replica) elect() {
 	r.cElections.Add(1)
 	mySeq := r.journal.Seq()
@@ -486,6 +515,7 @@ func (r *Replica) elect() {
 	r.mu.Unlock()
 
 	defer2 := false
+	reachable := 0
 	for idx, p := range r.cfg.Peers {
 		if p.Name == r.cfg.Self {
 			continue
@@ -494,6 +524,7 @@ func (r *Replica) elect() {
 		if err != nil {
 			continue
 		}
+		reachable++
 		if info.Epoch > maxEpoch {
 			maxEpoch = info.Epoch
 		}
@@ -516,6 +547,11 @@ func (r *Replica) elect() {
 		}
 	}
 	if defer2 {
+		return
+	}
+	if k := len(r.cfg.Peers); k >= 3 && (reachable+1)*2 <= k {
+		r.logf("replica %s: lease expired but only %d/%d peers reachable; refusing to promote without a majority",
+			r.cfg.Self, reachable, k-1)
 		return
 	}
 	r.promote(maxEpoch + 1)
@@ -559,6 +595,15 @@ func (r *Replica) promote(epoch uint64) {
 	r.role = RoleLeader
 	r.epoch = epoch
 	r.leader = r.cfg.Self
+	// Forget any acks recorded during an earlier reign: peers may have
+	// truncated below them since (a diverged-tail rebuild under another
+	// leader), and a from > peer-seq heartbeat would never resync — the
+	// receiver acks lower but a raise-only leader ignores it, wedging
+	// replication while the standby's lease keeps renewing. Starting
+	// every peer at 0 also re-runs the diverged-tail truncation: the
+	// first batch ships from the log's base, so a follower carrying a
+	// dead leader's longer tail is forced onto this leader's line.
+	r.acked = map[string]uint64{}
 	r.mu.Unlock()
 	r.cPromotions.Add(1)
 	r.gIsLeader.Set(1)
@@ -771,8 +816,11 @@ func (r *Replica) serveStandby(w http.ResponseWriter, req *http.Request, leader 
 			writeJSON(w, http.StatusOK, st)
 			return
 		}
-		writeError(w, &service.NotFoundError{What: "job", ID: id})
-		return
+		// The journal lags the leader by up to a heartbeat (plus the
+		// unreplicated window): an id we don't hold is NOT authoritatively
+		// absent, and a 404 here would read as Fatal to a client polling a
+		// just-accepted job. Fall through to the leader redirect — only
+		// the leader may say 404.
 	case strings.HasPrefix(req.URL.Path, "/v1/circuits/") && req.Method == http.MethodGet:
 		id := strings.TrimPrefix(req.URL.Path, "/v1/circuits/")
 		if !strings.Contains(id, "/") {
@@ -781,8 +829,7 @@ func (r *Replica) serveStandby(w http.ResponseWriter, req *http.Request, leader 
 				writeJSON(w, http.StatusOK, info)
 				return
 			}
-			writeError(w, &service.NotFoundError{What: "circuit", ID: id})
-			return
+			// Same lag argument as jobs: redirect, don't 404.
 		}
 	}
 	if leader == "" || leader == r.cfg.Self {
