@@ -55,6 +55,9 @@ func main() {
 		leaseTTL      = flag.Duration("lease-ttl", 0, "lease staleness before standbys elect (default 4x lease-interval)")
 		chaosSpec     = flag.String("chaos", "", `chaos schedule "KIND:TARGET@STEP[xN][+DUR],..." (kinds: leaderkill partition probedrop probedelay slowstandby)`)
 		chaosSeed     = flag.Int64("chaos-seed", 1, "seed resolving '?' steps in -chaos")
+		traceOut      = flag.String("trace-jsonl", "", "record coordinator-side spans and write them as trace JSONL here on shutdown (stitch with gzkp-tracecat)")
+		eventsOut     = flag.String("events", "", "append structured control-plane events as JSONL here (also served at /v1/cluster/events)")
+		eventLevel    = flag.String("event-level", "info", "minimum event level: debug | info | warn | error")
 	)
 	flag.Parse()
 	if *nodesSpec == "" {
@@ -80,6 +83,35 @@ func main() {
 		die(err)
 	}
 
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		tracer = telemetry.New()
+	}
+	lvl, err := telemetry.ParseEventLevel(*eventLevel)
+	die(err)
+	events := telemetry.NewEventLog(telemetry.DefaultEventCapacity, lvl)
+	var eventsFile *os.File
+	if *eventsOut != "" {
+		f, err := os.OpenFile(*eventsOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		die(err)
+		eventsFile = f
+		events.SetSink(f)
+	}
+	// flush writes the trace JSONL and closes the event sink on a clean
+	// shutdown (a chaos halt skips it, like the process death it models).
+	flush := func() {
+		if tracer != nil {
+			f, err := os.Create(*traceOut)
+			die(err)
+			die(tracer.WriteJSONL(f))
+			die(f.Close())
+			fmt.Printf("gzkp-coord: wrote trace JSONL to %s\n", *traceOut)
+		}
+		if eventsFile != nil {
+			_ = eventsFile.Close()
+		}
+	}
+
 	reg := telemetry.NewRegistry()
 	ccfg := cluster.Config{
 		Nodes:            nodes,
@@ -91,11 +123,13 @@ func main() {
 		NodeDrainTimeout: *nodeDrain,
 		Registry:         reg,
 		Chaos:            chaos,
+		Tracer:           tracer,
+		Events:           events,
 	}
 
 	if *peersSpec != "" {
 		runReplica(ccfg, *addr, *self, *peersSpec, *leaseEvery, *leaseTTL, chaos,
-			*adopt, *checkpoint, *drainWait, *debugAddr)
+			*adopt, *checkpoint, *drainWait, *debugAddr, flush)
 		return
 	}
 
@@ -138,6 +172,7 @@ func main() {
 	defer shCancel()
 	_ = srv.Shutdown(shCtx)
 	coord.Close()
+	flush()
 }
 
 // runReplica is the HA-mode main loop: one replica of a coordinator
@@ -146,7 +181,8 @@ func main() {
 // leader owns the jobs).
 func runReplica(ccfg cluster.Config, addr, self, peersSpec string,
 	leaseEvery, leaseTTL time.Duration, chaos *cluster.ChaosPlan,
-	adopt bool, checkpoint string, drainWait time.Duration, debugAddr string) {
+	adopt bool, checkpoint string, drainWait time.Duration, debugAddr string,
+	flush func()) {
 	if self == "" {
 		die(errors.New("-peers requires -self"))
 	}
@@ -229,6 +265,7 @@ func runReplica(ccfg cluster.Config, addr, self, peersSpec string,
 	defer shCancel()
 	_ = srv.Shutdown(shCtx)
 	rep.Close()
+	flush()
 	if chaos != nil {
 		for _, ev := range chaos.Trace() {
 			fmt.Printf("gzkp-coord: chaos fired %s\n", ev)

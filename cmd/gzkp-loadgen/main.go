@@ -203,6 +203,7 @@ func main() {
 	}
 
 	report := buildReport(sent, elapsed, snap, ok, rej, fail+vfail+terr, retried, failovers)
+	report.Samples = append(report.Samples, clusterSamples(client, tg.current())...)
 	out := os.Stdout
 	if *outPath != "" {
 		fh, err := os.Create(*outPath)
@@ -221,10 +222,16 @@ func main() {
 	}
 }
 
+// report is the bench JSON schema envelope benchdiff -validate accepts.
+type report struct {
+	Source  string         `json:"source"`
+	Samples []bench.Sample `json:"samples"`
+}
+
 // buildReport renders the run as the bench JSON schema (source tag
 // "gzkp-loadgen") so benchdiff -validate and the CI artifact tooling accept
 // it: counts ride in n, durations in ns_op.
-func buildReport(sent int, elapsed time.Duration, snap telemetry.HistogramSnapshot, ok, rejected, failed, retried, failovers int64) any {
+func buildReport(sent int, elapsed time.Duration, snap telemetry.HistogramSnapshot, ok, rejected, failed, retried, failovers int64) *report {
 	perOp := int64(0)
 	if ok > 0 {
 		perOp = elapsed.Nanoseconds() / ok
@@ -241,10 +248,51 @@ func buildReport(sent int, elapsed time.Duration, snap telemetry.HistogramSnapsh
 		{Experiment: "loadgen", Section: "measured", Name: "backoff_retries", N: int(retried)},
 		{Experiment: "loadgen", Section: "measured", Name: "coordinator_failovers", N: int(failovers)},
 	}
-	return struct {
-		Source  string         `json:"source"`
-		Samples []bench.Sample `json:"samples"`
-	}{Source: "gzkp-loadgen", Samples: samples}
+	return &report{Source: "gzkp-loadgen", Samples: samples}
+}
+
+// clusterSamples scrapes the target's federated metrics endpoint and turns
+// the cluster-wide per-phase histograms (queue wait, prove, end-to-end)
+// into report samples. The endpoint only exists on gzkp-coord; against a
+// plain gzkp-serve (404) or an older coordinator the report simply omits
+// the cluster_* rows.
+func clusterSamples(client *http.Client, target string) []bench.Sample {
+	resp, err := client.Get(target + "/v1/cluster/metrics?format=json")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var fed struct {
+		Cluster telemetry.Snapshot `json:"cluster"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&fed); err != nil {
+		return nil
+	}
+	phases := []struct{ metric, name string }{
+		{"service.queue_wait_ns", "cluster_queue_wait"},
+		{"service.prove_ns", "cluster_prove"},
+		{"service.e2e_ns", "cluster_e2e"},
+	}
+	var samples []bench.Sample
+	for _, ph := range phases {
+		h, ok := fed.Cluster.Histograms[ph.metric]
+		if !ok || h.Count == 0 {
+			continue
+		}
+		n := int(h.Count)
+		samples = append(samples,
+			bench.Sample{Experiment: "loadgen", Section: "cluster", Name: ph.name + "_p50", N: n, NSOp: h.P50},
+			bench.Sample{Experiment: "loadgen", Section: "cluster", Name: ph.name + "_p95", N: n, NSOp: h.P95},
+			bench.Sample{Experiment: "loadgen", Section: "cluster", Name: ph.name + "_p99", N: n, NSOp: h.P99},
+		)
+	}
+	if len(samples) > 0 {
+		fmt.Printf("gzkp-loadgen: federated cluster metrics: %d per-phase quantile samples\n", len(samples))
+	}
+	return samples
 }
 
 // targets is the failover-aware endpoint list: requests go to the

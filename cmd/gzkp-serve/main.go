@@ -40,6 +40,9 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "drain checkpoint path: written on shutdown deadline, restored at startup if present")
 		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "max time to finish in-flight jobs on shutdown")
 		debugAddr  = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address")
+		traceOut   = flag.String("trace-jsonl", "", "record spans and write them as trace JSONL here on shutdown (stitch with gzkp-tracecat)")
+		eventsOut  = flag.String("events", "", "append structured control-plane events as JSONL here (also served at /v1/events)")
+		eventLevel = flag.String("event-level", "info", "minimum event level: debug | info | warn | error")
 	)
 	flag.Parse()
 
@@ -68,9 +71,26 @@ func main() {
 		cfg.Faults = plan
 	}
 
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		tracer = telemetry.New()
+		cfg.Tracer = tracer // service adopts the tracer's registry
+	}
+	lvl, err := telemetry.ParseEventLevel(*eventLevel)
+	die(err)
+	events := telemetry.NewEventLog(telemetry.DefaultEventCapacity, lvl)
+	cfg.Events = events
+	var eventsFile *os.File
+	if *eventsOut != "" {
+		f, err := os.OpenFile(*eventsOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		die(err)
+		eventsFile = f
+		events.SetSink(f)
+	}
+
 	svc := service.New(cfg)
 	if *debugAddr != "" {
-		dbg, at, err := telemetry.ServeDebug(*debugAddr, cfg.Registry)
+		dbg, at, err := telemetry.ServeDebug(*debugAddr, svc.Registry())
 		die(err)
 		defer dbg.Close()
 		fmt.Printf("gzkp-serve: debug server on http://%s/debug/vars\n", at)
@@ -128,6 +148,16 @@ func main() {
 	defer shCancel()
 	_ = srv.Shutdown(shCtx)
 	svc.Close()
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		die(err)
+		die(tracer.WriteJSONL(f))
+		die(f.Close())
+		fmt.Printf("gzkp-serve: wrote trace JSONL to %s\n", *traceOut)
+	}
+	if eventsFile != nil {
+		_ = eventsFile.Close()
+	}
 }
 
 func die(err error) {

@@ -1,0 +1,76 @@
+// gzkp-tracecat stitches per-process trace JSONL files (written by
+// gzkp-serve/gzkp-coord -trace-jsonl, or telemetry.WriteJSONL in tests)
+// into ONE Chrome/Perfetto trace: each input becomes a process row on a
+// shared wall-clock timeline, and spans that carry the same trace_id
+// attribute — one cluster job's coordinator-side forwards and node-side
+// prove stages — line up across rows. A job that migrated or failed over
+// shows as the same trace id switching rows mid-flight.
+//
+// Usage:
+//
+//	gzkp-tracecat [-out trace.json] [-trace <id>] name=file.jsonl ...
+//
+// Each positional argument is name=path; the name labels the process row
+// (e.g. coord=coord.jsonl node-a=a.jsonl). -trace keeps only the spans
+// (and their ancestors' instant events) belonging to one trace id.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gzkp/internal/telemetry"
+)
+
+func main() {
+	out := flag.String("out", "stitched.trace.json", "output Chrome trace file")
+	traceID := flag.String("trace", "", "keep only spans belonging to this trace id")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: gzkp-tracecat [flags] name=file.jsonl [name=file.jsonl ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var inputs []telemetry.TraceInput
+	var closers []*os.File
+	for _, arg := range flag.Args() {
+		name, path, ok := strings.Cut(arg, "=")
+		if !ok || name == "" || path == "" {
+			fmt.Fprintf(os.Stderr, "gzkp-tracecat: bad input %q (want name=path)\n", arg)
+			os.Exit(2)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gzkp-tracecat: %v\n", err)
+			os.Exit(1)
+		}
+		closers = append(closers, f)
+		inputs = append(inputs, telemetry.TraceInput{Name: name, R: f})
+	}
+
+	w, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gzkp-tracecat: %v\n", err)
+		os.Exit(1)
+	}
+	stitchErr := telemetry.StitchJSONL(w, inputs, *traceID)
+	for _, f := range closers {
+		f.Close()
+	}
+	if err := w.Close(); err != nil && stitchErr == nil {
+		stitchErr = err
+	}
+	if stitchErr != nil {
+		fmt.Fprintf(os.Stderr, "gzkp-tracecat: %v\n", stitchErr)
+		os.Remove(*out)
+		os.Exit(1)
+	}
+	fmt.Printf("gzkp-tracecat: wrote %s (%d inputs)\n", *out, len(inputs))
+}

@@ -72,6 +72,14 @@ type Config struct {
 	// Registry receives the cluster counters, gauges and the
 	// cluster_forward latency histogram (default: fresh).
 	Registry *telemetry.Registry
+	// Tracer, when set, records coordinator-side spans for every cluster
+	// job (cluster.job root span, per-attempt forward spans) under the
+	// job's cluster-wide trace id. Nil disables tracing.
+	Tracer *telemetry.Tracer
+	// Events, when set, receives structured control-plane events —
+	// admission, eviction, rejoin, migration, redrive, drain, restore —
+	// served at GET /v1/cluster/events. Nil disables event logging.
+	Events *telemetry.EventLog
 	// Client is the HTTP client for node traffic (default: no timeout —
 	// proves are long; per-attempt bounds come from the timeouts above).
 	Client *http.Client
@@ -124,8 +132,13 @@ type node struct {
 	probed       bool // at least one successful metrics scrape
 	inflight     int  // coordinator-side forwards outstanding
 	circuits     map[string]bool
+	// lastProbeOK is when the last successful probe round-trip finished;
+	// the prober publishes its age as cluster.node.<name>.last_probe_age_ms
+	// so dashboards spot a node going quiet before eviction fires.
+	lastProbeOK time.Time
 
 	cForwarded, cProbes, cFailures *telemetry.Counter
+	gProbeAge                      *telemetry.Gauge
 }
 
 // circuit is a cluster-registered circuit: the spec (to re-register), the
@@ -143,6 +156,8 @@ type circuit struct {
 type Coordinator struct {
 	cfg    Config
 	reg    *telemetry.Registry
+	tracer *telemetry.Tracer   // nil-safe: zero spans when unset
+	events *telemetry.EventLog // nil-safe: Log is a no-op when unset
 	fwd    *forwarder
 	ctx    context.Context // canceled by Close: unblocks every forward
 	cancel context.CancelFunc
@@ -177,6 +192,7 @@ type Coordinator struct {
 	cRedriven, cReplicated               *telemetry.Counter
 	gNodesAlive, gInflight               *telemetry.Gauge
 	gReplPending                         *telemetry.Gauge
+	hProbe                               *telemetry.Histogram // cluster.probe_ns round-trip latency
 }
 
 // New builds the coordinator and starts its health prober.
@@ -188,6 +204,7 @@ func New(cfg Config) (*Coordinator, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &Coordinator{
 		cfg: cfg, reg: cfg.Registry,
+		tracer: cfg.Tracer, events: cfg.Events,
 		ctx: ctx, cancel: cancel,
 		nodes:       map[string]*node{},
 		ring:        newRing(0),
@@ -218,6 +235,7 @@ func New(cfg Config) (*Coordinator, error) {
 	c.gNodesAlive = r.Gauge("cluster.nodes_alive")
 	c.gInflight = r.Gauge("cluster.inflight")
 	c.gReplPending = r.Gauge("cluster.replication_pending")
+	c.hProbe = r.Histogram("cluster.probe_ns")
 	client := cfg.Client
 	if cfg.Chaos != nil {
 		names := map[string]string{}
@@ -253,10 +271,12 @@ func New(cfg Config) (*Coordinator, error) {
 		}
 		c.nodes[name] = &node{
 			name: name, base: ns.URL, alive: true,
-			circuits:   map[string]bool{},
-			cForwarded: r.Counter("cluster.node." + name + ".forwarded"),
-			cProbes:    r.Counter("cluster.node." + name + ".probes"),
-			cFailures:  r.Counter("cluster.node." + name + ".failures"),
+			circuits:    map[string]bool{},
+			lastProbeOK: time.Now(),
+			cForwarded:  r.Counter("cluster.node." + name + ".forwarded"),
+			cProbes:     r.Counter("cluster.node." + name + ".probes"),
+			cFailures:   r.Counter("cluster.node." + name + ".failures"),
+			gProbeAge:   r.Gauge("cluster.node." + name + ".last_probe_age_ms"),
 		}
 		c.order = append(c.order, name)
 		c.ring.add(name)
@@ -290,6 +310,12 @@ func (c *Coordinator) detachJournal() {
 
 // Registry exposes the metrics registry (for /metrics and tests).
 func (c *Coordinator) Registry() *telemetry.Registry { return c.reg }
+
+// Events exposes the control-plane event log (nil when disabled).
+func (c *Coordinator) Events() *telemetry.EventLog { return c.events }
+
+// Tracer exposes the coordinator-side tracer (nil when disabled).
+func (c *Coordinator) Tracer() *telemetry.Tracer { return c.tracer }
 
 // Ready reports whether the cluster accepts work.
 func (c *Coordinator) Ready() bool {
@@ -382,6 +408,9 @@ func (c *Coordinator) Register(spec service.CircuitSpec) (*service.CircuitInfo, 
 		c.cRegistered.Add(1)
 	}
 	c.mu.Unlock()
+	c.events.Log(telemetry.LevelInfo, "cluster", "circuit_registered", map[string]any{
+		"circuit": id, "primary": primary, "replicas": len(targets),
+	})
 	c.journalAppend(Entry{Kind: EntryCircuit, Circuit: &CircuitRecord{
 		ID: id, Spec: spec, Info: *info, Keys: keys,
 	}})
@@ -503,6 +532,18 @@ func (c *Coordinator) Circuit(id string) (*service.CircuitInfo, error) {
 // goroutine. Accepted jobs always reach a terminal state: done, failed,
 // or checkpointed — node loss migrates them, it never drops them.
 func (c *Coordinator) Submit(circuitID string, public, secret []string) (*Job, error) {
+	return c.SubmitTraced("", circuitID, public, secret)
+}
+
+// SubmitTraced is Submit with an explicit distributed-trace id (adopted
+// from the client's X-Gzkp-Trace-Id header; generated fresh when empty).
+// The id is journaled with the accepted record, so a redrive after leader
+// failover keeps the job on the same trace, and injected on every forward
+// hop so node-side spans join it.
+func (c *Coordinator) SubmitTraced(traceID, circuitID string, public, secret []string) (*Job, error) {
+	if traceID == "" {
+		traceID = telemetry.NewTraceID()
+	}
 	c.mu.Lock()
 	if !c.accepting {
 		c.mu.Unlock()
@@ -529,16 +570,20 @@ func (c *Coordinator) Submit(circuitID string, public, secret []string) (*Job, e
 		id = fmt.Sprintf("cj-%s-%08d", c.cfg.ID, c.jobSeq)
 	}
 	j := newJob(id, circuitID, public, secret, c.jobDone)
+	j.TraceID = traceID
 	c.jobs[id] = j
 	c.mu.Unlock()
 
 	c.cAccepted.Add(1)
 	c.gInflight.Set(float64(c.inflightCount()))
+	c.events.Log(telemetry.LevelDebug, "cluster", "job_accepted", map[string]any{
+		"job": id, "circuit": circuitID, "trace_id": traceID,
+	})
 	// The accepted entry replicates BEFORE the job can reach a terminal
 	// state: a standby that takes over knows about every admitted job.
 	c.journalAppend(Entry{Kind: EntryJob, Job: &JobRecord{
 		ID: id, Event: JobEventAccepted, CircuitID: circuitID,
-		Public: public, Secret: secret,
+		Public: public, Secret: secret, TraceID: traceID,
 	}})
 	c.wg.Add(1)
 	go c.runJob(j)
@@ -564,7 +609,7 @@ func (c *Coordinator) InstallCircuit(rec CircuitRecord) {
 // admission cap — they were already admitted once, by the old leader —
 // and count toward cluster.jobs.accepted so the done+failed+checkpointed
 // == accepted invariant holds on the new leader too.
-func (c *Coordinator) Redrive(id, circuitID string, public, secret []string, preferred string) (*Job, error) {
+func (c *Coordinator) Redrive(id, circuitID string, public, secret []string, preferred, traceID string) (*Job, error) {
 	c.mu.Lock()
 	if existing := c.jobs[id]; existing != nil {
 		c.mu.Unlock()
@@ -577,12 +622,16 @@ func (c *Coordinator) Redrive(id, circuitID string, public, secret []string, pre
 	c.admitted++
 	j := newJob(id, circuitID, public, secret, c.jobDone)
 	j.preferred = preferred
+	j.TraceID = traceID
 	c.jobs[id] = j
 	c.mu.Unlock()
 
 	c.cAccepted.Add(1)
 	c.cRedriven.Add(1)
 	c.gInflight.Set(float64(c.inflightCount()))
+	c.events.Log(telemetry.LevelInfo, "cluster", "job_redriven", map[string]any{
+		"job": id, "circuit": circuitID, "preferred": preferred, "trace_id": traceID,
+	})
 	c.wg.Add(1)
 	go c.runJob(j)
 	return j, nil
@@ -713,6 +762,21 @@ func (c *Coordinator) replaceReplica(circuitID string, skip map[string]bool) str
 // of failing when the cluster is draining.
 func (c *Coordinator) runJob(j *Job) {
 	defer c.wg.Done()
+	// Root span for the coordinator's view of the job. The trace_id
+	// attribute is the cross-process join key: node-side spans for the
+	// same job carry it too (via the injected header), so the stitcher
+	// lines both processes up on one timeline.
+	sc := telemetry.SpanContext{TraceID: j.TraceID}
+	root := c.tracer.Root(telemetry.TrackHost, "cluster.job")
+	sc.Annotate(root)
+	root.SetStr("job", j.ID)
+	root.SetStr("circuit", j.CircuitID)
+	attempt := 0
+	defer func() {
+		root.SetStr("state", j.State().String())
+		root.SetInt("migrations", int64(j.migrationCount()))
+		root.End()
+	}()
 	// ClientJobID makes re-forwards idempotent: if a new leader re-drives
 	// this job to a node already proving it, the node attaches to the
 	// running job instead of proving twice.
@@ -760,8 +824,17 @@ func (c *Coordinator) runJob(j *Job) {
 			ID: j.ID, Event: JobEventForwarded, Node: name,
 		}})
 		c.addInflight(name, 1)
+		// One forward span per attempt; its id rides in the parent-span
+		// header so the node's job span records which hop caused it.
+		attempt++
+		fsp := root.Child("forward")
+		fsp.SetStr("node", name)
+		fsp.SetInt("attempt", int64(attempt))
+		fctx := telemetry.ContextWithSpanContext(c.ctx,
+			telemetry.SpanContext{TraceID: j.TraceID, SpanID: fsp.ID()})
 		var st service.JobStatus
-		status, err := c.fwd.prove(c.ctx, c.baseOf(name), req, &st)
+		status, err := c.fwd.prove(fctx, c.baseOf(name), req, &st)
+		fsp.End()
 		c.addInflight(name, -1)
 
 		if err == nil && status == http.StatusOK {
@@ -860,6 +933,12 @@ func (c *Coordinator) runJob(j *Job) {
 func (c *Coordinator) migrate(j *Job) {
 	j.markMigrated()
 	c.cMigrated.Add(1)
+	c.events.Log(telemetry.LevelWarn, "cluster", "job_migrated", map[string]any{
+		"job": j.ID, "from": j.nodeName(), "migrations": j.migrationCount(),
+		"trace_id": j.TraceID,
+	})
+	c.tracer.Emit(telemetry.TrackHost, "cluster", "migrate",
+		telemetry.Str("job", j.ID), telemetry.Str("trace_id", j.TraceID))
 }
 
 func (c *Coordinator) checkpointJob(j *Job, remote *service.JobStatus, nodeOwned bool) {
@@ -921,6 +1000,9 @@ func (c *Coordinator) strike(name string) {
 	if evict {
 		c.cEvictions.Add(1)
 		c.gNodesAlive.Set(float64(alive))
+		c.events.Log(telemetry.LevelWarn, "cluster", "node_evicted", map[string]any{
+			"node": name, "strikes": c.cfg.FailThreshold, "nodes_alive": alive,
+		})
 		c.journalAppend(Entry{Kind: EntryNode, Node: &NodeRecord{Name: name, Alive: false}})
 		// Repair replication for every circuit the dead node held. The
 		// per-job replaceReplica path already guarantees correctness; this
@@ -1056,6 +1138,7 @@ type DrainReport struct {
 func (c *Coordinator) Drain(ctx context.Context) (*DrainReport, error) {
 	c.mu.Lock()
 	c.accepting = false
+	admitted := c.admitted
 	var alive []*node
 	for _, name := range c.order {
 		if nd := c.nodes[name]; nd.alive {
@@ -1063,6 +1146,9 @@ func (c *Coordinator) Drain(ctx context.Context) (*DrainReport, error) {
 		}
 	}
 	c.mu.Unlock()
+	c.events.Log(telemetry.LevelInfo, "cluster", "drain_begin", map[string]any{
+		"admitted": admitted, "nodes_alive": len(alive),
+	})
 
 	// Per-node drain budget: the configured budget, capped at 80% of the
 	// drain context's remaining time so the checkpoint responses still
@@ -1153,6 +1239,11 @@ func (c *Coordinator) Drain(ctx context.Context) (*DrainReport, error) {
 	if len(merged.Jobs) > 0 || len(merged.Circuits) > 0 {
 		rep.Checkpoint = merged
 	}
+	fields := map[string]any{"finished": rep.Finished}
+	if rep.Checkpoint != nil {
+		fields["checkpointed"] = len(rep.Checkpoint.Jobs)
+	}
+	c.events.Log(telemetry.LevelInfo, "cluster", "drain_complete", fields)
 	return rep, ctx.Err()
 }
 
@@ -1186,6 +1277,11 @@ func (c *Coordinator) Restore(cp *service.Checkpoint) (int, error) {
 			return n, fmt.Errorf("cluster: restore job %s: %w", e.JobID, err)
 		}
 		n++
+	}
+	if n > 0 || len(cp.Circuits) > 0 {
+		c.events.Log(telemetry.LevelInfo, "cluster", "restore", map[string]any{
+			"jobs": n, "circuits": len(cp.Circuits),
+		})
 	}
 	return n, nil
 }

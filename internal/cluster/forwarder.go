@@ -53,6 +53,10 @@ func (f *forwarder) do(ctx context.Context, method, url string, body, out any) (
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Propagate the distributed-trace context: the job loop attaches the
+	// job's trace id (and its forward span) to ctx, and the node extracts
+	// the headers into its own tracer.
+	telemetry.SpanContextFromContext(ctx).Inject(req.Header)
 	resp, err := f.client.Do(req)
 	if err != nil {
 		return 0, err

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"gzkp/internal/service"
+	"gzkp/internal/telemetry"
 )
 
 // HTTP API of the coordinator — deliberately the same shape as one node's
@@ -24,7 +25,19 @@ import (
 //	POST /v1/drain         cluster-wide drain; returns the merged checkpoint
 //	GET  /healthz          liveness
 //	GET  /readyz           readiness (503 while draining or no node alive)
-//	GET  /metrics          coordinator metrics snapshot
+//	GET  /metrics          coordinator metrics snapshot (JSON; ?format=prom
+//	                       renders Prometheus text exposition)
+//	GET  /v1/cluster/metrics  federated metrics: every live node's /metrics
+//	                       scraped and merged with the coordinator's own —
+//	                       Prometheus text by default, ?format=json for the
+//	                       structured Federation view
+//	GET  /v1/cluster/events   structured control-plane event log
+//	                       (?since=, ?max=)
+//
+// Distributed tracing: POST /v1/prove adopts the client's X-Gzkp-Trace-Id
+// (generating one when absent), echoes it back in the same header, and
+// injects it on every node forward so one trace id spans coordinator and
+// node processes.
 const maxClusterBody = 1 << 20
 
 type apiError struct {
@@ -115,10 +128,14 @@ func NewHandler(c *Coordinator) http.Handler {
 			writeError(w, err)
 			return
 		}
-		j, err := c.Submit(req.CircuitID, req.Public, req.Secret)
+		j, err := c.SubmitTraced(telemetry.ExtractTrace(r.Header).TraceID,
+			req.CircuitID, req.Public, req.Secret)
 		if err != nil {
 			writeError(w, err)
 			return
+		}
+		if j.TraceID != "" {
+			w.Header().Set(telemetry.TraceIDHeader, j.TraceID)
 		}
 		if r.URL.Query().Get("async") != "" {
 			writeJSON(w, http.StatusAccepted, j.Status())
@@ -200,8 +217,66 @@ func NewHandler(c *Coordinator) http.Handler {
 	})
 
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, c.Registry().Snapshot())
+		writeSnapshot(w, r, c.Registry().Snapshot())
+	})
+
+	mux.HandleFunc("GET /v1/cluster/metrics", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), 10*time.Second)
+		defer cancel()
+		fed := c.FederateMetrics(ctx)
+		if r.URL.Query().Get("format") == "json" {
+			writeJSON(w, http.StatusOK, fed)
+			return
+		}
+		w.Header().Set("Content-Type", telemetry.PromContentType)
+		w.WriteHeader(http.StatusOK)
+		_ = fed.WritePrometheus(w)
+	})
+
+	mux.HandleFunc("GET /v1/cluster/events", func(w http.ResponseWriter, r *http.Request) {
+		writeEvents(w, r, c.Events())
 	})
 
 	return mux
+}
+
+// writeSnapshot serves one registry snapshot: JSON by default (the HA
+// prober and existing tooling decode it as telemetry.Snapshot), or
+// Prometheus text exposition with ?format=prom.
+func writeSnapshot(w http.ResponseWriter, r *http.Request, snap telemetry.Snapshot) {
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", telemetry.PromContentType)
+		w.WriteHeader(http.StatusOK)
+		_ = snap.WritePrometheus(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// writeEvents serves a ring-buffered event log with ?since= / ?max= paging
+// (mirrors the node-side endpoint; a nil log reads as empty, not 404).
+func writeEvents(w http.ResponseWriter, r *http.Request, log *telemetry.EventLog) {
+	var since uint64
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, &service.InputError{Msg: fmt.Sprintf("bad since %q", v)})
+			return
+		}
+		since = n
+	}
+	max := 256
+	if v := r.URL.Query().Get("max"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, &service.InputError{Msg: fmt.Sprintf("bad max %q", v)})
+			return
+		}
+		max = n
+	}
+	resp := service.EventsResponse{Events: log.Since(since, max), Seq: log.Seq()}
+	if resp.Events == nil {
+		resp.Events = []telemetry.EventRecord{}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

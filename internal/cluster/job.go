@@ -18,6 +18,11 @@ type Job struct {
 	CircuitID string
 	Public    []string
 	Secret    []string
+	// TraceID is the cluster-wide distributed-trace id: generated at
+	// admission (or adopted from the client's X-Gzkp-Trace-Id header),
+	// journaled with the accepted record so a redrive after failover keeps
+	// it, and injected on every forward hop. Immutable after admission.
+	TraceID string
 
 	mu    sync.Mutex
 	state service.JobState
@@ -163,6 +168,7 @@ func (j *Job) Status() JobStatus {
 	st.ID = j.ID
 	st.CircuitID = j.CircuitID
 	st.State = j.state.String()
+	st.TraceID = j.TraceID
 	if j.err != nil {
 		st.Error = j.err.Error()
 	}

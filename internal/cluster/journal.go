@@ -72,8 +72,10 @@ type CircuitRecord struct {
 type JobRecord struct {
 	ID    string `json:"id"`
 	Event string `json:"event"`
-	// Accepted event payload.
+	// Accepted event payload. TraceID rides along so a redrive after
+	// failover keeps the job's distributed trace intact.
 	CircuitID string   `json:"circuit_id,omitempty"`
+	TraceID   string   `json:"trace_id,omitempty"`
 	Public    []string `json:"public,omitempty"`
 	Secret    []string `json:"secret,omitempty"`
 	// Forwarded event payload: which node is running it (the new leader
@@ -104,6 +106,7 @@ type Entry struct {
 type jobView struct {
 	ID        string
 	CircuitID string
+	TraceID   string
 	Public    []string
 	Secret    []string
 	Node      string // last forwarded node ("" if never forwarded)
@@ -119,16 +122,19 @@ type Journal struct {
 	mu      sync.Mutex
 	log     []Entry
 	sizes   []int // lazily-filled encoded size per entry (0 = not yet measured)
+	bytes   int64 // running total of measured entry sizes
 	seq     uint64
 	circs   map[string]*CircuitRecord
 	jobs    map[string]*jobView
 	jobIDs  []string // accept order, for deterministic re-drive
 	nodes   map[string]bool
 	gSeq    *telemetry.Gauge
-	notifyC chan struct{} // closed-and-replaced signal for eager heartbeats
+	gCount  *telemetry.Gauge // cluster.journal_entries
+	gBytes  *telemetry.Gauge // cluster.journal_bytes
+	notifyC chan struct{}    // closed-and-replaced signal for eager heartbeats
 }
 
-// NewJournal builds an empty journal. reg may be nil (no gauge).
+// NewJournal builds an empty journal. reg may be nil (no gauges).
 func NewJournal(reg *telemetry.Registry) *Journal {
 	j := &Journal{
 		circs:   map[string]*CircuitRecord{},
@@ -138,8 +144,20 @@ func NewJournal(reg *telemetry.Registry) *Journal {
 	}
 	if reg != nil {
 		j.gSeq = reg.Gauge("cluster.journal_seq")
+		j.gCount = reg.Gauge("cluster.journal_entries")
+		j.gBytes = reg.Gauge("cluster.journal_bytes")
 	}
 	return j
+}
+
+// updateGaugesLocked publishes the journal's size so the ROADMAP's
+// journal-growth risk is observable: entry count, encoded bytes (falling
+// when terminal compaction strips inputs), and the tip seq. Nil gauges
+// (no registry) no-op.
+func (jl *Journal) updateGaugesLocked() {
+	jl.gSeq.Set(float64(jl.seq))
+	jl.gCount.Set(float64(len(jl.log)))
+	jl.gBytes.Set(float64(jl.bytes))
 }
 
 // Seq reports the highest sequence number in the log.
@@ -166,10 +184,9 @@ func (jl *Journal) Append(e Entry) uint64 {
 	e.Seq = jl.seq
 	jl.log = append(jl.log, e)
 	jl.sizes = append(jl.sizes, 0)
+	jl.bytes += int64(jl.entrySizeLocked(len(jl.log) - 1))
 	jl.applyLocked(e)
-	if jl.gSeq != nil {
-		jl.gSeq.Set(float64(jl.seq))
-	}
+	jl.updateGaugesLocked()
 	ch := jl.notifyC
 	jl.notifyC = make(chan struct{})
 	jl.mu.Unlock()
@@ -244,6 +261,9 @@ func (jl *Journal) Ingest(from uint64, entries []Entry) uint64 {
 		return jl.seq
 	}
 	if from < jl.seq {
+		for i := int(from); i < len(jl.log); i++ {
+			jl.bytes -= int64(jl.entrySizeLocked(i))
+		}
 		jl.log = jl.log[:from]
 		jl.sizes = jl.sizes[:from]
 		jl.seq = from
@@ -256,11 +276,10 @@ func (jl *Journal) Ingest(from uint64, entries []Entry) uint64 {
 		jl.seq = e.Seq
 		jl.log = append(jl.log, e)
 		jl.sizes = append(jl.sizes, 0)
+		jl.bytes += int64(jl.entrySizeLocked(len(jl.log) - 1))
 		jl.applyLocked(e)
 	}
-	if jl.gSeq != nil {
-		jl.gSeq.Set(float64(jl.seq))
-	}
+	jl.updateGaugesLocked()
 	return jl.seq
 }
 
@@ -295,6 +314,7 @@ func (jl *Journal) applyLocked(e Entry) {
 		switch r.Event {
 		case JobEventAccepted:
 			v.CircuitID = r.CircuitID
+			v.TraceID = r.TraceID
 			v.Public = append([]string(nil), r.Public...)
 			v.Secret = append([]string(nil), r.Secret...)
 			v.acceptSeq = e.Seq
@@ -331,10 +351,12 @@ func (jl *Journal) compactJobLocked(v *jobView) {
 	if old.Public == nil && old.Secret == nil {
 		return
 	}
+	oldSize := jl.entrySizeLocked(i)
 	compacted := *old
 	compacted.Public, compacted.Secret = nil, nil
 	jl.log[i].Job = &compacted
-	jl.sizes[i] = 0 // re-measure the now-smaller entry on next ship
+	jl.sizes[i] = 0 // re-measure the now-smaller entry
+	jl.bytes += int64(jl.entrySizeLocked(i)) - int64(oldSize)
 }
 
 // CircuitRecords returns every journaled circuit, ordered by id for

@@ -40,8 +40,26 @@ func (c *Coordinator) probeAll() {
 	for _, name := range names {
 		c.probeOne(name)
 	}
+	c.publishProbeAges()
 }
 
+// publishProbeAges refreshes each node's last_probe_age_ms gauge: the time
+// since its last successful probe round-trip. Healthy nodes hover near the
+// probe interval; a node going quiet shows a climbing age well before the
+// strike counter evicts it.
+func (c *Coordinator) publishProbeAges() {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, nd := range c.nodes {
+		nd.gProbeAge.Set(float64(now.Sub(nd.lastProbeOK).Milliseconds()))
+	}
+}
+
+// probeOne probes a single node, timing the full round-trip (health +
+// readiness + metrics scrape) into the cluster.probe_ns histogram on
+// success. Failed probes are not recorded there — they mostly measure the
+// probe timeout, not the node — but they do push the node's probe age up.
 func (c *Coordinator) probeOne(name string) {
 	base := c.baseOf(name)
 	if base == "" {
@@ -54,6 +72,7 @@ func (c *Coordinator) probeOne(name string) {
 	}
 	c.mu.Unlock()
 
+	t0 := time.Now()
 	ctx, cancel := context.WithTimeout(c.ctx, c.cfg.ProbeTimeout)
 	defer cancel()
 	var health struct {
@@ -82,6 +101,7 @@ func (c *Coordinator) probeOne(name string) {
 		c.probeFailed(name)
 		return
 	}
+	c.hProbe.Record(time.Since(t0).Nanoseconds())
 
 	c.mu.Lock()
 	nd := c.nodes[name]
@@ -91,6 +111,7 @@ func (c *Coordinator) probeOne(name string) {
 		nd.probed = true
 		nd.queueDepth = depth
 		nd.devicesAlive = devices
+		nd.lastProbeOK = time.Now()
 		if !nd.alive {
 			nd.alive = true
 			c.ring.add(name)
@@ -102,6 +123,9 @@ func (c *Coordinator) probeOne(name string) {
 	if rejoined {
 		c.cRejoins.Add(1)
 		c.gNodesAlive.Set(float64(alive))
+		c.events.Log(telemetry.LevelInfo, "cluster", "node_rejoined", map[string]any{
+			"node": name, "nodes_alive": alive,
+		})
 		c.journalAppend(Entry{Kind: EntryNode, Node: &NodeRecord{Name: name, Alive: true}})
 	}
 }

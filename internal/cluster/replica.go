@@ -132,6 +132,7 @@ const maxBatchBytes = maxReplicateBody / 2
 type Replica struct {
 	cfg     ReplicaConfig
 	reg     *telemetry.Registry
+	events  *telemetry.EventLog // shared with every coordinator this replica promotes
 	client  *http.Client
 	journal *Journal
 	selfIdx int
@@ -186,7 +187,8 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 	cfg.Chaos.Bind(reg)
 	ctx, cancel := context.WithCancel(context.Background())
 	r := &Replica{
-		cfg: cfg, reg: reg, client: cfg.Cluster.Client,
+		cfg: cfg, reg: reg, events: cfg.Cluster.Events,
+		client:  cfg.Cluster.Client,
 		journal: NewJournal(reg), selfIdx: selfIdx,
 		ctx: ctx, cancel: cancel,
 		acked:    map[string]uint64{},
@@ -268,6 +270,9 @@ func (r *Replica) Halt() {
 		if wasLeader {
 			r.gIsLeader.Set(0)
 		}
+		r.events.Log(telemetry.LevelError, "ha", "replica_halted", map[string]any{
+			"replica": r.cfg.Self, "was_leader": wasLeader,
+		})
 		r.logf("replica %s: halted", r.cfg.Self)
 		r.cancel()
 		if coord != nil {
@@ -479,6 +484,9 @@ func (r *Replica) stepDown(epoch uint64, leader string) {
 	r.cStepdowns.Add(1)
 	r.gIsLeader.Set(0)
 	r.gEpoch.Set(float64(epochNow))
+	r.events.Log(telemetry.LevelWarn, "ha", "stepdown", map[string]any{
+		"replica": r.cfg.Self, "epoch": epochNow, "new_leader": leader,
+	})
 	r.logf("replica %s: stepping down (epoch %d, leader %s)", r.cfg.Self, epochNow, leader)
 	if coord != nil {
 		coord.detachJournal()
@@ -509,6 +517,9 @@ func (r *Replica) maybeElect() {
 // comment for the reconciliation consequences).
 func (r *Replica) elect() {
 	r.cElections.Add(1)
+	r.events.Log(telemetry.LevelDebug, "ha", "election", map[string]any{
+		"replica": r.cfg.Self, "journal_seq": r.journal.Seq(),
+	})
 	mySeq := r.journal.Seq()
 	r.mu.Lock()
 	maxEpoch := r.epoch
@@ -608,6 +619,9 @@ func (r *Replica) promote(epoch uint64) {
 	r.cPromotions.Add(1)
 	r.gIsLeader.Set(1)
 	r.gEpoch.Set(float64(epoch))
+	r.events.Log(telemetry.LevelWarn, "ha", "promoted", map[string]any{
+		"replica": r.cfg.Self, "epoch": epoch, "journal_seq": r.journal.Seq(),
+	})
 	r.logf("replica %s: promoting to leader (epoch %d, journal %s)",
 		r.cfg.Self, epoch, r.journal.Summary())
 
@@ -630,7 +644,7 @@ func (r *Replica) promote(epoch uint64) {
 	coord.AdoptCircuits()
 	redriven := 0
 	for _, v := range r.journal.UnfinishedJobs() {
-		if _, err := coord.Redrive(v.ID, v.CircuitID, v.Public, v.Secret, v.Node); err == nil {
+		if _, err := coord.Redrive(v.ID, v.CircuitID, v.Public, v.Secret, v.Node, v.TraceID); err == nil {
 			redriven++
 		}
 	}
@@ -693,7 +707,17 @@ func (r *Replica) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "replica halted"})
 			return
 		}
-		writeJSON(w, http.StatusOK, r.reg.Snapshot())
+		writeSnapshot(w, req, r.reg.Snapshot())
+		return
+	case req.URL.Path == "/v1/cluster/events" && req.Method == http.MethodGet:
+		// The event log is shared across roles (standbys record elections
+		// too), so every non-halted replica serves it locally — no
+		// redirect, events must stay observable while the leader is down.
+		if r.Role() == RoleHalted {
+			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "replica halted"})
+			return
+		}
+		writeEvents(w, req, r.events)
 		return
 	case req.URL.Path == "/healthz":
 		if r.Role() == RoleHalted {

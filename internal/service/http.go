@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"gzkp/internal/telemetry"
 )
 
 // HTTP API of the proving service (stdlib net/http, Go 1.22 pattern mux):
@@ -20,9 +22,16 @@ import (
 //	POST /v1/drain         stop accepting, finish admitted jobs within
 //	                       ?timeout=, return the checkpoint of whatever the
 //	                       deadline strands (cluster-coordinator admin hook)
+//	GET  /v1/events        structured control-plane events (?since=, ?max=)
 //	GET  /healthz          liveness
 //	GET  /readyz           readiness (503 while draining or all devices lost)
-//	GET  /metrics          JSON metrics snapshot (counters/gauges/histograms)
+//	GET  /metrics          JSON metrics snapshot (counters/gauges/histograms);
+//	                       ?format=prom renders Prometheus text exposition
+//
+// Distributed tracing: POST /v1/prove reads X-Gzkp-Trace-Id (and
+// X-Gzkp-Parent-Span) so a coordinator-forwarded job's node-side spans
+// carry the cluster-wide trace id; the response echoes the trace id
+// back in the same header.
 //
 // Error mapping: malformed input → 400, unknown id → 404, admission-control
 // rejection → 429 with Retry-After, draining → 503 with Retry-After.
@@ -177,10 +186,14 @@ func NewHandler(s *Service) http.Handler {
 			writeError(w, err)
 			return
 		}
-		j, err := s.SubmitKeyed(req.ClientJobID, req.CircuitID, req.Public, req.Secret)
+		j, err := s.SubmitTraced(req.ClientJobID, req.CircuitID, req.Public, req.Secret,
+			telemetry.ExtractTrace(r.Header))
 		if err != nil {
 			writeError(w, err)
 			return
+		}
+		if tid := j.Snapshot().TraceID; tid != "" {
+			w.Header().Set(telemetry.TraceIDHeader, tid)
 		}
 		if r.URL.Query().Get("async") != "" {
 			writeJSON(w, http.StatusAccepted, j.Snapshot())
@@ -245,9 +258,65 @@ func NewHandler(s *Service) http.Handler {
 		})
 	})
 
+	mux.HandleFunc("GET /v1/events", eventsHandler(s.Events))
+
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Registry().Snapshot())
+		writeMetrics(w, r, s.Registry().Snapshot())
 	})
 
 	return mux
+}
+
+// writeMetrics serves a registry snapshot: JSON by default (the cluster
+// prober and existing tooling decode it as telemetry.Snapshot), or
+// Prometheus text exposition with ?format=prom.
+func writeMetrics(w http.ResponseWriter, r *http.Request, snap telemetry.Snapshot) {
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", telemetry.PromContentType)
+		w.WriteHeader(http.StatusOK)
+		_ = snap.WritePrometheus(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// EventsResponse is the body of GET /v1/events (service and cluster).
+type EventsResponse struct {
+	Events []telemetry.EventRecord `json:"events"`
+	// Seq is the newest sequence number in the log (not just this page);
+	// pass it back as ?since= to poll incrementally.
+	Seq uint64 `json:"seq"`
+}
+
+// eventsHandler serves a ring-buffered event log with ?since= / ?max=
+// paging. events() returning nil means event logging is disabled — the
+// endpoint then reports an empty log rather than 404, so scrapers can
+// probe for it uniformly.
+func eventsHandler(events func() *telemetry.EventLog) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var since uint64
+		if v := r.URL.Query().Get("since"); v != "" {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				writeError(w, &InputError{Msg: fmt.Sprintf("bad since %q", v)})
+				return
+			}
+			since = n
+		}
+		max := 256
+		if v := r.URL.Query().Get("max"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				writeError(w, &InputError{Msg: fmt.Sprintf("bad max %q", v)})
+				return
+			}
+			max = n
+		}
+		log := events()
+		resp := EventsResponse{Events: log.Since(since, max), Seq: log.Seq()}
+		if resp.Events == nil {
+			resp.Events = []telemetry.EventRecord{}
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
 }

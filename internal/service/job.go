@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"gzkp/internal/telemetry"
 )
 
 // JobState is the lifecycle of one accepted prove request.
@@ -51,6 +53,9 @@ type Job struct {
 	// Public and Secret are the decimal input assignments, in the circuit's
 	// declaration order (witness solving happens on the proving device).
 	Public, Secret []string
+	// trace is the propagated distributed-trace context (zero when the
+	// request arrived untraced). Immutable after admission.
+	trace telemetry.SpanContext
 
 	mu       sync.Mutex
 	state    JobState
@@ -98,6 +103,7 @@ func (j *Job) Snapshot() JobStatus {
 		ID:        j.ID,
 		CircuitID: j.CircuitID,
 		State:     j.state.String(),
+		TraceID:   j.trace.TraceID,
 		Attempts:  j.attempts,
 		Device:    j.device,
 		QueueNS:   j.queueNS,
@@ -121,6 +127,7 @@ type JobStatus struct {
 	ID        string `json:"job_id"`
 	CircuitID string `json:"circuit_id"`
 	State     string `json:"state"`
+	TraceID   string `json:"trace_id,omitempty"`
 	Attempts  int    `json:"attempts,omitempty"`
 	Device    int    `json:"device,omitempty"`
 	Proof     []byte `json:"proof,omitempty"` // compressed, base64 via encoding/json

@@ -78,6 +78,11 @@ type Config struct {
 	// resilience events. Span storage grows with traffic, so attach one for
 	// bounded runs (tests, load experiments), not unbounded serving.
 	Tracer *telemetry.Tracer
+	// Events, when set, receives structured control-plane events (drain,
+	// restore, device loss) and backs the GET /v1/events endpoint. Nil
+	// disables event logging (the ring is bounded, so unlike Tracer it is
+	// safe for unbounded serving).
+	Events *telemetry.EventLog
 }
 
 func (c Config) withDefaults() Config {
@@ -188,11 +193,12 @@ var ErrCheckpointed = errors.New("service: drained before scheduling; job checkp
 // Service is the proving service. Construct with New, serve it over HTTP
 // with NewHandler, stop it with Drain + Close.
 type Service struct {
-	cfg   Config
-	reg   *telemetry.Registry
-	sched *scheduler
-	ctx   context.Context // base context for workers (carries the tracer)
-	wg    sync.WaitGroup
+	cfg    Config
+	reg    *telemetry.Registry
+	events *telemetry.EventLog
+	sched  *scheduler
+	ctx    context.Context // base context for workers (carries the tracer)
+	wg     sync.WaitGroup
 
 	mu       sync.Mutex
 	idle     *sync.Cond // admitted == 0, for Drain
@@ -231,6 +237,7 @@ func New(cfg Config) *Service {
 	s := &Service{
 		cfg:        cfg,
 		reg:        cfg.Registry,
+		events:     cfg.Events,
 		sched:      newScheduler(cfg.Devices, cfg.MaxBatch),
 		ctx:        ctx,
 		circuits:   map[string]*circuitEntry{},
@@ -266,6 +273,9 @@ func New(cfg Config) *Service {
 
 // Registry exposes the metrics registry (for /metrics and tests).
 func (s *Service) Registry() *telemetry.Registry { return s.reg }
+
+// Events exposes the structured event log (nil when disabled).
+func (s *Service) Events() *telemetry.EventLog { return s.events }
 
 // Ready reports whether the service accepts work: not draining and at
 // least one device alive.
@@ -510,6 +520,16 @@ func (s *Service) Submit(circuitID string, public, secret []string) (*Job, error
 // their cluster ids; the dedupe turns those re-forwards into attaches,
 // so a leader change never proves the same job twice.
 func (s *Service) SubmitKeyed(clientKey, circuitID string, public, secret []string) (*Job, error) {
+	return s.SubmitTraced(clientKey, circuitID, public, secret, telemetry.SpanContext{})
+}
+
+// SubmitTraced is SubmitKeyed carrying a propagated trace context: the
+// admitted job's spans get the trace id as an attribute, so a
+// coordinator-forwarded job's node-side work joins the coordinator-side
+// trace when the per-process JSONL logs are stitched. A dedupe hit
+// returns the original job with its original trace — re-forwards after
+// a leader change keep the trace the job was born with.
+func (s *Service) SubmitTraced(clientKey, circuitID string, public, secret []string, sc telemetry.SpanContext) (*Job, error) {
 	s.mu.Lock()
 	if !s.accepting {
 		s.mu.Unlock()
@@ -565,6 +585,7 @@ func (s *Service) SubmitKeyed(clientKey, circuitID string, public, secret []stri
 	s.jobSeq++
 	id := fmt.Sprintf("job-%08d", s.jobSeq)
 	j := newJob(id, circuitID, public, secret, s.jobDone)
+	j.trace = sc
 	s.jobs[id] = j
 	if clientKey != "" {
 		s.clientJobs[clientKey] = j
@@ -671,6 +692,8 @@ func (s *Service) runJob(ctx context.Context, dev int, j *Job) {
 	sp, jctx := telemetry.StartSpanOn(ctx, telemetry.DeviceTrack(dev), "job")
 	sp.SetStr("id", j.ID)
 	sp.SetStr("circuit", j.CircuitID)
+	j.trace.Annotate(sp)
+	sp.SetInt("queue_ns", j.queueNS)
 	defer sp.End()
 
 	cfg := groth16.ProveConfig{NTT: s.cfg.NTT, MSM: s.cfg.MSM, Retry: s.cfg.Retry}
@@ -705,6 +728,9 @@ func (s *Service) runJob(ctx context.Context, dev int, j *Job) {
 			s.gDevicesAlive.Set(float64(s.sched.devicesAlive()))
 			resilience.Record(jctx, telemetry.DeviceTrack(dev), resilience.DeviceLost,
 				telemetry.Str("job", j.ID), telemetry.Int("device", int64(dev)))
+			s.events.Log(telemetry.LevelError, "service", "device_lost", map[string]any{
+				"device": dev, "job": j.ID, "trace_id": j.trace.TraceID,
+			})
 			if survivors && j.attemptCount() <= s.cfg.Devices {
 				j.markQueued()
 				s.cRequeued.Add(1)
@@ -792,7 +818,11 @@ type DrainReport struct {
 func (s *Service) Drain(ctx context.Context) (*DrainReport, error) {
 	s.mu.Lock()
 	s.accepting = false
+	admitted := s.admitted
 	s.mu.Unlock()
+	s.events.Log(telemetry.LevelInfo, "service", "drain_begin", map[string]any{
+		"admitted": admitted,
+	})
 
 	done := make(chan struct{})
 	stop := context.AfterFunc(ctx, func() {
@@ -814,11 +844,17 @@ func (s *Service) Drain(ctx context.Context) (*DrainReport, error) {
 
 	rep := &DrainReport{Finished: s.cDone.Value() + s.cFailed.Value()}
 	if ctx.Err() == nil {
+		s.events.Log(telemetry.LevelInfo, "service", "drain_complete", map[string]any{
+			"finished": rep.Finished,
+		})
 		return rep, nil
 	}
 	// Deadline: checkpoint whatever never got scheduled.
 	pending := s.sched.drainPending()
 	if len(pending) == 0 {
+		s.events.Log(telemetry.LevelInfo, "service", "drain_complete", map[string]any{
+			"finished": rep.Finished, "deadline": true,
+		})
 		return rep, ctx.Err()
 	}
 	cp := &Checkpoint{Version: CheckpointVersion}
@@ -840,6 +876,9 @@ func (s *Service) Drain(ctx context.Context) (*DrainReport, error) {
 		j.finish(JobCheckpointed, nil, ErrCheckpointed)
 	}
 	rep.Checkpointed = cp
+	s.events.Log(telemetry.LevelWarn, "service", "drain_checkpointed", map[string]any{
+		"finished": rep.Finished, "checkpointed": len(cp.Jobs),
+	})
 	return rep, nil
 }
 
@@ -877,6 +916,11 @@ func (s *Service) Restore(cp *Checkpoint) (int, error) {
 			return n, fmt.Errorf("service: restore job %s: %w", e.JobID, err)
 		}
 		n++
+	}
+	if n > 0 {
+		s.events.Log(telemetry.LevelInfo, "service", "restore", map[string]any{
+			"jobs": n, "circuits": len(cp.Circuits),
+		})
 	}
 	return n, nil
 }

@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestDebugVarsExpvarRegistration: /debug/vars must expose the registry
+// snapshot under the "gzkp" expvar as well-formed JSON — counters,
+// gauges and histogram quantiles all present, since dashboards scrape
+// this shape directly.
+func TestDebugVarsExpvarRegistration(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("debug.ops").Add(3)
+	reg.Gauge("debug.depth").Set(2.5)
+	h := reg.Histogram("debug.lat_ns")
+	for i := int64(1); i <= 100; i++ {
+		h.Record(i * 1_000)
+	}
+
+	srv := httptest.NewServer(DebugHandler(reg))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", resp.StatusCode)
+	}
+	var vars struct {
+		Gzkp Snapshot `json:"gzkp"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if vars.Gzkp.Counters["debug.ops"] != 3 {
+		t.Fatalf("expvar counter = %d, want 3", vars.Gzkp.Counters["debug.ops"])
+	}
+	if vars.Gzkp.Gauges["debug.depth"] != 2.5 {
+		t.Fatalf("expvar gauge = %v, want 2.5", vars.Gzkp.Gauges["debug.depth"])
+	}
+	hist := vars.Gzkp.Histograms["debug.lat_ns"]
+	if hist.Count != 100 || hist.P99 == 0 {
+		t.Fatalf("expvar histogram = %+v, want count 100 with quantiles", hist)
+	}
+}
+
+// TestDebugPprofRoutes: every pprof route DebugHandler wires must
+// answer — a dead profiling endpoint is only discovered during an
+// incident otherwise.
+func TestDebugPprofRoutes(t *testing.T) {
+	srv := httptest.NewServer(DebugHandler(NewRegistry()))
+	defer srv.Close()
+	for _, path := range []string{
+		"/debug/pprof/",
+		"/debug/pprof/cmdline",
+		"/debug/pprof/symbol",
+		"/debug/pprof/goroutine", // served via the Index catch-all
+		"/debug/pprof/heap",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		if len(body) == 0 {
+			t.Fatalf("GET %s returned an empty body", path)
+		}
+	}
+}
+
+// TestDebugRebindSwapsRegistry: DebugHandler must survive repeated
+// calls (expvar publishes once per process) and the expvar must follow
+// the most recent registry — the contract repeated CLI runs and tests
+// in one process depend on.
+func TestDebugRebindSwapsRegistry(t *testing.T) {
+	first := NewRegistry()
+	first.Counter("debug.rebind").Add(1)
+	srvA := httptest.NewServer(DebugHandler(first))
+	defer srvA.Close()
+
+	second := NewRegistry()
+	second.Counter("debug.rebind").Add(42)
+	srvB := httptest.NewServer(DebugHandler(second))
+	defer srvB.Close()
+
+	// Both servers read through the shared expvar, which now sees the
+	// second registry.
+	for _, url := range []string{srvA.URL, srvB.URL} {
+		resp, err := http.Get(url + "/debug/vars")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var vars struct {
+			Gzkp Snapshot `json:"gzkp"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&vars)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vars.Gzkp.Counters["debug.rebind"] != 42 {
+			t.Fatalf("rebind not visible via %s: counter = %d, want 42", url, vars.Gzkp.Counters["debug.rebind"])
+		}
+	}
+}
+
+// TestDebugConcurrentScrape hammers /debug/vars while producers mutate
+// the registry and a rebinder swaps it — the -race guard for the
+// atomic.Value plumbing behind the expvar.
+func TestDebugConcurrentScrape(t *testing.T) {
+	reg := NewRegistry()
+	srv := httptest.NewServer(DebugHandler(reg))
+	defer srv.Close()
+
+	const (
+		scrapers  = 4
+		writers   = 4
+		iterPerG  = 50
+		rebinders = 2
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := reg.Counter(fmt.Sprintf("debug.w%d", g))
+			h := reg.Histogram("debug.scrape_lat_ns")
+			for i := 0; i < iterPerG; i++ {
+				c.Add(1)
+				h.Record(int64(i + 1))
+				reg.Gauge("debug.depth").Set(float64(i))
+			}
+		}(g)
+	}
+	for g := 0; g < rebinders; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iterPerG; i++ {
+				DebugHandler(reg)
+			}
+		}()
+	}
+	errCh := make(chan error, scrapers)
+	for g := 0; g < scrapers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iterPerG; i++ {
+				resp, err := http.Get(srv.URL + "/debug/vars")
+				if err != nil {
+					errCh <- err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if !json.Valid(body) || !strings.Contains(string(body), `"gzkp"`) {
+					errCh <- fmt.Errorf("scrape %d returned invalid vars", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+}

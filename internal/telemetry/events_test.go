@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEventLevelRoundTrip(t *testing.T) {
+	for _, lvl := range []EventLevel{LevelDebug, LevelInfo, LevelWarn, LevelError} {
+		got, err := ParseEventLevel(lvl.String())
+		if err != nil || got != lvl {
+			t.Fatalf("round trip %v -> %q -> %v (%v)", lvl, lvl.String(), got, err)
+		}
+	}
+	if _, err := ParseEventLevel("loud"); err == nil {
+		t.Fatal("unknown level parsed")
+	}
+}
+
+func TestEventLogLevelFilter(t *testing.T) {
+	l := NewEventLog(8, LevelWarn)
+	l.Log(LevelDebug, "cluster", "noise", nil)
+	l.Log(LevelInfo, "cluster", "chatter", nil)
+	l.Log(LevelWarn, "cluster", "node_evicted", map[string]any{"node": "n1"})
+	l.Log(LevelError, "cluster", "replica_halted", nil)
+	evs := l.Recent(0)
+	if len(evs) != 2 || evs[0].Event != "node_evicted" || evs[1].Event != "replica_halted" {
+		t.Fatalf("filtered events = %+v", evs)
+	}
+	if evs[0].Seq != 1 || evs[1].Seq != 2 {
+		t.Fatalf("retained events must have dense seqs: %d, %d", evs[0].Seq, evs[1].Seq)
+	}
+}
+
+// TestEventLogRingRotation: a full ring drops the oldest records; Since
+// reflects the gap via seq numbering rather than renumbering.
+func TestEventLogRingRotation(t *testing.T) {
+	l := NewEventLog(4, LevelDebug)
+	for i := 0; i < 10; i++ {
+		l.Log(LevelInfo, "s", "e", map[string]any{"i": i})
+	}
+	if l.Seq() != 10 {
+		t.Fatalf("seq = %d, want 10", l.Seq())
+	}
+	evs := l.Recent(0)
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want ring capacity 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(7 + i); ev.Seq != want {
+			t.Fatalf("event %d seq = %d, want %d", i, ev.Seq, want)
+		}
+	}
+	// A since cursor inside the rotated-out range sees only what remains.
+	if got := l.Since(2, 0); len(got) != 4 || got[0].Seq != 7 {
+		t.Fatalf("Since(2) = %+v", got)
+	}
+	// Paging: max keeps the newest records of the window.
+	if got := l.Since(0, 2); len(got) != 2 || got[0].Seq != 9 || got[1].Seq != 10 {
+		t.Fatalf("Since(0, max 2) = %+v", got)
+	}
+	// A cursor at the tip returns nothing.
+	if got := l.Since(10, 0); got != nil {
+		t.Fatalf("Since(tip) = %+v", got)
+	}
+}
+
+// TestEventLogSinkJSONL: the mirror sink receives one decodable JSON
+// object per retained event, and a sink failure disables mirroring
+// without dropping ring records.
+func TestEventLogSinkJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLog(8, LevelInfo)
+	l.SetSink(&buf)
+	l.Log(LevelDebug, "s", "dropped", nil) // below min: neither ring nor sink
+	l.Log(LevelInfo, "cluster", "job_accepted", map[string]any{"job": "cj-1"})
+	l.Log(LevelWarn, "cluster", "job_migrated", map[string]any{"job": "cj-1", "from": "n0"})
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("sink got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var rec EventRecord
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatalf("sink line not JSON: %v", err)
+	}
+	if rec.Event != "job_migrated" || rec.Level != "warn" || rec.Fields["from"] != "n0" {
+		t.Fatalf("sink record = %+v", rec)
+	}
+
+	l.SetSink(failWriter{})
+	l.Log(LevelInfo, "s", "after_sink_death", nil)
+	if l.SinkErr() == nil {
+		t.Fatal("sink write error not reported")
+	}
+	if evs := l.Recent(0); evs[len(evs)-1].Event != "after_sink_death" {
+		t.Fatal("ring dropped a record when the sink died")
+	}
+	// A dead sink stays dead until rebound.
+	l.Log(LevelInfo, "s", "still_ringing", nil)
+	if evs := l.Recent(0); evs[len(evs)-1].Event != "still_ringing" {
+		t.Fatal("ring stopped retaining after sink death")
+	}
+}
+
+func TestEventLogNilIsNoop(t *testing.T) {
+	var l *EventLog
+	l.Log(LevelError, "s", "e", nil)
+	l.SetSink(&bytes.Buffer{})
+	if l.Seq() != 0 || l.Since(0, 0) != nil || l.Recent(5) != nil || l.SinkErr() != nil {
+		t.Fatal("nil EventLog must be inert")
+	}
+}
+
+func TestEventLogConcurrent(t *testing.T) {
+	l := NewEventLog(64, LevelDebug)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Log(LevelInfo, "s", "e", map[string]any{"g": g, "i": i})
+				l.Since(l.Seq()/2, 10)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if l.Seq() != 800 {
+		t.Fatalf("seq = %d, want 800", l.Seq())
+	}
+	evs := l.Recent(0)
+	if len(evs) != 64 {
+		t.Fatalf("retained %d, want ring capacity 64", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("non-dense seqs under concurrency: %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}

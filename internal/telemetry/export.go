@@ -138,7 +138,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 
 // jsonlRecord is one line of the JSONL event log.
 type jsonlRecord struct {
-	Type    string         `json:"type"` // span | event | counter | gauge
+	Type    string         `json:"type"` // meta | track | span | event | counter | gauge | histogram
 	Name    string         `json:"name"`
 	Cat     string         `json:"cat,omitempty"`
 	Track   int            `json:"track"`
@@ -151,14 +151,33 @@ type jsonlRecord struct {
 	Attrs   map[string]any `json:"attrs,omitempty"`
 }
 
-// WriteJSONL renders spans and events (merged in timestamp order) followed
-// by the final metric values, one JSON object per line — the
+// WriteJSONL renders a leading meta record (the tracer's wall-clock base,
+// which lets gzkp-tracecat align per-process logs on one timeline), track
+// name records, then spans and events (merged in timestamp order)
+// followed by the final metric values, one JSON object per line — the
 // machine-readable incident log fault-injection runs produce.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
 	if t == nil {
 		return fmt.Errorf("telemetry: cannot export a disabled tracer")
 	}
-	spans, events, _ := t.snapshot()
+	spans, events, tracks := t.snapshot()
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(jsonlRecord{
+		Type: "meta", Name: "gzkp",
+		Attrs: map[string]any{"wall_unix_ns": t.wall.UnixNano()},
+	}); err != nil {
+		return err
+	}
+	trackIDs := make([]int32, 0, len(tracks))
+	for id := range tracks {
+		trackIDs = append(trackIDs, id)
+	}
+	sort.Slice(trackIDs, func(i, j int) bool { return trackIDs[i] < trackIDs[j] })
+	for _, id := range trackIDs {
+		if err := enc.Encode(jsonlRecord{Type: "track", Name: tracks[id], Track: int(id)}); err != nil {
+			return err
+		}
+	}
 	recs := make([]jsonlRecord, 0, len(spans)+len(events))
 	for _, s := range spans {
 		recs = append(recs, jsonlRecord{
@@ -175,7 +194,6 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 		})
 	}
 	sort.SliceStable(recs, func(i, j int) bool { return recs[i].TSNS < recs[j].TSNS })
-	enc := json.NewEncoder(w)
 	for _, r := range recs {
 		if err := enc.Encode(r); err != nil {
 			return err

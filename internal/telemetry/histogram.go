@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"fmt"
 	"math"
 	"sync/atomic"
 )
@@ -139,6 +140,57 @@ func (s HistogramSnapshot) Mean() int64 {
 		return 0
 	}
 	return s.Sum / s.Count
+}
+
+// Merge folds other into s and returns the combined snapshot: bucket
+// counts, totals and extrema add, and the quantiles are recomputed over
+// the merged buckets. This is the federation primitive — every service
+// latency histogram uses DefaultLatencyBounds, so per-node snapshots
+// merge losslessly into a cluster-wide distribution. Merging snapshots
+// with different bounds is an error (rebucketing would silently skew
+// quantiles); an empty snapshot on either side merges trivially.
+func (s HistogramSnapshot) Merge(other HistogramSnapshot) (HistogramSnapshot, error) {
+	if other.Count == 0 {
+		return s, nil
+	}
+	if s.Count == 0 {
+		return other, nil
+	}
+	if len(s.Bounds) != len(other.Bounds) || len(s.Counts) != len(other.Counts) {
+		return HistogramSnapshot{}, fmt.Errorf("telemetry: merge bounds mismatch (%d vs %d buckets)", len(s.Counts), len(other.Counts))
+	}
+	for i := range s.Bounds {
+		if s.Bounds[i] != other.Bounds[i] {
+			return HistogramSnapshot{}, fmt.Errorf("telemetry: merge bounds mismatch at bucket %d (%d vs %d)", i, s.Bounds[i], other.Bounds[i])
+		}
+	}
+	out := HistogramSnapshot{
+		Count:  s.Count + other.Count,
+		Sum:    s.Sum + other.Sum,
+		Min:    min(s.Min, other.Min),
+		Max:    max(s.Max, other.Max),
+		Bounds: append([]int64(nil), s.Bounds...),
+		Counts: make([]int64, len(s.Counts)),
+	}
+	for i := range s.Counts {
+		out.Counts[i] = s.Counts[i] + other.Counts[i]
+	}
+	out.P50 = out.Quantile(0.50)
+	out.P95 = out.Quantile(0.95)
+	out.P99 = out.Quantile(0.99)
+	return out, nil
+}
+
+// MergeHistogramSnapshots merges any number of snapshots (see Merge).
+func MergeHistogramSnapshots(parts ...HistogramSnapshot) (HistogramSnapshot, error) {
+	var out HistogramSnapshot
+	var err error
+	for _, p := range parts {
+		if out, err = out.Merge(p); err != nil {
+			return HistogramSnapshot{}, err
+		}
+	}
+	return out, nil
 }
 
 // Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation

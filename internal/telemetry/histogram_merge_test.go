@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"testing"
+)
+
+// TestHistogramSnapshotMerge: the federation primitive. Counts, sums
+// and extrema add; quantiles recompute over the merged buckets, so the
+// merged p99 always lands between the inputs' p99s.
+func TestHistogramSnapshotMerge(t *testing.T) {
+	fast := NewHistogram(nil)
+	slow := NewHistogram(nil)
+	for i := int64(1); i <= 500; i++ {
+		fast.Record(1_000_000)   // 1ms node
+		slow.Record(100_000_000) // 100ms node
+	}
+	fs, ss := fast.Snapshot(), slow.Snapshot()
+
+	merged, err := fs.Merge(ss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Count != 1000 || merged.Sum != fs.Sum+ss.Sum {
+		t.Fatalf("merged count/sum = %d/%d", merged.Count, merged.Sum)
+	}
+	if merged.Min != fs.Min || merged.Max != ss.Max {
+		t.Fatalf("merged extrema = [%d, %d], want [%d, %d]", merged.Min, merged.Max, fs.Min, ss.Max)
+	}
+	lo, hi := fs.P99, ss.P99
+	if merged.P99 < lo || merged.P99 > hi {
+		t.Fatalf("merged p99 %d outside input envelope [%d, %d]", merged.P99, lo, hi)
+	}
+	// Half the mass is at 1ms, so the median must sit in the fast mode
+	// and the p99 in the slow mode.
+	if merged.P50 > 2_000_000 {
+		t.Fatalf("merged p50 %d, want within the fast mode", merged.P50)
+	}
+	if merged.P99 < 50_000_000 {
+		t.Fatalf("merged p99 %d, want within the slow mode", merged.P99)
+	}
+
+	// Merge is symmetric on the bucket counts.
+	rev, err := ss.Merge(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev.Count != merged.Count || rev.P99 != merged.P99 {
+		t.Fatalf("merge not symmetric: %+v vs %+v", rev, merged)
+	}
+}
+
+func TestHistogramMergeEmptySides(t *testing.T) {
+	h := NewHistogram(nil)
+	h.Record(5_000)
+	s := h.Snapshot()
+	var empty HistogramSnapshot
+
+	got, err := s.Merge(empty)
+	if err != nil || got.Count != 1 {
+		t.Fatalf("merge with empty right = %+v, %v", got, err)
+	}
+	got, err = empty.Merge(s)
+	if err != nil || got.Count != 1 {
+		t.Fatalf("merge with empty left = %+v, %v", got, err)
+	}
+	got, err = empty.Merge(HistogramSnapshot{})
+	if err != nil || got.Count != 0 {
+		t.Fatalf("merge of two empties = %+v, %v", got, err)
+	}
+}
+
+// TestHistogramMergeBoundsMismatch: merging incompatible bucket layouts
+// must error rather than silently skew quantiles.
+func TestHistogramMergeBoundsMismatch(t *testing.T) {
+	a := NewHistogram([]int64{10, 20, 30})
+	b := NewHistogram([]int64{10, 20})
+	c := NewHistogram([]int64{10, 20, 31})
+	a.Record(5)
+	b.Record(5)
+	c.Record(5)
+
+	if _, err := a.Snapshot().Merge(b.Snapshot()); err == nil {
+		t.Fatal("bucket-count mismatch merged silently")
+	}
+	if _, err := a.Snapshot().Merge(c.Snapshot()); err == nil {
+		t.Fatal("bound-value mismatch merged silently")
+	}
+}
+
+func TestMergeHistogramSnapshots(t *testing.T) {
+	parts := make([]HistogramSnapshot, 3)
+	for i := range parts {
+		h := NewHistogram(nil)
+		for j := 0; j < 10; j++ {
+			h.Record(int64((i + 1) * 1_000_000))
+		}
+		parts[i] = h.Snapshot()
+	}
+	merged, err := MergeHistogramSnapshots(parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Count != 30 {
+		t.Fatalf("variadic merge count = %d, want 30", merged.Count)
+	}
+
+	bad := NewHistogram([]int64{1, 2})
+	bad.Record(1)
+	if _, err := MergeHistogramSnapshots(parts[0], bad.Snapshot()); err == nil {
+		t.Fatal("variadic merge ignored a bounds mismatch")
+	}
+}

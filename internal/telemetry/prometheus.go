@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) for the registry snapshot.
+// The dotted internal names ("service.e2e_ns") become underscore names in
+// the gzkp_ namespace ("gzkp_service_e2e_ns"); histograms render the
+// standard cumulative _bucket{le=...}/_sum/_count families plus
+// _p50/_p95/_p99 gauge families carrying the interpolated quantiles so a
+// scrape without a quantile-capable backend still sees the percentiles
+// the JSON endpoint reports.
+
+// PromContentType is the Content-Type for Prometheus text exposition.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromName maps a dotted internal metric name onto the gzkp_ Prometheus
+// namespace: every byte outside [a-zA-Z0-9_:] becomes '_'.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 5)
+	b.WriteString("gzkp_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabelEscape escapes a label value per the exposition format.
+func promLabelEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// promLabels renders a deterministic {k="v",...} block ("" when empty).
+func promLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range sortedKeys(labels) {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, k, promLabelEscape(labels[k]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// PromWriter streams metric families in exposition order, emitting each
+// family's # TYPE header exactly once so callers can interleave
+// unlabeled cluster totals with labeled per-node series of the same
+// family. Errors stick: the first write failure is returned by Err and
+// later calls are no-ops.
+type PromWriter struct {
+	w     io.Writer
+	typed map[string]bool
+	err   error
+}
+
+// NewPromWriter wraps w for exposition output.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w, typed: map[string]bool{}}
+}
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *PromWriter) typeLine(family, kind string) {
+	if !p.typed[family] {
+		p.typed[family] = true
+		p.printf("# TYPE %s %s\n", family, kind)
+	}
+}
+
+// Counter emits one counter series (labels may be nil).
+func (p *PromWriter) Counter(name string, labels map[string]string, v int64) {
+	family := PromName(name)
+	p.typeLine(family, "counter")
+	p.printf("%s%s %d\n", family, promLabels(labels), v)
+}
+
+// Gauge emits one gauge series (labels may be nil).
+func (p *PromWriter) Gauge(name string, labels map[string]string, v float64) {
+	family := PromName(name)
+	p.typeLine(family, "gauge")
+	p.printf("%s%s %s\n", family, promLabels(labels), strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// Histogram emits the cumulative bucket/sum/count families for one
+// histogram snapshot plus _p50/_p95/_p99 gauges with the interpolated
+// quantiles.
+func (p *PromWriter) Histogram(name string, labels map[string]string, h HistogramSnapshot) {
+	family := PromName(name)
+	lbl := promLabels(labels)
+	p.typeLine(family, "histogram")
+	var cum int64
+	for i, c := range h.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(h.Bounds) {
+			le = strconv.FormatInt(h.Bounds[i], 10)
+		}
+		p.printf("%s_bucket%s %d\n", family, bucketLabels(labels, le), cum)
+	}
+	if len(h.Counts) == 0 {
+		// An empty snapshot still renders a valid family.
+		p.printf("%s_bucket%s %d\n", family, bucketLabels(labels, "+Inf"), 0)
+	}
+	p.printf("%s_sum%s %d\n", family, lbl, h.Sum)
+	p.printf("%s_count%s %d\n", family, lbl, h.Count)
+	for _, q := range []struct {
+		suffix string
+		v      int64
+	}{{"_p50", h.P50}, {"_p95", h.P95}, {"_p99", h.P99}} {
+		qf := family + q.suffix
+		p.typeLine(qf, "gauge")
+		p.printf("%s%s %d\n", qf, lbl, q.v)
+	}
+}
+
+// bucketLabels merges the le label into the series labels.
+func bucketLabels(labels map[string]string, le string) string {
+	merged := make(map[string]string, len(labels)+1)
+	for k, v := range labels {
+		merged[k] = v
+	}
+	merged["le"] = le
+	return promLabels(merged)
+}
+
+// WritePrometheus renders the whole snapshot in exposition format:
+// counters, then gauges, then histograms, each family sorted by name.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	p := NewPromWriter(w)
+	for _, name := range sortedKeys(s.Counters) {
+		p.Counter(name, nil, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		p.Gauge(name, nil, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		p.Histogram(name, nil, s.Histograms[name])
+	}
+	return p.Err()
+}

@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"service.e2e_ns":                        "gzkp_service_e2e_ns",
+		"cluster.node.node-0.last_probe_age_ms": "gzkp_cluster_node_node_0_last_probe_age_ms",
+		"weird name/with:colon":                 "gzkp_weird_name_with:colon",
+	} {
+		if got := PromName(in); got != want {
+			t.Fatalf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPromLabelEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	pw := NewPromWriter(&buf)
+	pw.Gauge("g", map[string]string{"node": "a\"b\\c\nd"}, 1)
+	if err := pw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := `gzkp_g{node="a\"b\\c\nd"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("escaped label missing:\n%s\nwant %s", buf.String(), want)
+	}
+}
+
+// TestPromWriterTypeOncePerFamily: interleaving unlabeled and labeled
+// samples of one family (the federation's merged-sum-then-per-node
+// layout) must emit a single TYPE header.
+func TestPromWriterTypeOncePerFamily(t *testing.T) {
+	var buf bytes.Buffer
+	pw := NewPromWriter(&buf)
+	pw.Gauge("service.queue_depth", nil, 5)
+	pw.Gauge("service.queue_depth", map[string]string{"node": "n0"}, 2)
+	pw.Gauge("service.queue_depth", map[string]string{"node": "n1"}, 3)
+	if err := pw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "# TYPE gzkp_service_queue_depth gauge"); got != 1 {
+		t.Fatalf("TYPE header emitted %d times:\n%s", got, buf.String())
+	}
+}
+
+// TestPromHistogramExposition: the bucket family must be cumulative and
+// end at +Inf == _count, the invariant every Prometheus consumer
+// assumes.
+func TestPromHistogramExposition(t *testing.T) {
+	h := NewHistogram(nil)
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i * 10_000) // 10µs .. 10ms
+	}
+	var buf bytes.Buffer
+	pw := NewPromWriter(&buf)
+	pw.Histogram("service.e2e_ns", nil, h.Snapshot())
+	if err := pw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+
+	var prev, infCount, count int64
+	prev = -1
+	sawInf := false
+	for _, line := range strings.Split(text, "\n") {
+		switch {
+		case strings.HasPrefix(line, "gzkp_service_e2e_ns_bucket{"):
+			fields := strings.Fields(line)
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				t.Fatalf("bucket value in %q: %v", line, err)
+			}
+			if v < prev {
+				t.Fatalf("bucket counts not cumulative at %q (prev %d)", line, prev)
+			}
+			prev = v
+			if strings.Contains(line, `le="+Inf"`) {
+				sawInf = true
+				infCount = v
+			}
+		case strings.HasPrefix(line, "gzkp_service_e2e_ns_count "):
+			count, _ = strconv.ParseInt(strings.Fields(line)[1], 10, 64)
+		}
+	}
+	if !sawInf {
+		t.Fatalf("no +Inf bucket:\n%s", text)
+	}
+	if infCount != 1000 || count != 1000 {
+		t.Fatalf("+Inf bucket %d / _count %d, want 1000", infCount, count)
+	}
+	for _, q := range []string{"_p50", "_p95", "_p99"} {
+		if !strings.Contains(text, "gzkp_service_e2e_ns"+q+" ") {
+			t.Fatalf("quantile gauge %s missing:\n%s", q, text)
+		}
+	}
+}
+
+// TestSnapshotWritePrometheus renders a whole registry snapshot and
+// checks the family ordering contract: counters, gauges, histograms.
+func TestSnapshotWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("service.jobs.accepted").Add(4)
+	reg.Gauge("service.queue_depth").Set(1)
+	reg.Histogram("service.e2e_ns").Record(5_000)
+
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	ci := strings.Index(text, "gzkp_service_jobs_accepted 4")
+	gi := strings.Index(text, "gzkp_service_queue_depth 1")
+	hi := strings.Index(text, "# TYPE gzkp_service_e2e_ns histogram")
+	if ci < 0 || gi < 0 || hi < 0 {
+		t.Fatalf("missing families:\n%s", text)
+	}
+	if !(ci < gi && gi < hi) {
+		t.Fatalf("family order counters<gauges<histograms violated:\n%s", text)
+	}
+}
+
+// TestPromWriterStickyError: the first write failure must stick and be
+// reported, not panic or partially emit.
+func TestPromWriterStickyError(t *testing.T) {
+	pw := NewPromWriter(failWriter{})
+	pw.Counter("c", nil, 1)
+	if pw.Err() == nil {
+		t.Fatal("write error not surfaced")
+	}
+	pw.Gauge("g", nil, 1) // must be a no-op, not a panic
+	if pw.Err() == nil {
+		t.Fatal("error did not stick")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errWrite }
+
+var errWrite = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "sink failed" }

@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"strconv"
+)
+
+// Cross-process trace propagation. A cluster job is born with a trace ID
+// at coordinator admission; every forward hop carries it (plus the
+// coordinator-side parent span id) as HTTP headers, and the receiving
+// node stamps both onto its local spans as attributes. Span ids stay
+// process-local — the trace ID attribute is the only cross-process join
+// key, which is what gzkp-tracecat stitches on.
+const (
+	// TraceIDHeader carries the cluster-wide trace id on forwarded
+	// requests. Clients may set it on the initial POST /v1/prove to adopt
+	// the job into their own trace; the coordinator generates one
+	// otherwise.
+	TraceIDHeader = "X-Gzkp-Trace-Id"
+	// ParentSpanHeader carries the sender-side span id (decimal) that
+	// caused this request — the coordinator's per-attempt forward span.
+	// It is informational: receivers record it as the parent_span
+	// attribute so the stitched trace shows which hop enqueued the work.
+	ParentSpanHeader = "X-Gzkp-Parent-Span"
+
+	// TraceIDAttr / ParentSpanAttr are the span-attribute keys the
+	// stitcher keys on.
+	TraceIDAttr    = "trace_id"
+	ParentSpanAttr = "parent_span"
+
+	maxTraceIDLen = 64
+)
+
+// SpanContext is the portable part of a span: the trace it belongs to
+// and the sender-side span id. The zero value is "not part of a trace".
+type SpanContext struct {
+	TraceID string
+	SpanID  uint64
+}
+
+// Valid reports whether the context names a trace.
+func (sc SpanContext) Valid() bool { return sc.TraceID != "" }
+
+// NewTraceID returns a fresh random 64-bit trace id in hex.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; a fixed id
+		// degrades tracing, not correctness.
+		return "trace-rand-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Inject writes the context onto outgoing request headers. No-op when
+// the context is empty; the parent header is omitted when there is no
+// sender span (tracing disabled on the sender).
+func (sc SpanContext) Inject(h http.Header) {
+	if !sc.Valid() {
+		return
+	}
+	h.Set(TraceIDHeader, sc.TraceID)
+	if sc.SpanID != 0 {
+		h.Set(ParentSpanHeader, strconv.FormatUint(sc.SpanID, 10))
+	}
+}
+
+// ExtractTrace reads a SpanContext from incoming request headers.
+// Malformed values degrade to the zero context rather than erroring:
+// tracing is advisory and must never fail a request.
+func ExtractTrace(h http.Header) SpanContext {
+	id := h.Get(TraceIDHeader)
+	if id == "" || len(id) > maxTraceIDLen || !cleanTraceID(id) {
+		return SpanContext{}
+	}
+	sc := SpanContext{TraceID: id}
+	if p := h.Get(ParentSpanHeader); p != "" {
+		if v, err := strconv.ParseUint(p, 10, 64); err == nil {
+			sc.SpanID = v
+		}
+	}
+	return sc
+}
+
+// cleanTraceID limits trace ids to header- and JSON-safe characters so a
+// hostile client cannot smuggle log/exposition syntax through the header.
+func cleanTraceID(id string) bool {
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '-' || c == '_' || c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Annotate stamps the trace id (and, when known, the sender span id)
+// onto a local span so the stitcher can assign it to the right trace.
+// Safe on the zero Span and the zero SpanContext.
+func (sc SpanContext) Annotate(sp Span) {
+	if !sc.Valid() {
+		return
+	}
+	sp.SetStr(TraceIDAttr, sc.TraceID)
+	if sc.SpanID != 0 {
+		sp.SetInt(ParentSpanAttr, int64(sc.SpanID))
+	}
+}
+
+type spanContextKey struct{}
+
+// ContextWithSpanContext attaches a propagated span context to ctx.
+func ContextWithSpanContext(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, spanContextKey{}, sc)
+}
+
+// SpanContextFromContext returns the propagated span context, or the
+// zero value when the request is untraced.
+func SpanContextFromContext(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(spanContextKey{}).(SpanContext)
+	return sc
+}

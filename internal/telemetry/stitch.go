@@ -1,0 +1,223 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Stitching merges per-process JSONL span logs (WriteJSONL output from
+// the coordinator and each node) into a single Chrome trace_event file:
+// one Perfetto process per input, timelines aligned on each log's
+// wall-clock meta record, and — when a trace id filter is given — only
+// the spans/events belonging to that distributed trace. A migrated job
+// then reads as the same trace id appearing on the coordinator track,
+// the dead node's track, and the surviving node's track in sequence.
+
+// TraceInput names one JSONL log to stitch.
+type TraceInput struct {
+	Name string // process label in the stitched trace ("coord", "node-a", ...)
+	R    io.Reader
+}
+
+// stitchRec mirrors jsonlRecord for decoding. Attrs values decode as
+// json.Number (UseNumber) so the 64-bit wall base survives intact.
+type stitchRec struct {
+	Type    string         `json:"type"`
+	Name    string         `json:"name"`
+	Cat     string         `json:"cat"`
+	Track   int            `json:"track"`
+	ID      uint64         `json:"id"`
+	Parent  uint64         `json:"parent"`
+	StartNS int64          `json:"start_ns"`
+	EndNS   int64          `json:"end_ns"`
+	TSNS    int64          `json:"ts_ns"`
+	Attrs   map[string]any `json:"attrs"`
+}
+
+type stitchProc struct {
+	name     string
+	wallBase int64 // 0 when the log predates the meta record
+	tracks   map[int]string
+	spans    []stitchRec
+	events   []stitchRec
+	byID     map[uint64]int // span id -> index in spans
+}
+
+func parseStitchInput(in TraceInput) (*stitchProc, error) {
+	p := &stitchProc{name: in.Name, tracks: map[int]string{}, byID: map[uint64]int{}}
+	dec := json.NewDecoder(in.R)
+	dec.UseNumber()
+	for {
+		var rec stitchRec
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("stitch %s: %w", in.Name, err)
+		}
+		switch rec.Type {
+		case "meta":
+			if n, ok := rec.Attrs["wall_unix_ns"].(json.Number); ok {
+				if v, err := n.Int64(); err == nil {
+					p.wallBase = v
+				}
+			}
+		case "track":
+			p.tracks[rec.Track] = rec.Name
+		case "span":
+			p.byID[rec.ID] = len(p.spans)
+			p.spans = append(p.spans, rec)
+		case "event":
+			p.events = append(p.events, rec)
+		}
+		// counter/gauge/histogram records are per-process totals; the
+		// federated /v1/cluster/metrics endpoint is the merged view, so
+		// the stitched trace stays a pure timeline.
+	}
+	return p, nil
+}
+
+// traceIDOf resolves the trace a span belongs to: its own trace_id
+// attribute, or the nearest annotated ancestor's. memo caches by span id
+// ("" = resolved to no trace).
+func (p *stitchProc) traceIDOf(id uint64, memo map[uint64]string) string {
+	if tid, ok := memo[id]; ok {
+		return tid
+	}
+	idx, ok := p.byID[id]
+	if !ok {
+		return ""
+	}
+	memo[id] = "" // cycle guard; real logs have no parent cycles
+	tid := ""
+	if v, ok := p.spans[idx].Attrs[TraceIDAttr].(string); ok && v != "" {
+		tid = v
+	} else if parent := p.spans[idx].Parent; parent != 0 {
+		tid = p.traceIDOf(parent, memo)
+	}
+	memo[id] = tid
+	return tid
+}
+
+// attrTraceID reads a record's own trace_id attribute.
+func attrTraceID(rec stitchRec) string {
+	v, _ := rec.Attrs[TraceIDAttr].(string)
+	return v
+}
+
+// StitchJSONL merges the inputs into one Chrome trace written to w.
+// Each input becomes its own Perfetto process (pid = input order + 1)
+// with its recorded track names; timelines are aligned by subtracting
+// the earliest wall base across inputs. When filterTraceID is non-empty
+// only spans on that trace (directly annotated or descended from an
+// annotated span) and events annotated with it are kept.
+func StitchJSONL(w io.Writer, inputs []TraceInput, filterTraceID string) error {
+	if len(inputs) == 0 {
+		return fmt.Errorf("telemetry: nothing to stitch")
+	}
+	procs := make([]*stitchProc, 0, len(inputs))
+	var minBase int64
+	haveBase := false
+	for _, in := range inputs {
+		p, err := parseStitchInput(in)
+		if err != nil {
+			return err
+		}
+		procs = append(procs, p)
+		if p.wallBase != 0 && (!haveBase || p.wallBase < minBase) {
+			minBase, haveBase = p.wallBase, true
+		}
+	}
+
+	var evs []traceEvent
+	kept := 0
+	for pi, p := range procs {
+		pid := pi + 1
+		offset := int64(0)
+		if haveBase && p.wallBase != 0 {
+			offset = p.wallBase - minBase
+		}
+		evs = append(evs, traceEvent{
+			Name: "process_name", Ph: "M", PID: pid, TID: 0,
+			Args: map[string]any{"name": p.name},
+		})
+		evs = append(evs, traceEvent{
+			Name: "process_sort_index", Ph: "M", PID: pid, TID: 0,
+			Args: map[string]any{"sort_index": pid},
+		})
+		seen := map[int]bool{}
+		noteTrack := func(track int) {
+			if seen[track] {
+				return
+			}
+			seen[track] = true
+			name, ok := p.tracks[track]
+			if !ok {
+				if track == TrackHost {
+					name = "host"
+				} else {
+					name = fmt.Sprintf("device %d", track-1)
+				}
+			}
+			evs = append(evs, traceEvent{
+				Name: "thread_name", Ph: "M", PID: pid, TID: track,
+				Args: map[string]any{"name": name},
+			})
+			evs = append(evs, traceEvent{
+				Name: "thread_sort_index", Ph: "M", PID: pid, TID: track,
+				Args: map[string]any{"sort_index": track},
+			})
+		}
+		memo := map[uint64]string{}
+		for _, s := range p.spans {
+			if filterTraceID != "" && p.traceIDOf(s.ID, memo) != filterTraceID {
+				continue
+			}
+			kept++
+			noteTrack(s.Track)
+			dur := float64(s.EndNS-s.StartNS) / 1e3
+			args := s.Attrs
+			if args == nil {
+				args = map[string]any{}
+			}
+			args["proc"] = p.name
+			evs = append(evs, traceEvent{
+				Name: s.Name, Cat: "span", Ph: "X",
+				TS: float64(offset+s.StartNS) / 1e3, Dur: &dur,
+				PID: pid, TID: s.Track,
+				Args: args,
+			})
+		}
+		for _, e := range p.events {
+			if filterTraceID != "" && attrTraceID(e) != filterTraceID {
+				continue
+			}
+			kept++
+			noteTrack(e.Track)
+			evs = append(evs, traceEvent{
+				Name: e.Name, Cat: e.Cat, Ph: "i",
+				TS:  float64(offset+e.TSNS) / 1e3,
+				PID: pid, TID: e.Track, S: "t",
+				Args: e.Attrs,
+			})
+		}
+	}
+	if filterTraceID != "" && kept == 0 {
+		return fmt.Errorf("telemetry: trace %q not found in any input", filterTraceID)
+	}
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Ph == "M" || evs[j].Ph == "M" {
+			return evs[i].Ph == "M" && evs[j].Ph != "M"
+		}
+		return evs[i].TS < evs[j].TS
+	})
+	return json.NewEncoder(w).Encode(traceFile{
+		TraceEvents:     evs,
+		DisplayTimeUnit: "ms",
+		Metadata: map[string]any{
+			"source": "gzkp-tracecat",
+			"inputs": len(inputs),
+		},
+	})
+}

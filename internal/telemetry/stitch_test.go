@@ -1,0 +1,212 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// stitchedTrace decodes StitchJSONL output for assertions.
+type stitchedTrace struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// buildHop simulates one process's share of a distributed trace: a root
+// span annotated with the trace id plus an un-annotated child (which
+// must inherit membership through its parent).
+func buildHop(traceID, rootName, childName string) *Tracer {
+	tr := New()
+	root := tr.Root(TrackHost, rootName)
+	SpanContext{TraceID: traceID}.Annotate(root)
+	child := root.Child(childName)
+	child.End()
+	root.End()
+	// An unrelated span that must be filtered out.
+	other := tr.Root(TrackHost, "unrelated")
+	other.SetStr(TraceIDAttr, "other-trace")
+	other.End()
+	return tr
+}
+
+func jsonlOf(t *testing.T, tr *Tracer) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+// TestStitchMergesProcessesAndFilters: two process logs sharing one
+// trace id stitch into a single Chrome trace with one pid per input,
+// and the trace filter keeps spans of that trace (including
+// un-annotated descendants) while dropping the rest.
+func TestStitchMergesProcessesAndFilters(t *testing.T) {
+	const traceID = "deadbeef01020304"
+	coord := buildHop(traceID, "cluster.job", "forward")
+	node := buildHop(traceID, "service.job", "prove")
+
+	var out bytes.Buffer
+	err := StitchJSONL(&out, []TraceInput{
+		{Name: "coord", R: jsonlOf(t, coord)},
+		{Name: "node-0", R: jsonlOf(t, node)},
+	}, traceID)
+	if err != nil {
+		t.Fatalf("stitch: %v", err)
+	}
+	var tf stitchedTrace
+	if err := json.Unmarshal(out.Bytes(), &tf); err != nil {
+		t.Fatalf("stitched output not JSON: %v", err)
+	}
+
+	pids := map[int]bool{}
+	names := map[string]bool{}
+	procNames := map[string]bool{}
+	for _, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			pids[ev.PID] = true
+			names[ev.Name] = true
+			if ev.Args["proc"] == nil {
+				t.Fatalf("span %q missing proc arg", ev.Name)
+			}
+		case "M":
+			if ev.Name == "process_name" {
+				procNames[ev.Args["name"].(string)] = true
+			}
+		}
+	}
+	if !pids[1] || !pids[2] {
+		t.Fatalf("spans under pids %v, want both processes", pids)
+	}
+	if !procNames["coord"] || !procNames["node-0"] {
+		t.Fatalf("process names = %v", procNames)
+	}
+	// The un-annotated children survive via ancestor resolution...
+	for _, want := range []string{"cluster.job", "forward", "service.job", "prove"} {
+		if !names[want] {
+			t.Fatalf("span %q filtered out, have %v", want, names)
+		}
+	}
+	// ...and the other trace is gone.
+	if names["unrelated"] {
+		t.Fatal("trace filter kept a span from another trace")
+	}
+}
+
+// TestStitchUnfiltered keeps everything when no trace id is given.
+func TestStitchUnfiltered(t *testing.T) {
+	tr := buildHop("t1", "root", "child")
+	var out bytes.Buffer
+	if err := StitchJSONL(&out, []TraceInput{{Name: "p", R: jsonlOf(t, tr)}}, ""); err != nil {
+		t.Fatal(err)
+	}
+	var tf stitchedTrace
+	if err := json.Unmarshal(out.Bytes(), &tf); err != nil {
+		t.Fatal(err)
+	}
+	spans := 0
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "X" {
+			spans++
+		}
+	}
+	if spans != 3 {
+		t.Fatalf("unfiltered stitch kept %d spans, want all 3", spans)
+	}
+}
+
+// TestStitchEventsFilterByOwnAttr: instant events join a trace only via
+// their own trace_id attribute (they have no parent chain).
+func TestStitchEventsFilterByOwnAttr(t *testing.T) {
+	tr := New()
+	root := tr.Root(TrackHost, "root")
+	SpanContext{TraceID: "t1"}.Annotate(root)
+	root.End()
+	tr.Emit(TrackHost, "cluster", "migrate", Str(TraceIDAttr, "t1"), Str("job", "cj-1"))
+	tr.Emit(TrackHost, "cluster", "probe", Str("node", "n0")) // untraced
+
+	var out bytes.Buffer
+	if err := StitchJSONL(&out, []TraceInput{{Name: "coord", R: jsonlOf(t, tr)}}, "t1"); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, `"migrate"`) {
+		t.Fatal("traced instant event filtered out")
+	}
+	if strings.Contains(text, `"probe"`) {
+		t.Fatal("untraced instant event kept by trace filter")
+	}
+}
+
+func TestStitchUnknownTraceErrors(t *testing.T) {
+	tr := buildHop("t1", "root", "child")
+	var out bytes.Buffer
+	if err := StitchJSONL(&out, []TraceInput{{Name: "p", R: jsonlOf(t, tr)}}, "no-such-trace"); err == nil {
+		t.Fatal("stitching a missing trace id must error, not emit an empty file")
+	}
+	if err := StitchJSONL(&out, nil, ""); err == nil {
+		t.Fatal("stitching zero inputs must error")
+	}
+}
+
+// TestPropagateRoundTrip: Inject/ExtractTrace carry the trace across
+// HTTP headers; hostile or malformed values degrade to the zero
+// context.
+func TestPropagateRoundTrip(t *testing.T) {
+	h := http.Header{}
+	SpanContext{TraceID: "abc123", SpanID: 42}.Inject(h)
+	got := ExtractTrace(h)
+	if got.TraceID != "abc123" || got.SpanID != 42 {
+		t.Fatalf("round trip = %+v", got)
+	}
+
+	// The zero context injects nothing.
+	empty := http.Header{}
+	SpanContext{}.Inject(empty)
+	if len(empty) != 0 {
+		t.Fatalf("zero context set headers: %v", empty)
+	}
+
+	// Hostile values: syntax smuggling and oversized ids are dropped.
+	for _, bad := range []string{
+		`x" } evil`,
+		"line\nbreak",
+		strings.Repeat("a", 65),
+	} {
+		hh := http.Header{}
+		hh.Set(TraceIDHeader, bad)
+		if sc := ExtractTrace(hh); sc.Valid() {
+			t.Fatalf("malformed trace id %q accepted", bad)
+		}
+	}
+
+	// A bad parent span id degrades to just the trace.
+	hh := http.Header{}
+	hh.Set(TraceIDHeader, "abc")
+	hh.Set(ParentSpanHeader, "not-a-number")
+	if sc := ExtractTrace(hh); sc.TraceID != "abc" || sc.SpanID != 0 {
+		t.Fatalf("parent degradation = %+v", sc)
+	}
+}
+
+func TestNewTraceIDShape(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if len(a) != 16 || a == b {
+		t.Fatalf("trace ids %q / %q: want 16 hex chars, unique", a, b)
+	}
+	h := http.Header{}
+	SpanContext{TraceID: a}.Inject(h)
+	if !ExtractTrace(h).Valid() {
+		t.Fatal("generated trace id does not survive its own header round trip")
+	}
+}

@@ -170,6 +170,11 @@ func (s Span) End() {
 	s.tr.mu.Unlock()
 }
 
+// ID returns the span's process-local id (0 for a zero span). It is the
+// value senders put in ParentSpanHeader when forwarding work the span
+// caused to another process.
+func (s Span) ID() uint64 { return s.id }
+
 // ElapsedNS reports nanoseconds since the span started (0 for a zero span).
 func (s Span) ElapsedNS() int64 {
 	if s.tr == nil {
