@@ -68,6 +68,46 @@ func sampleKey(s bench.Sample) string {
 	return fmt.Sprintf("%s|%s|%s|%d", s.Experiment, s.Section, s.Name, s.Scale)
 }
 
+// gateSections maps the CI bench-matrix legs to the experiments they own.
+// Every experiment in the baseline must belong to exactly one leg, so the
+// four legs together cover the whole gate (checked by TestGateSectionsCover).
+var gateSections = map[string][]string{
+	"field": {"field"},
+	"msm":   {"table7", "table8"},
+	"ntt":   {"table5", "table6"},
+	"e2e":   {"table2", "table3"},
+}
+
+// filterSections restricts a doc to the experiments owned by the named gate
+// sections (comma-separated). An unknown section name is an error — a typo
+// in the CI matrix must not silently gate zero samples.
+func filterSections(d doc, sections string) (doc, error) {
+	want := make(map[string]bool)
+	for _, sec := range strings.Split(sections, ",") {
+		sec = strings.TrimSpace(sec)
+		if sec == "" {
+			continue
+		}
+		exps, ok := gateSections[sec]
+		if !ok {
+			return doc{}, fmt.Errorf("unknown gate section %q (have field, msm, ntt, e2e)", sec)
+		}
+		for _, e := range exps {
+			want[e] = true
+		}
+	}
+	out := doc{Source: d.Source}
+	for _, s := range d.Samples {
+		if want[s.Experiment] {
+			out.Samples = append(out.Samples, s)
+		}
+	}
+	if len(out.Samples) == 0 {
+		return doc{}, fmt.Errorf("sections %q match no samples — empty gate", sections)
+	}
+	return out, nil
+}
+
 // compare pairs samples by key and grades each pair against the thresholds.
 //
 // Baselines are produced on whatever machine last refreshed them, while CI
@@ -278,6 +318,32 @@ func selftest(warnTh, failTh float64) error {
 
 	if rep := compare(base, mk(2), warnTh, failTh); rep.fails != 0 {
 		return fmt.Errorf("selftest: uniform 2x machine slowdown not calibrated away (fails=%d)", rep.fails)
+	}
+
+	// A dropped benchmark must be counted, not silently skipped — the gate
+	// treats missing coverage as a failure unless -allow-missing is passed.
+	dropped := mk(1)
+	dropped.Samples = dropped.Samples[:len(dropped.Samples)-2]
+	if rep := compare(base, dropped, warnTh, failTh); rep.missing != 2 {
+		return fmt.Errorf("selftest: 2 dropped samples counted as %d missing", rep.missing)
+	}
+
+	// Section filtering must select exactly the owned experiments and
+	// reject unknown or empty legs.
+	mixed := doc{Source: "gzkp-bench", Samples: []bench.Sample{
+		{Experiment: "field", Section: "measured", Name: "a", NSOp: 1},
+		{Experiment: "table7", Section: "measured", Name: "b", NSOp: 1},
+		{Experiment: "table5", Section: "measured", Name: "c", NSOp: 1},
+	}}
+	got, err := filterSections(mixed, "msm")
+	if err != nil || len(got.Samples) != 1 || got.Samples[0].Experiment != "table7" {
+		return fmt.Errorf("selftest: section filter msm -> %+v, %v", got.Samples, err)
+	}
+	if _, err := filterSections(mixed, "tpyo"); err == nil {
+		return fmt.Errorf("selftest: unknown section name accepted")
+	}
+	if _, err := filterSections(mixed, "e2e"); err == nil {
+		return fmt.Errorf("selftest: empty gate (no matching samples) accepted")
 	}
 	return nil
 }

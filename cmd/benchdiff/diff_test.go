@@ -119,3 +119,43 @@ func TestSelftest(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestGateSectionsCover pins the CI matrix contract: every experiment the
+// committed baseline records belongs to exactly one gate section, so the
+// four matrix legs together cover the whole gate.
+func TestGateSectionsCover(t *testing.T) {
+	owner := map[string]string{}
+	for sec, exps := range gateSections {
+		for _, e := range exps {
+			if prev, dup := owner[e]; dup {
+				t.Fatalf("experiment %q owned by both %q and %q", e, prev, sec)
+			}
+			owner[e] = sec
+		}
+	}
+	base, err := readDoc("../../BENCH_BASELINE.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range base.Samples {
+		if _, ok := owner[s.Experiment]; !ok {
+			t.Errorf("baseline experiment %q not owned by any gate section — add it to gateSections", s.Experiment)
+		}
+	}
+}
+
+func TestFilterSections(t *testing.T) {
+	d := doc{Source: "gzkp-bench", Samples: []bench.Sample{
+		{Experiment: "field", Name: "a", NSOp: 1},
+		{Experiment: "table7", Name: "b", NSOp: 1},
+		{Experiment: "table8", Name: "c", NSOp: 1},
+		{Experiment: "table2", Name: "d", NSOp: 1},
+	}}
+	got, err := filterSections(d, "msm,e2e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Samples) != 3 {
+		t.Fatalf("msm,e2e selected %d samples, want 3", len(got.Samples))
+	}
+}

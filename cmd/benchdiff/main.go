@@ -27,6 +27,8 @@ func main() {
 		failTh       = flag.Float64("fail", 0.20, "fail when a sample regresses beyond this fraction")
 		doValidate   = flag.Bool("validate", false, "validate the JSON artifacts named as arguments and exit")
 		doSelftest   = flag.Bool("selftest", false, "dry-run the gate against synthetic data (must catch a slowed kernel)")
+		sections     = flag.String("section", "", "gate only these sections (comma-separated: field,msm,ntt,e2e); default all")
+		allowMissing = flag.Bool("allow-missing", false, "do not fail when a baseline sample is absent from the current run (use only when intentionally retiring a benchmark)")
 	)
 	flag.Parse()
 
@@ -69,6 +71,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchdiff:", err)
 			os.Exit(2)
 		}
+		if *sections != "" {
+			if base, err = filterSections(base, *sections); err != nil {
+				fmt.Fprintln(os.Stderr, "benchdiff: baseline:", err)
+				os.Exit(2)
+			}
+			if cur, err = filterSections(cur, *sections); err != nil {
+				fmt.Fprintln(os.Stderr, "benchdiff: current:", err)
+				os.Exit(2)
+			}
+		}
 		rep := compare(base, cur, *warnTh, *failTh)
 		rep.writeText(os.Stdout)
 		if *mdPath != "" {
@@ -82,6 +94,12 @@ func main() {
 				fmt.Fprintln(os.Stderr, "benchdiff:", err)
 				os.Exit(2)
 			}
+		}
+		if rep.missing > 0 && !*allowMissing {
+			// A benchmark that silently stops running would otherwise pass
+			// the gate forever; losing coverage is itself a regression.
+			fmt.Fprintf(os.Stderr, "benchdiff: %d baseline sample(s) absent from the current run (pass -allow-missing only when retiring a benchmark on purpose)\n", rep.missing)
+			os.Exit(1)
 		}
 		if rep.fails > 0 {
 			os.Exit(1)

@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"gzkp/internal/bench"
 )
@@ -43,12 +44,20 @@ func main() {
 		}
 	}
 	if *experiment != "" {
-		e, err := bench.Find(*experiment)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "gzkp-bench:", err)
-			os.Exit(2)
+		// Comma-separated list so one CI matrix leg can run its whole
+		// section (e.g. -experiment table7,table8) in a single pass.
+		for _, name := range strings.Split(*experiment, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			e, err := bench.Find(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gzkp-bench:", err)
+				os.Exit(2)
+			}
+			run(e)
 		}
-		run(e)
 	} else {
 		for _, e := range bench.All() {
 			run(e)

@@ -77,7 +77,7 @@ func main() {
 	var cfg groth16.ProveConfig
 	switch *prover {
 	case "gzkp":
-		cfg = groth16.ProveConfig{NTT: ntt.Config{Strategy: ntt.GZKP}, MSM: msm.Config{Strategy: msm.GZKP}}
+		cfg = groth16.ProveConfig{NTT: ntt.Config{Strategy: ntt.GZKP}, MSM: msm.Config{Strategy: msm.GZKP, SignedBuckets: true}}
 	case "baseline":
 		cfg = groth16.ProveConfig{NTT: ntt.Config{Strategy: ntt.ShuffleBaseline}, MSM: msm.Config{Strategy: msm.PippengerWindows}}
 	case "cpu":

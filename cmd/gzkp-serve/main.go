@@ -56,7 +56,7 @@ func main() {
 	}
 	switch *prover {
 	case "gzkp":
-		cfg.NTT, cfg.MSM = ntt.Config{Strategy: ntt.GZKP}, msm.Config{Strategy: msm.GZKP}
+		cfg.NTT, cfg.MSM = ntt.Config{Strategy: ntt.GZKP}, msm.Config{Strategy: msm.GZKP, SignedBuckets: true}
 	case "baseline":
 		cfg.NTT, cfg.MSM = ntt.Config{Strategy: ntt.ShuffleBaseline}, msm.Config{Strategy: msm.PippengerWindows}
 	case "cpu":

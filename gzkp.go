@@ -246,7 +246,7 @@ type ProverOptions struct {
 func FastestProver() ProverOptions {
 	return ProverOptions{
 		NTT: ntt.Config{Strategy: ntt.GZKP},
-		MSM: msm.Config{Strategy: msm.GZKP},
+		MSM: msm.Config{Strategy: msm.GZKP, SignedBuckets: true},
 	}
 }
 
@@ -374,7 +374,7 @@ func Setup(cc *Compiled, rand io.Reader) (*ProvingKey, *VerifyingKey, error) {
 // Preprocess builds the GZKP MSM tables once (Algorithm 1) so subsequent
 // Prove calls skip the table construction, as in deployment.
 func (pk *ProvingKey) Preprocess() error {
-	return pk.pk.Preprocess(msm.Config{Strategy: msm.GZKP})
+	return pk.pk.Preprocess(msm.Config{Strategy: msm.GZKP, SignedBuckets: true})
 }
 
 // Prove generates a proof for a solved witness.

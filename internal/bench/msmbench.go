@@ -90,7 +90,7 @@ func msmScalingTable(o Options, dev *gpusim.Device, paperName string) error {
 		maxMeasured = 9
 	}
 	section(w, fmt.Sprintf("%s (measured, ≤2^%d): single MSM wall clock, BN254 G1, dense", paperName, maxMeasured))
-	tw := newTable(w, "Scale", "Straus(MINA)", "Pippenger(BG)", "GZKP", "spd(BG)")
+	tw := newTable(w, "Scale", "Straus(MINA)", "Pippenger(BG)", "GZKP", "signed", "signed-GLV", "spd(BG)")
 	g := curve.Get(curve.BN254).G1
 	for logn := 8; logn <= maxMeasured; logn += 2 {
 		n := 1 << logn
@@ -100,7 +100,12 @@ func msmScalingTable(o Options, dev *gpusim.Device, paperName string) error {
 		if err != nil {
 			return err
 		}
-		var stStraus, stBG, stGZ msm.Stats
+		signedCfg := msm.Config{Strategy: msm.GZKP, SignedBuckets: true}
+		tableS, err := msm.Preprocess(g, points, signedCfg)
+		if err != nil {
+			return err
+		}
+		var stStraus, stBG, stGZ, stSigned, stGLV msm.Stats
 		tStraus, err := measure(func() error {
 			var err error
 			_, stStraus, err = msm.Compute(g, points, scalars, msm.Config{Strategy: msm.Straus})
@@ -125,6 +130,22 @@ func msmScalingTable(o Options, dev *gpusim.Device, paperName string) error {
 		if err != nil {
 			return err
 		}
+		tSigned, err := measure(func() error {
+			var err error
+			_, stSigned, err = tableS.Compute(scalars, signedCfg)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		tGLV, err := measure(func() error {
+			var err error
+			_, stGLV, err = msm.Compute(g, points, scalars, msm.Config{Strategy: msm.SignedDigitGLV})
+			return err
+		})
+		if err != nil {
+			return err
+		}
 		for _, m := range []struct {
 			name string
 			sec  float64
@@ -133,13 +154,16 @@ func msmScalingTable(o Options, dev *gpusim.Device, paperName string) error {
 			{"straus", tStraus, stStraus},
 			{"pippenger-windows", tBG, stBG},
 			{"gzkp", tGZ, stGZ},
+			{"signed", tSigned, stSigned},
+			{"signed-glv", tGLV, stGLV},
 		} {
 			o.record(Sample{Section: "measured", Name: m.name, Scale: logn, N: n,
 				NSOp: int64(m.sec * 1e9), PointAdds: m.st.PointAdds, Doubles: m.st.Doubles,
 				TableBytes: m.st.TableBytes, TrafficBytes: m.st.TrafficBytes})
 		}
 		tw.row(fmt.Sprintf("2^%d", logn),
-			fmtDur(tStraus), fmtDur(tBG), fmtDur(tGZ), fmtX(tBG/tGZ))
+			fmtDur(tStraus), fmtDur(tBG), fmtDur(tGZ),
+			fmtDur(tSigned), fmtDur(tGLV), fmtX(tBG/tSigned))
 	}
 	tw.flush()
 	return nil

@@ -60,7 +60,7 @@ func NewGZKP(id curve.ID) *Engine {
 	return &Engine{
 		Curve:   curve.Get(id),
 		NTT:     ntt.Config{Strategy: ntt.GZKP},
-		MSM:     msm.Config{Strategy: msm.GZKP},
+		MSM:     msm.Config{Strategy: msm.GZKP, SignedBuckets: true},
 		Devices: 1,
 	}
 }

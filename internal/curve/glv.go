@@ -1,0 +1,213 @@
+package curve
+
+import (
+	"fmt"
+	"math/big"
+
+	"gzkp/internal/tower"
+)
+
+// GLV holds the Gallant–Lambert–Vanstone endomorphism parameters of a
+// j-invariant-0 group (y² = x³ + B): the curve automorphism
+// φ(x, y) = (β·x, y), with β a primitive cube root of unity in the
+// coordinate field, acts on the order-r subgroup as multiplication by λ,
+// a primitive cube root of unity mod r. A scalar k then splits as
+// k ≡ k1 + k2·λ (mod r) with |k1|, |k2| < 2^HalfBits ≈ √r, so an MSM runs
+// over half-length scalars against the doubled point set {Pᵢ, φ(Pᵢ)}.
+//
+// The parameters are derived at first use — λ from √-3 mod r, β from
+// √-3 mod q, the short lattice basis by the extended Euclidean algorithm
+// on (r, λ) stopped at √r — and validated against the group generator
+// (φ(G) == λ·G), so no per-curve magic constants are trusted blindly.
+type GLV struct {
+	g    *Group
+	beta []uint64 // cube root of unity in the coordinate field
+
+	// Lambda is φ's eigenvalue on the r-subgroup: φ(P) = Lambda·P.
+	Lambda *big.Int
+
+	// Short lattice basis v1 = (A1, B1), v2 = (A2, B2) of the kernel of
+	// (i, j) ↦ i + j·λ mod r, with det(v1, v2) = ±r.
+	A1, B1, A2, B2 *big.Int
+
+	// HalfBits bounds both decomposition halves: |k1|, |k2| < 2^HalfBits.
+	// Proven from the basis at derivation time (≤ ⌈bits(r)/2⌉ + 1).
+	HalfBits int
+
+	r   *big.Int
+	det *big.Int // a1·b2 - a2·b1 (= ±r)
+}
+
+// GLV returns the group's cached endomorphism parameters, deriving them on
+// first use. It returns nil when the group has no usable GLV endomorphism:
+// A ≠ 0 (the curve is not j-invariant 0), r ≢ 1 mod 3, or the coordinate
+// field lacks a primitive cube root of unity (MNT4753-sim by design).
+func (g *Group) GLV() *GLV {
+	g.glvOnce.Do(func() {
+		v, err := deriveGLV(g)
+		if err != nil {
+			return // leave g.glv nil: callers fall back to plain paths
+		}
+		g.glv = v
+	})
+	return g.glv
+}
+
+// Phi applies the endomorphism: (x, y) ↦ (β·x, y). One coordinate-field
+// multiplication; φ(∞) = ∞.
+func (v *GLV) Phi(p Affine) Affine {
+	if p.Inf {
+		return Affine{Inf: true}
+	}
+	K := v.g.K
+	return Affine{X: K.Mul(K.Zero(), p.X, v.beta), Y: K.Copy(p.Y)}
+}
+
+// Decompose splits k (interpreted mod r) into signed halves k1, k2 with
+// k ≡ k1 + k2·λ (mod r) and |k1|, |k2| < 2^HalfBits, by Babai rounding
+// against the short basis.
+func (v *GLV) Decompose(k *big.Int) (k1, k2 *big.Int) {
+	k = new(big.Int).Mod(k, v.r)
+	// (c1, c2) = round( [k, 0] · M⁻¹ ) for M = [[a1, b1], [a2, b2]].
+	c1 := roundDiv(new(big.Int).Mul(v.B2, k), v.det)
+	c2 := roundDiv(new(big.Int).Neg(new(big.Int).Mul(v.B1, k)), v.det)
+	k1 = new(big.Int).Set(k)
+	k1.Sub(k1, new(big.Int).Mul(c1, v.A1))
+	k1.Sub(k1, new(big.Int).Mul(c2, v.A2))
+	k2 = new(big.Int).Neg(new(big.Int).Mul(c1, v.B1))
+	k2.Sub(k2, new(big.Int).Mul(c2, v.B2))
+	return k1, k2
+}
+
+// roundDiv returns round(a/b) with round-half-away-from-zero semantics,
+// for either sign of a and b.
+func roundDiv(a, b *big.Int) *big.Int {
+	if b.Sign() < 0 {
+		a, b = new(big.Int).Neg(a), new(big.Int).Neg(b)
+	}
+	two := big.NewInt(2)
+	num := new(big.Int).Mul(a, two)
+	if num.Sign() >= 0 {
+		num.Add(num, b)
+	} else {
+		num.Sub(num, b)
+	}
+	return num.Quo(num, new(big.Int).Mul(b, two))
+}
+
+func deriveGLV(g *Group) (*GLV, error) {
+	if !g.K.IsZero(g.A) {
+		return nil, fmt.Errorf("curve %s: not j-invariant 0", g.Name)
+	}
+	r := g.Fr.Modulus()
+	if new(big.Int).Mod(r, big.NewInt(3)).Cmp(big.NewInt(1)) != 0 {
+		return nil, fmt.Errorf("curve %s: r ≢ 1 mod 3", g.Name)
+	}
+	// λ = (-1 + √-3)/2 mod r: a primitive cube root of unity.
+	s, err := g.Fr.Sqrt(g.Fr.FromInt64(-3))
+	if err != nil {
+		return nil, fmt.Errorf("curve %s: -3 is not a QR mod r", g.Name)
+	}
+	lambda := new(big.Int).Sub(g.Fr.ToBig(s), big.NewInt(1))
+	lambda.Mod(lambda, r)
+	if lambda.Bit(0) == 1 {
+		lambda.Add(lambda, r)
+	}
+	lambda.Rsh(lambda, 1)
+
+	// β = (-1 + √-3)/2 in the prime coordinate field, embedded in towers.
+	base := basePrimeOf(g.K)
+	if base == nil {
+		return nil, fmt.Errorf("curve %s: unsupported coordinate tower", g.Name)
+	}
+	fq := base.F
+	sq, err := fq.Sqrt(fq.FromInt64(-3))
+	if err != nil {
+		return nil, fmt.Errorf("curve %s: -3 is not a QR mod q", g.Name)
+	}
+	betaQ := fq.Sub(fq.New(), sq, fq.One())
+	fq.Halve(betaQ, betaQ)
+	var beta []uint64
+	switch k := g.K.(type) {
+	case *tower.Prime:
+		beta = betaQ
+	case *tower.Ext:
+		beta = k.FromBase(betaQ)
+	}
+
+	v := &GLV{g: g, beta: beta, Lambda: lambda, r: r}
+	// Pair β with the matching eigenvalue: φ(G) is λ·G or λ²·G; λ² = -1-λ.
+	ops := g.NewOps()
+	gen := g.Generator()
+	phiG := v.Phi(gen)
+	if !g.EqualAffine(phiG, ops.ToAffine(ops.ScalarMul(gen, lambda))) {
+		l2 := new(big.Int).Sub(r, big.NewInt(1))
+		l2.Sub(l2, lambda)
+		if !g.EqualAffine(phiG, ops.ToAffine(ops.ScalarMul(gen, l2))) {
+			return nil, fmt.Errorf("curve %s: φ eigenvalue validation failed", g.Name)
+		}
+		v.Lambda = l2
+	}
+
+	if err := v.deriveBasis(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// deriveBasis runs the extended Euclidean algorithm on (r, λ), stopping at
+// the first remainder below √r; consecutive rows (rᵢ, -tᵢ) give the short
+// lattice basis (each satisfies rᵢ + (-tᵢ)·λ ≡ 0 mod r, and adjacent rows
+// have determinant ±r).
+func (v *GLV) deriveBasis() error {
+	r, lambda := v.r, v.Lambda
+	sqrtR := new(big.Int).Sqrt(r)
+	r0, r1 := new(big.Int).Set(r), new(big.Int).Set(lambda)
+	t0, t1 := big.NewInt(0), big.NewInt(1)
+	for r1.Cmp(sqrtR) >= 0 {
+		q, rem := new(big.Int).QuoRem(r0, r1, new(big.Int))
+		r0, r1 = r1, rem
+		t0, t1 = t1, new(big.Int).Sub(t0, new(big.Int).Mul(q, t1))
+	}
+	// r1 < √r ≤ r0: v1 from the first short row, v2 the shorter neighbor.
+	v.A1, v.B1 = new(big.Int).Set(r1), new(big.Int).Neg(t1)
+	q, rem := new(big.Int).QuoRem(r0, r1, new(big.Int))
+	r2 := rem
+	t2 := new(big.Int).Sub(t0, new(big.Int).Mul(q, t1))
+	n0 := new(big.Int).Add(new(big.Int).Mul(r0, r0), new(big.Int).Mul(t0, t0))
+	n2 := new(big.Int).Add(new(big.Int).Mul(r2, r2), new(big.Int).Mul(t2, t2))
+	if n0.Cmp(n2) <= 0 {
+		v.A2, v.B2 = new(big.Int).Set(r0), new(big.Int).Neg(t0)
+	} else {
+		v.A2, v.B2 = new(big.Int).Set(r2), new(big.Int).Neg(t2)
+	}
+	v.det = new(big.Int).Mul(v.A1, v.B2)
+	v.det.Sub(v.det, new(big.Int).Mul(v.A2, v.B1))
+	if new(big.Int).Abs(v.det).Cmp(v.r) != 0 {
+		return fmt.Errorf("curve %s: GLV basis determinant != ±r", v.g.Name)
+	}
+	// Babai rounding error is at most (|v1| + |v2|)/2 per coordinate:
+	// |k1| ≤ (|a1|+|a2|)/2, |k2| ≤ (|b1|+|b2|)/2.
+	b1 := new(big.Int).Add(new(big.Int).Abs(v.A1), new(big.Int).Abs(v.A2))
+	b2 := new(big.Int).Add(new(big.Int).Abs(v.B1), new(big.Int).Abs(v.B2))
+	if b2.Cmp(b1) > 0 {
+		b1 = b2
+	}
+	v.HalfBits = new(big.Int).Rsh(b1, 1).BitLen() + 1
+	if max := (v.r.BitLen()+1)/2 + 2; v.HalfBits > max {
+		return fmt.Errorf("curve %s: GLV halves not short (%d bits > %d)", v.g.Name, v.HalfBits, max)
+	}
+	return nil
+}
+
+func basePrimeOf(k tower.Field) *tower.Prime {
+	switch f := k.(type) {
+	case *tower.Prime:
+		return f
+	case *tower.Ext:
+		if p, ok := f.Base().(*tower.Prime); ok {
+			return p
+		}
+	}
+	return nil
+}

@@ -8,6 +8,7 @@ package curve
 import (
 	"fmt"
 	"math/big"
+	"sync"
 
 	"gzkp/internal/ff"
 	"gzkp/internal/tower"
@@ -26,6 +27,10 @@ type Group struct {
 	Cofactor *big.Int
 
 	gen Affine
+
+	// Lazily derived GLV endomorphism parameters (nil when unsupported).
+	glvOnce sync.Once
+	glv     *GLV
 }
 
 // Affine is an affine point; Inf marks the identity.
@@ -257,8 +262,31 @@ func (o *Ops) AddMixedAssign(p *Jacobian, q Affine) {
 	if q.Inf {
 		return
 	}
+	o.addMixed(p, q.X, q.Y)
+}
+
+// SubMixedAssign sets p = p - q for an affine q: the madd formula against
+// q's negated Y held in scratch, so signed-digit bucket accumulation pays
+// one field negation instead of allocating -q per entry.
+func (o *Ops) SubMixedAssign(p *Jacobian, q Affine) {
+	if q.Inf {
+		return
+	}
+	negY := o.g.K.Neg(o.t[11], q.Y)
+	o.addMixed(p, q.X, negY)
+}
+
+// addMixed is the madd-2007-bl body over raw affine coordinates (qx, qy).
+// It uses scratch t[0..8] only; callers may pass qy in t[9..11].
+func (o *Ops) addMixed(p *Jacobian, qx, qy []uint64) {
 	if o.IsInfinity(p) {
-		o.FromAffine(p, q)
+		K := o.g.K
+		if p.X == nil {
+			p.X, p.Y, p.Z = K.Zero(), K.Zero(), K.Zero()
+		}
+		K.Set(p.X, qx)
+		K.Set(p.Y, qy)
+		K.Set(p.Z, K.One())
 		return
 	}
 	K := o.g.K
@@ -266,8 +294,8 @@ func (o *Ops) AddMixedAssign(p *Jacobian, q Affine) {
 	z1z1, u2, s2, h := o.t[0], o.t[1], o.t[2], o.t[3]
 	hh, i, j, rr, v := o.t[4], o.t[5], o.t[6], o.t[7], o.t[8]
 	k.square(z1z1, p.Z)
-	k.mul(u2, q.X, z1z1)
-	k.mul(s2, q.Y, p.Z)
+	k.mul(u2, qx, z1z1)
+	k.mul(s2, qy, p.Z)
 	k.mul(s2, s2, z1z1)
 	k.sub(h, u2, p.X)
 	k.sub(rr, s2, p.Y)

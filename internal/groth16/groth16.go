@@ -49,6 +49,11 @@ type ProvingKey struct {
 
 	// Cached GZKP preprocessing tables (Algorithm 1), built on demand.
 	tables map[string]*msm.Table
+
+	// Fixed-base windows over the CRS deltas for proof assembly (see
+	// assembly.go); built at setup/register time, shipped via the cluster
+	// key bundle, nil after a bare deserialize (wNAF fallback).
+	fbDelta1, fbDelta2 *curve.FixedBase
 }
 
 // VerifyingKey is the short verification CRS.
@@ -333,6 +338,8 @@ func Setup(sys *r1cs.System, c *curve.Curve, rand io.Reader) (*ProvingKey, *Veri
 	g2j := fb2.MulElement(ops2, gamma)
 	vk.Gamma2 = ops2.ToAffine(&g2j)
 	vk.Delta2 = pk.Delta2
+	// Register-time fixed-base tables over the deltas for proof assembly.
+	pk.BuildAssemblyTables()
 	return pk, vk, nil
 }
 
@@ -531,22 +538,27 @@ func ProveCtx(ctx context.Context, pk *ProvingKey, sys *r1cs.System, w []ff.Elem
 
 	ops1, ops2 := c.G1.NewOps(), c.G2.NewOps()
 	rBig, sBig := f.ToBig(r), f.ToBig(s)
+	if !pk.HasAssemblyTables() {
+		if reg := telemetry.FromContext(ctx).Registry(); reg != nil {
+			reg.Counter("groth16.fixedbase_fallback").Add(1)
+		}
+	}
 	// A = α + Σ zᵢAᵢ + r·δ
 	var aj curve.Jacobian
 	ops1.FromAffine(&aj, pk.Alpha1)
 	ops1.AddMixedAssign(&aj, aMSM)
-	ops1.AddAssign(&aj, ops1.ScalarMul(pk.Delta1, rBig))
+	ops1.AddAssign(&aj, pk.deltaMul1(ops1, rBig))
 	proofA := ops1.ToAffine(&aj)
 	// B = β + Σ zᵢBᵢ + s·δ  (in G2, and mirrored in G1 for C)
 	var bj2 curve.Jacobian
 	ops2.FromAffine(&bj2, pk.Beta2)
 	ops2.AddMixedAssign(&bj2, b2MSM)
-	ops2.AddAssign(&bj2, ops2.ScalarMul(pk.Delta2, sBig))
+	ops2.AddAssign(&bj2, pk.deltaMul2(ops2, sBig))
 	proofB := ops2.ToAffine(&bj2)
 	var bj1 curve.Jacobian
 	ops1.FromAffine(&bj1, pk.Beta1)
 	ops1.AddMixedAssign(&bj1, b1MSM)
-	ops1.AddAssign(&bj1, ops1.ScalarMul(pk.Delta1, sBig))
+	ops1.AddAssign(&bj1, pk.deltaMul1(ops1, sBig))
 	// C = Σ_priv zᵢKᵢ + Σ hᵢHᵢ + s·A + r·B1 - r·s·δ
 	var cj curve.Jacobian
 	ops1.SetInfinity(&cj)
@@ -556,7 +568,7 @@ func ProveCtx(ctx context.Context, pk *ProvingKey, sys *r1cs.System, w []ff.Elem
 	ops1.AddAssign(&cj, ops1.ScalarMul(ops1.ToAffine(&bj1), rBig))
 	rs := f.Mul(f.New(), r, s)
 	negRS := new(big.Int).Neg(f.ToBig(rs))
-	ops1.AddAssign(&cj, ops1.ScalarMul(pk.Delta1, negRS))
+	ops1.AddAssign(&cj, pk.deltaMul1(ops1, negRS))
 	proofC := ops1.ToAffine(&cj)
 
 	st.MSMNS = time.Since(t1).Nanoseconds()

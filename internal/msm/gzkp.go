@@ -67,8 +67,34 @@ func PreprocessCtx(ctx context.Context, g *curve.Group, points []curve.Affine, c
 	k := cfg.WindowBits
 	if k <= 0 {
 		k = AutoWindow(n)
+		if cfg.SignedBuckets {
+			k++ // half the buckets afford one extra window bit
+		}
 	}
 	l := g.Fr.Bits()
+	if cfg.SignedBuckets {
+		if k < 2 {
+			k = 2
+		}
+		if k > 16 {
+			k = 16
+		}
+		// Signed recoding carries out of the top window only when k divides
+		// the scalar bit length; nudge k to the nearest non-dividing size so
+		// the carry window is provably empty and the table stays exact.
+		if l%k == 0 {
+			for d := 1; d < 16; d++ {
+				if k+d <= 16 && l%(k+d) != 0 {
+					k += d
+					break
+				}
+				if k-d >= 2 && l%(k-d) != 0 {
+					k -= d
+					break
+				}
+			}
+		}
+	}
 	nw := (l + k - 1) / k
 	if err := guardIndexWidth(n, nw); err != nil {
 		return nil, err
@@ -130,6 +156,9 @@ func (t *Table) Compute(scalars []ff.Element, cfg Config) (curve.Affine, Stats, 
 // parallel-prefix bucket reduction. No window-reduction step remains. ctx
 // is checked at bucket-task boundaries.
 func (t *Table) ComputeCtx(ctx context.Context, scalars []ff.Element, cfg Config) (curve.Affine, Stats, error) {
+	if cfg.SignedBuckets {
+		return t.computeSignedCtx(ctx, scalars, cfg)
+	}
 	g := t.g
 	n := len(t.pre[0])
 	if len(scalars) != n {
@@ -295,6 +324,198 @@ func (t *Table) ComputeCtx(ctx context.Context, scalars []ff.Element, cfg Config
 		ZeroDigits: zeros, NonzeroDigit: nonzeros,
 		// Table-point loads per nonzero digit, one canonical scalar read
 		// per input, and the bucket-index array written then re-read.
+		TrafficBytes: nonzeros*pointBytes(g) +
+			int64(n)*int64(g.Fr.Limbs()*8) +
+			int64(len(pindex))*8,
+	}
+	recordMSM(ctx, sp, st)
+	return result, st, nil
+}
+
+// computeSignedCtx is the signed-digit variant of the GZKP table pipeline:
+// the same bucket-info construction, cross-window merge and parallel-prefix
+// reduction, but digits are recoded into [-2^(k-1), 2^(k-1)] so only
+// 2^(k-1) buckets exist per reduction and negative digits merge by mixed
+// subtraction. The sign rides in the p_index entry (±(w·n+i+1)).
+func (t *Table) computeSignedCtx(ctx context.Context, scalars []ff.Element, cfg Config) (curve.Affine, Stats, error) {
+	g := t.g
+	n := len(t.pre[0])
+	if len(scalars) != n {
+		return curve.Affine{}, Stats{}, fmt.Errorf("msm: %d scalars for %d-point table", len(scalars), n)
+	}
+	l := g.Fr.Bits()
+	if l%t.k == 0 {
+		return curve.Affine{}, Stats{}, fmt.Errorf("msm: signed buckets need k ∤ %d (scalar bits); table has k=%d — rebuild with SignedBuckets set", l, t.k)
+	}
+	sp, ctx := telemetry.StartSpan(ctx, "msm")
+	sp.SetStr("strategy", GZKP.String())
+	sp.SetInt("n", int64(n))
+	defer sp.End()
+	dg := newDigits(g.Fr, scalars, t.k)
+	if dg.windows != t.windows {
+		return curve.Affine{}, Stats{}, fmt.Errorf("msm: window mismatch: table %d, scalars %d", t.windows, dg.windows)
+	}
+	sd := signedFromDigits(dg)
+	numBuckets := 1 << (t.k - 1) // bucket j = |d| ∈ [1, 2^(k-1)]
+
+	// --- Bucket-info (p_index) construction: counting sort by |digit|.
+	counts := make([]int32, numBuckets+1)
+	var zeros, nonzeros int64
+	for i := 0; i < n; i++ {
+		if sd.digit(i, t.windows) != 0 {
+			return curve.Affine{}, Stats{}, fmt.Errorf("msm: signed recoding carried out of the top window (internal error)")
+		}
+		for w := 0; w < t.windows; w++ {
+			d := sd.digit(i, w)
+			if d == 0 {
+				zeros++
+				continue
+			}
+			j := d
+			if j < 0 {
+				j = -j
+			}
+			counts[j]++
+			nonzeros++
+		}
+	}
+	offsets := make([]int32, numBuckets+2)
+	for j := 1; j <= numBuckets; j++ {
+		offsets[j+1] = offsets[j] + counts[j]
+	}
+	pindex := make([]int32, nonzeros)
+	fill := make([]int32, numBuckets+1)
+	copy(fill, offsets[:numBuckets+1])
+	for i := 0; i < n; i++ {
+		for w := 0; w < t.windows; w++ {
+			d := sd.digit(i, w)
+			if d == 0 {
+				continue
+			}
+			entry := int32(w*n + i + 1)
+			j := d
+			if j < 0 {
+				j = -j
+				entry = -entry
+			}
+			pindex[fill[j]] = entry
+			fill[j]++
+		}
+	}
+
+	// --- Scheduling order: group buckets by load, heaviest first (§4.2).
+	order := make([]int, numBuckets)
+	for j := range order {
+		order[j] = j + 1
+	}
+	if !cfg.NoLoadBalance {
+		sort.Slice(order, func(a, b int) bool {
+			return counts[order[a]] > counts[order[b]]
+		})
+	}
+
+	// --- Cross-window point merging with the Horner checkpoint fix-up
+	// (see ComputeCtx); negative entries subtract instead of add.
+	buckets := make([]curve.Jacobian, numBuckets+1)
+	var adds, doubles int64
+	const batchAffineMin = 16
+	merge := func(state interface{}, j int) error {
+		ops := state.(*curve.Ops)
+		var localAdds, localDoubles int64
+		subs := make([]curve.Jacobian, t.m)
+		for r := range subs {
+			ops.SetInfinity(&subs[r])
+		}
+		var batch []curve.Affine
+		if cfg.UseBatchAffine && offsets[j+1]-offsets[j] >= batchAffineMin {
+			batch = make([]curve.Affine, 0, offsets[j+1]-offsets[j])
+		}
+		maxRem := 0
+		for e := offsets[j]; e < offsets[j+1]; e++ {
+			raw := pindex[e]
+			neg := raw < 0
+			if neg {
+				raw = -raw
+			}
+			entry := int(raw) - 1
+			w, i := entry/n, entry%n
+			c, rem := w/t.m, w%t.m
+			pt := t.pre[c][i]
+			switch {
+			case rem == 0 && batch != nil && !neg:
+				batch = append(batch, pt)
+			case rem == 0 && batch != nil:
+				batch = append(batch, t.g.NegAffine(pt))
+			case neg:
+				ops.SubMixedAssign(&subs[rem], pt)
+			default:
+				ops.AddMixedAssign(&subs[rem], pt)
+			}
+			if rem > maxRem {
+				maxRem = rem
+			}
+			localAdds++
+		}
+		if batch != nil {
+			ops.AddMixedAssign(&subs[0], t.g.AffineBatchSum(batch))
+		}
+		var acc curve.Jacobian
+		ops.Copy(&acc, &subs[maxRem])
+		for r := maxRem - 1; r >= 0; r-- {
+			for d := 0; d < t.k; d++ {
+				ops.DoubleAssign(&acc)
+			}
+			localDoubles += int64(t.k)
+			ops.AddAssign(&acc, &subs[r])
+			localAdds++
+		}
+		buckets[j] = acc
+		atomic.AddInt64(&adds, localAdds)
+		atomic.AddInt64(&doubles, localDoubles)
+		return nil
+	}
+	var mergeErr error
+	if cfg.NoLoadBalance {
+		mergeErr = par.StaticItemsErr(ctx, numBuckets, cfg.workers(),
+			func() interface{} { return g.NewOps() },
+			func(state interface{}, idx int) error { return merge(state, idx+1) })
+	} else {
+		mergeErr = par.ItemsOrderedErr(ctx, numBuckets, cfg.workers(), order,
+			func() interface{} { return g.NewOps() },
+			merge)
+	}
+	if mergeErr != nil {
+		return curve.Affine{}, Stats{}, mergeErr
+	}
+
+	// --- Parallel-prefix bucket reduction over half the buckets.
+	result, err := t.reduceBuckets(ctx, buckets, cfg)
+	if err != nil {
+		return curve.Affine{}, Stats{}, err
+	}
+
+	loads := make([]int64, numBuckets+1)
+	var maxLoad, minLoad int64 = 0, 1 << 62
+	for j := 1; j <= numBuckets; j++ {
+		loads[j] = int64(counts[j])
+		if loads[j] > maxLoad {
+			maxLoad = loads[j]
+		}
+		if loads[j] > 0 && loads[j] < minLoad {
+			minLoad = loads[j]
+		}
+	}
+	spread := 0.0
+	if minLoad > 0 && minLoad != 1<<62 {
+		spread = float64(maxLoad) / float64(minLoad)
+	}
+	st := Stats{
+		WindowBits: t.k, Windows: t.windows, Checkpoint: t.m,
+		Buckets: numBuckets, Signed: true,
+		PointAdds: adds, Doubles: doubles,
+		TableBytes:  t.bytes + int64(len(pindex))*4,
+		BucketLoads: loads, LoadSpread: spread,
+		ZeroDigits: zeros, NonzeroDigit: nonzeros,
 		TrafficBytes: nonzeros*pointBytes(g) +
 			int64(n)*int64(g.Fr.Limbs()*8) +
 			int64(len(pindex))*8,

@@ -37,6 +37,17 @@ const (
 	Straus
 	PippengerWindows
 	GZKP
+	// SignedDigit rebuilds the Pippenger path around signed-digit windows:
+	// digits in [-2^(k-1), 2^(k-1)] with carry, so each window accumulates
+	// 2^(k-1) buckets (half of unsigned Pippenger's 2^k - 1) and negative
+	// digits fold by mixed subtraction.
+	SignedDigit
+	// SignedDigitGLV additionally splits each scalar with the curve's GLV
+	// endomorphism into two sub-√r halves against the doubled point set
+	// {Pᵢ, φ(Pᵢ)}, halving the window count. Falls back to SignedDigit on
+	// groups without the endomorphism (MNT4753-sim). Input points must lie
+	// in the r-order subgroup (CRS bases always do).
+	SignedDigitGLV
 )
 
 func (s StrategyID) String() string {
@@ -49,6 +60,10 @@ func (s StrategyID) String() string {
 		return "pippenger-windows"
 	case GZKP:
 		return "gzkp"
+	case SignedDigit:
+		return "signed-digit"
+	case SignedDigitGLV:
+		return "signed-digit-glv"
 	}
 	return fmt.Sprintf("strategy(%d)", int(s))
 }
@@ -77,13 +92,21 @@ type Config struct {
 	// batch-affine additions (shared inversions) instead of Jacobian
 	// mixed adds — the DESIGN.md §4 extension ablation.
 	UseBatchAffine bool
+	// SignedBuckets switches the GZKP table strategy to signed-digit
+	// bucket accumulation: half the buckets per window and a one-bit-wider
+	// default window at the same bucket memory. The unsigned path remains
+	// as the differential reference.
+	SignedBuckets bool
 }
 
 // Stats describes one MSM execution.
 type Stats struct {
 	WindowBits   int
 	Windows      int
-	Checkpoint   int // M
+	Checkpoint   int  // M
+	Buckets      int  // buckets per accumulation unit (halved when Signed)
+	Signed       bool // signed-digit bucket windows
+	GLV          bool // GLV-decomposed scalars over the doubled point set
 	PointAdds    int64
 	Doubles      int64
 	TableBytes   int64 // preprocessed/auxiliary memory
@@ -169,7 +192,7 @@ func ComputeCtx(ctx context.Context, g *curve.Group, points []curve.Affine, scal
 		return g.Infinity(), Stats{}, nil
 	}
 	switch cfg.Strategy {
-	case Reference, Straus, PippengerWindows:
+	case Reference, Straus, PippengerWindows, SignedDigit, SignedDigitGLV:
 		sp, ctx := telemetry.StartSpan(ctx, "msm")
 		sp.SetStr("strategy", cfg.Strategy.String())
 		sp.SetInt("n", int64(len(points)))
@@ -184,6 +207,10 @@ func ComputeCtx(ctx context.Context, g *curve.Group, points []curve.Affine, scal
 			res, st, err = reference(ctx, g, points, scalars)
 		case Straus:
 			res, st, err = straus(ctx, g, points, scalars, cfg)
+		case SignedDigit:
+			res, st, err = signedPippenger(ctx, g, points, scalars, cfg, false)
+		case SignedDigitGLV:
+			res, st, err = signedPippenger(ctx, g, points, scalars, cfg, true)
 		default:
 			res, st, err = pippengerWindows(ctx, g, points, scalars, cfg)
 		}
@@ -221,6 +248,12 @@ func recordMSM(ctx context.Context, sp telemetry.Span, st Stats) {
 	reg.Counter("msm.traffic_bytes").Add(st.TrafficBytes)
 	reg.Counter("msm.zero_digits").Add(st.ZeroDigits)
 	reg.Counter("msm.nonzero_digits").Add(st.NonzeroDigit)
+	if st.Signed {
+		reg.Counter("msm.signed_ops").Add(1)
+	}
+	if st.GLV {
+		reg.Counter("msm.glv_ops").Add(1)
+	}
 	if st.LoadSpread > 0 {
 		reg.Gauge("msm.load_spread").Max(st.LoadSpread)
 	}
@@ -228,6 +261,13 @@ func recordMSM(ctx context.Context, sp telemetry.Span, st Stats) {
 	sp.SetInt("doubles", st.Doubles)
 	sp.SetInt("table_bytes", st.TableBytes)
 	sp.SetInt("traffic_bytes", st.TrafficBytes)
+	sp.SetInt("buckets", int64(st.Buckets))
+	if st.Signed {
+		sp.SetInt("signed", 1)
+	}
+	if st.GLV {
+		sp.SetInt("glv", 1)
+	}
 }
 
 // Compute is ComputeCtx without cancellation.

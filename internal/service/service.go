@@ -100,7 +100,7 @@ func (c Config) withDefaults() Config {
 	}
 	if c.NTT.Strategy == 0 && c.MSM.Strategy == 0 {
 		c.NTT = ntt.Config{Strategy: ntt.GZKP}
-		c.MSM = msm.Config{Strategy: msm.GZKP}
+		c.MSM = msm.Config{Strategy: msm.GZKP, SignedBuckets: true}
 	}
 	if c.Registry == nil {
 		if c.Tracer != nil {
@@ -418,6 +418,11 @@ type KeyBundle struct {
 	Spec         CircuitSpec `json:"spec"`
 	ProvingKey   []byte      `json:"proving_key"`   // groth16 binary encoding
 	VerifyingKey []byte      `json:"verifying_key"` // compressed wire encoding
+	// FixedBase carries the proof-assembly fixed-base tables built at
+	// register time, so replicas install bit-identical tables instead of
+	// recomputing (or silently falling back to the generic ladder). Empty
+	// in bundles from older nodes; importers then fall back and count it.
+	FixedBase []byte `json:"fixed_base,omitempty"`
 }
 
 // ExportKeys serializes a cached circuit's key material for replication.
@@ -432,10 +437,17 @@ func (s *Service) ExportKeys(id string) (*KeyBundle, error) {
 	if err != nil {
 		return nil, fmt.Errorf("service: export keys: %w", err)
 	}
+	var fbBytes []byte
+	if e.pk.HasAssemblyTables() {
+		if fbBytes, err = e.pk.MarshalAssemblyTables(); err != nil {
+			return nil, fmt.Errorf("service: export fixed-base tables: %w", err)
+		}
+	}
 	return &KeyBundle{
 		CircuitID: id, Spec: e.spec,
 		ProvingKey:   pkBytes,
 		VerifyingKey: append([]byte(nil), e.vkBytes...),
+		FixedBase:    fbBytes,
 	}, nil
 }
 
@@ -464,6 +476,15 @@ func (s *Service) RegisterImported(kb KeyBundle) (*CircuitInfo, error) {
 	}
 	if pk.CurveID != e.curveID || vk.CurveID != e.curveID {
 		return nil, &InputError{Msg: "import: key curve does not match spec curve"}
+	}
+	if len(kb.FixedBase) > 0 {
+		if err := pk.UnmarshalAssemblyTables(kb.FixedBase); err != nil {
+			return nil, &InputError{Msg: fmt.Sprintf("import: bad fixed-base tables: %v", err)}
+		}
+	} else {
+		// Older bundle without tables: the prover falls back to the
+		// generic ladder; surface that so operators can spot stale peers.
+		s.reg.Counter("service.fixedbase.missing").Add(1)
 	}
 	if s.cfg.Preprocess && s.cfg.MSM.Strategy == msm.GZKP {
 		if err := pk.PreprocessCtx(s.ctx, s.cfg.MSM); err != nil {
