@@ -76,6 +76,7 @@ var gateSections = map[string][]string{
 	"msm":   {"table7", "table8"},
 	"ntt":   {"table5", "table6"},
 	"e2e":   {"table2", "table3"},
+	"batch": {"batch"},
 }
 
 // filterSections restricts a doc to the experiments owned by the named gate
@@ -90,7 +91,7 @@ func filterSections(d doc, sections string) (doc, error) {
 		}
 		exps, ok := gateSections[sec]
 		if !ok {
-			return doc{}, fmt.Errorf("unknown gate section %q (have field, msm, ntt, e2e)", sec)
+			return doc{}, fmt.Errorf("unknown gate section %q (have field, msm, ntt, e2e, batch)", sec)
 		}
 		for _, e := range exps {
 			want[e] = true

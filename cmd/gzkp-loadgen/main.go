@@ -18,7 +18,15 @@
 // over to the next with full-jitter backoff and reports how many times it
 // switched (coordinator_failovers).
 //
+// With -batch k (k > 1) each tick sends one POST /v1/prove-batch request
+// carrying k same-circuit proofs instead of a single prove: throughput is
+// reported in verified proofs/sec either way, so sweeping k against k=1
+// measures the fused batch pipeline's amortization directly. Every proof
+// is still verified client-side, and each successful batch is additionally
+// round-tripped through POST /v1/verify-batch (the server's RLC check).
+//
 //	gzkp-loadgen -target http://localhost:8090 -rps 20 -duration 10s -out report.json
+//	gzkp-loadgen -target http://localhost:8090 -rps 4 -batch 8 -duration 10s
 //	gzkp-loadgen -target http://localhost:8089,http://localhost:8088 -rps 20 -duration 10s
 package main
 
@@ -67,11 +75,15 @@ func main() {
 		rps       = flag.Float64("rps", 10, "open-loop arrival rate (requests/second)")
 		duration  = flag.Duration("duration", 10*time.Second, "load duration")
 		retries   = flag.Int("retries", 3, "re-attempts after a 429/503 before counting the request rejected")
+		batchK    = flag.Int("batch", 1, "proofs per request: >1 sends POST /v1/prove-batch with k same-circuit proofs per tick and reports verified proofs/sec")
 		outPath   = flag.String("out", "", "write the JSON report here (default stdout)")
 	)
 	flag.Parse()
 	if *rps <= 0 {
 		die(fmt.Errorf("rps must be positive"))
+	}
+	if *batchK < 1 {
+		die(fmt.Errorf("batch must be at least 1"))
 	}
 	var id curve.ID
 	switch *curveName {
@@ -107,11 +119,13 @@ func main() {
 		okN, rejectedN, failedN atomic.Int64
 		verifyFailN, transportN atomic.Int64
 		retriedN                atomic.Int64
-		wg                      sync.WaitGroup
-		interval                = time.Duration(float64(time.Second) / *rps)
-		ticker                  = time.NewTicker(interval)
-		deadline                = time.Now().Add(*duration)
-		sent                    = 0
+
+		batchVerifyOKN, batchVerifyFailN atomic.Int64
+		wg                               sync.WaitGroup
+		interval                         = time.Duration(float64(time.Second) / *rps)
+		ticker                           = time.NewTicker(interval)
+		deadline                         = time.Now().Add(*duration)
+		sent                             = 0
 	)
 	// Backoff shape for shed load: the server's Retry-After is the floor,
 	// full jitter on top spreads the re-arrivals so the retry wave does
@@ -134,13 +148,21 @@ func main() {
 			var (
 				status     int
 				retryAfter time.Duration
-				st         *service.JobStatus
+				sts        []service.JobStatus
 				err        error
 			)
 		attempts:
 			for attempt := 0; ; attempt++ {
 				ep := tg.current()
-				status, retryAfter, st, err = prove(client, ep, mc)
+				if *batchK > 1 {
+					status, retryAfter, sts, err = proveBatch(client, ep, mc, *batchK)
+				} else {
+					var st *service.JobStatus
+					status, retryAfter, st, err = prove(client, ep, mc)
+					if st != nil {
+						sts = []service.JobStatus{*st}
+					}
+				}
 				if attempt >= *retries {
 					break
 				}
@@ -172,15 +194,37 @@ func main() {
 				transportN.Add(1)
 			case shedding(status):
 				rejectedN.Add(1)
-			case status == http.StatusOK && st.State == "done":
-				// Every returned proof is verified here, not trusted.
-				proof, perr := groth16.UnmarshalProofAuto(st.Proof)
-				if perr != nil || groth16.Verify(mc.vk, proof, mc.pubFF) != nil {
-					verifyFailN.Add(1)
-					return
+			case status == http.StatusOK:
+				// Every returned proof is verified here, not trusted; ok
+				// counts verified proofs, so batch throughput is comparable
+				// to single-prove throughput proof for proof.
+				var blobs [][]byte
+				for i := range sts {
+					st := &sts[i]
+					if st.State != "done" {
+						failedN.Add(1)
+						continue
+					}
+					proof, perr := groth16.UnmarshalProofAuto(st.Proof)
+					if perr != nil || groth16.Verify(mc.vk, proof, mc.pubFF) != nil {
+						verifyFailN.Add(1)
+						continue
+					}
+					okN.Add(1)
+					blobs = append(blobs, st.Proof)
 				}
-				lat.Record(elapsed)
-				okN.Add(1)
+				if len(blobs) > 0 {
+					lat.Record(elapsed)
+				}
+				// In batch mode the server's RLC batch verification gets the
+				// same proofs: one more end-to-end check per request.
+				if *batchK > 1 && len(blobs) == len(sts) {
+					if verifyBatch(client, tg.current(), mc, blobs) != nil {
+						batchVerifyFailN.Add(1)
+					} else {
+						batchVerifyOKN.Add(1)
+					}
+				}
 			default:
 				failedN.Add(1)
 			}
@@ -203,6 +247,16 @@ func main() {
 	}
 
 	report := buildReport(sent, elapsed, snap, ok, rej, fail+vfail+terr, retried, failovers)
+	if *batchK > 1 {
+		bvOK, bvFail := batchVerifyOKN.Load(), batchVerifyFailN.Load()
+		fmt.Printf("gzkp-loadgen: batch mode k=%d — %d RLC batch verifications ok, %d failed\n",
+			*batchK, bvOK, bvFail)
+		report.Samples = append(report.Samples,
+			bench.Sample{Experiment: "loadgen", Section: "measured", Name: "batch_k", N: *batchK},
+			bench.Sample{Experiment: "loadgen", Section: "measured", Name: "batch_verify_ok", N: int(bvOK)},
+			bench.Sample{Experiment: "loadgen", Section: "measured", Name: "batch_verify_failed", N: int(bvFail)},
+		)
+	}
 	report.Samples = append(report.Samples, clusterSamples(client, tg.current())...)
 	out := os.Stdout
 	if *outPath != "" {
@@ -217,7 +271,7 @@ func main() {
 	if *outPath != "" {
 		fmt.Printf("gzkp-loadgen: wrote %s\n", *outPath)
 	}
-	if vfail > 0 || terr > 0 {
+	if vfail > 0 || terr > 0 || batchVerifyFailN.Load() > 0 {
 		os.Exit(1)
 	}
 }
@@ -387,6 +441,57 @@ func registerOne(tg *targets, curveName string, f *ff.Field, size int, seed int6
 // outcomes a polite client backs off and retries.
 func shedding(status int) bool {
 	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// proveBatch sends one k-proof batch request (k copies of the circuit's
+// input assignment — same circuit, distinct proofs via blinding) and
+// returns the per-proof job statuses.
+func proveBatch(client *http.Client, target string, mc *mixCircuit, k int) (int, time.Duration, []service.JobStatus, error) {
+	inputs := make([]service.ProofInput, k)
+	for i := range inputs {
+		inputs[i] = service.ProofInput{Public: mc.public, Secret: mc.secret}
+	}
+	req := service.ProveBatchRequest{CircuitID: mc.id, Proofs: inputs}
+	body, _ := json.Marshal(req)
+	resp, err := client.Post(target+"/v1/prove-batch?sync=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return resp.StatusCode, 0, nil, err
+	}
+	retryAfter := resilience.ParseRetryAfter(resp.Header)
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, retryAfter, nil, nil
+	}
+	var pb service.ProveBatchResponse
+	if err := json.Unmarshal(data, &pb); err != nil {
+		return resp.StatusCode, retryAfter, nil, err
+	}
+	return resp.StatusCode, retryAfter, pb.Jobs, nil
+}
+
+// verifyBatch asks the server for one RLC batch verification over the
+// proofs it just returned.
+func verifyBatch(client *http.Client, target string, mc *mixCircuit, blobs [][]byte) error {
+	publics := make([][]string, len(blobs))
+	for i := range publics {
+		publics[i] = mc.public
+	}
+	req := service.VerifyBatchRequest{CircuitID: mc.id, Proofs: blobs, Publics: publics}
+	body, _ := json.Marshal(req)
+	resp, err := client.Post(target+"/v1/verify-batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("verify-batch: %d %s", resp.StatusCode, data)
+	}
+	return nil
 }
 
 func prove(client *http.Client, target string, mc *mixCircuit) (int, time.Duration, *service.JobStatus, error) {

@@ -65,6 +65,7 @@ func All() []Experiment {
 		{"fig9", "Figure 9: MSM memory usage vs scale", Fig9},
 		{"fig10", "Figure 10: MSM breakdown ladder (BLS12-381)", Fig10},
 		{"shufflecost", "§2.2 claims: strided access & shuffle cost", ShuffleCost},
+		{"batch", "batched proving: fused ProveBatch & RLC BatchVerify amortization", Batch},
 	}
 }
 

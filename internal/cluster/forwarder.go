@@ -112,9 +112,16 @@ func (f *forwarder) control(ctx context.Context, method, url string, body, out a
 // can legitimately run for minutes, so blind re-attempts would double
 // work.
 func (f *forwarder) prove(ctx context.Context, base string, req, out any) (int, error) {
+	return f.provePath(ctx, base, "/v1/prove", req, out)
+}
+
+// provePath is prove against an arbitrary synchronous prove route — the
+// batch endpoint shares the single-long-attempt policy and the forward
+// accounting.
+func (f *forwarder) provePath(ctx context.Context, base, path string, req, out any) (int, error) {
 	f.cForwards.Add(1)
 	t0 := time.Now()
-	status, err := f.do(ctx, http.MethodPost, base+"/v1/prove", req, out)
+	status, err := f.do(ctx, http.MethodPost, base+path, req, out)
 	f.hForward.Record(time.Since(t0).Nanoseconds())
 	return status, err
 }

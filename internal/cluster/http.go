@@ -20,6 +20,9 @@ import (
 //	POST /v1/circuits      register a circuit on its ring replicas
 //	GET  /v1/circuits/{id} describe a registered circuit
 //	POST /v1/prove         submit a job; ?async=1 returns 202 + job id
+//	POST /v1/prove-batch   forward k same-circuit proofs to one replica's
+//	                       fused batch pipeline (synchronous)
+//	POST /v1/verify-batch  forward an RLC batch verification to a replica
 //	GET  /v1/jobs/{id}     poll a cluster job
 //	GET  /v1/nodes         cluster topology and per-node health
 //	POST /v1/drain         cluster-wide drain; returns the merged checkpoint
@@ -39,6 +42,10 @@ import (
 // injects it on every node forward so one trace id spans coordinator and
 // node processes.
 const maxClusterBody = 1 << 20
+
+// maxBatchBody matches the node-side batch body limit: k input
+// assignments or k compressed proofs outgrow single-prove bodies.
+const maxBatchBody = 8 << 20
 
 type apiError struct {
 	Error      string `json:"error"`
@@ -82,7 +89,11 @@ func writeError(w http.ResponseWriter, err error) {
 }
 
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
-	r.Body = http.MaxBytesReader(w, r.Body, maxClusterBody)
+	return decodeBodyLimit(w, r, v, maxClusterBody)
+}
+
+func decodeBodyLimit(w http.ResponseWriter, r *http.Request, v any, limit int64) error {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
@@ -149,6 +160,37 @@ func NewHandler(c *Coordinator) http.Handler {
 			// and stays pollable under its cluster id.
 			writeJSON(w, http.StatusAccepted, j.Status())
 		}
+	})
+
+	mux.HandleFunc("POST /v1/prove-batch", func(w http.ResponseWriter, r *http.Request) {
+		var req service.ProveBatchRequest
+		if err := decodeBodyLimit(w, r, &req, maxBatchBody); err != nil {
+			writeError(w, err)
+			return
+		}
+		trace := telemetry.ExtractTrace(r.Header).TraceID
+		resp, err := c.ProveBatch(trace, req.CircuitID, req.Proofs)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		if trace != "" {
+			w.Header().Set(telemetry.TraceIDHeader, trace)
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("POST /v1/verify-batch", func(w http.ResponseWriter, r *http.Request) {
+		var req service.VerifyBatchRequest
+		if err := decodeBodyLimit(w, r, &req, maxBatchBody); err != nil {
+			writeError(w, err)
+			return
+		}
+		if err := c.VerifyBatch(req.CircuitID, req.Proofs, req.Publics); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, service.VerifyBatchResponse{OK: true, Proofs: len(req.Proofs)})
 	})
 
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {

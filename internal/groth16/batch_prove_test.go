@@ -1,0 +1,177 @@
+package groth16
+
+import (
+	"context"
+	"math/big"
+	"testing"
+
+	"gzkp/internal/curve"
+	"gzkp/internal/ff"
+	"gzkp/internal/msm"
+)
+
+// cubicWitnesses solves k cubic-circuit witnesses for distinct x values.
+func cubicWitnesses(t *testing.T, f *ff.Field, sys interface {
+	Solve(pub, sec []ff.Element) ([]ff.Element, error)
+}, xs []uint64) (wits [][]ff.Element, publics [][]ff.Element) {
+	t.Helper()
+	for _, x := range xs {
+		out := f.FromBig(new(big.Int).Add(
+			new(big.Int).Exp(big.NewInt(int64(x)), big.NewInt(3), nil),
+			big.NewInt(int64(x+5))))
+		w, err := sys.Solve([]ff.Element{out}, []ff.Element{f.FromUint64(x)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wits = append(wits, w)
+		publics = append(publics, []ff.Element{out})
+	}
+	return wits, publics
+}
+
+// TestProveBatchDifferential is the tentpole acceptance check: ProveBatch
+// must be bit-identical to k sequential Prove calls sharing the same
+// blinding reader, on both curves, with and without preprocessed GZKP
+// tables.
+func TestProveBatchDifferential(t *testing.T) {
+	for _, id := range []curve.ID{curve.BN254, curve.BLS12381} {
+		c := curve.Get(id)
+		f := c.Fr
+		sys := cubic(f)
+		pk, vk, err := Setup(sys, c, detRand(21))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, useTables := range []bool{false, true} {
+			cfg := ProveConfig{CheckSatisfied: true}
+			if useTables {
+				cfg.MSM = msm.Config{Strategy: msm.GZKP, SignedBuckets: true}
+				if err := pk.Preprocess(cfg.MSM); err != nil {
+					t.Fatal(err)
+				}
+			}
+			wits, publics := cubicWitnesses(t, f, sys, []uint64{3, 5, 11, 20})
+
+			// Sequential reference: one shared reader, drawn r₀,s₀,r₁,s₁,…
+			seq := detRand(42)
+			var want []*Proof
+			for _, w := range wits {
+				p, _, err := ProveCtx(context.Background(), pk, sys, w, cfg, seq)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want = append(want, p)
+			}
+			got, st, err := ProveBatchCtx(context.Background(), pk, sys, wits, cfg, detRand(42))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Proofs != len(wits) || st.FusedNTTs != 7 {
+				t.Fatalf("%s tables=%v: stats %d proofs / %d fused NTTs", f.Name(), useTables, st.Proofs, st.FusedNTTs)
+			}
+			if len(st.MSMStats) != 5*len(wits) {
+				t.Fatalf("%s: %d MSM stats, want %d", f.Name(), len(st.MSMStats), 5*len(wits))
+			}
+			for i := range want {
+				if !c.G1.EqualAffine(got[i].A, want[i].A) ||
+					!c.G2.EqualAffine(got[i].B, want[i].B) ||
+					!c.G1.EqualAffine(got[i].C, want[i].C) {
+					t.Fatalf("%s tables=%v: batch proof %d not bit-identical to sequential", f.Name(), useTables, i)
+				}
+				if err := Verify(vk, got[i], publics[i]); err != nil {
+					t.Fatalf("%s: batch proof %d rejected: %v", f.Name(), i, err)
+				}
+			}
+			if err := BatchVerify(vk, got, publics); err != nil {
+				t.Fatalf("%s: RLC batch verify rejected batch proofs: %v", f.Name(), err)
+			}
+		}
+	}
+}
+
+func TestProveBatchValidation(t *testing.T) {
+	c := curve.Get(curve.BN254)
+	f := c.Fr
+	sys := cubic(f)
+	pk, _, err := Setup(sys, c, detRand(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proofs, st, err := ProveBatch(pk, sys, nil, ProveConfig{}, detRand(1)); err != nil || len(proofs) != 0 || st.Proofs != 0 {
+		t.Fatalf("empty batch should be a no-op: %v", err)
+	}
+	if _, _, err := ProveBatch(pk, sys, [][]ff.Element{f.NewVector(2)}, ProveConfig{}, detRand(1)); err == nil {
+		t.Fatal("wrong-length witness accepted")
+	}
+}
+
+// FuzzBatchVerifyVsSingle drives the RLC batch verifier against per-proof
+// Verify: any batch containing a corrupted proof must reject, and any
+// all-valid batch must accept, for fuzzer-chosen sizes and corruption
+// positions.
+func FuzzBatchVerifyVsSingle(f *testing.F) {
+	c := curve.Get(curve.BN254)
+	fr := c.Fr
+	sys := cubic(fr)
+	pk, vk, err := Setup(sys, c, detRand(51))
+	if err != nil {
+		f.Fatal(err)
+	}
+	// Pool of valid proofs to draw batches from.
+	var pool []*Proof
+	var pubs [][]ff.Element
+	for _, x := range []uint64{2, 3, 7, 9, 12} {
+		out := fr.FromBig(new(big.Int).Add(
+			new(big.Int).Exp(big.NewInt(int64(x)), big.NewInt(3), nil),
+			big.NewInt(int64(x+5))))
+		w, err := sys.Solve([]ff.Element{out}, []ff.Element{fr.FromUint64(x)})
+		if err != nil {
+			f.Fatal(err)
+		}
+		p, _, err := Prove(pk, sys, w, ProveConfig{}, detRand(int64(60+x)))
+		if err != nil {
+			f.Fatal(err)
+		}
+		pool = append(pool, p)
+		pubs = append(pubs, []ff.Element{out})
+	}
+	f.Add(uint8(3), uint8(1), uint8(0), int64(1))
+	f.Add(uint8(5), uint8(0), uint8(2), int64(2))
+	f.Add(uint8(1), uint8(1), uint8(0), int64(3))
+	f.Fuzz(func(t *testing.T, kRaw, corrupt, pos uint8, seed int64) {
+		k := int(kRaw)%len(pool) + 1
+		proofs := make([]*Proof, k)
+		publics := make([][]ff.Element, k)
+		for i := 0; i < k; i++ {
+			proofs[i] = pool[(int(pos)+i)%len(pool)]
+			publics[i] = pubs[(int(pos)+i)%len(pool)]
+		}
+		wantErr := false
+		if corrupt%2 == 1 {
+			bad := *proofs[int(pos)%k]
+			switch corrupt % 3 {
+			case 0:
+				bad.A = c.G1.NegAffine(bad.A)
+			case 1:
+				bad.C = c.G1.NegAffine(bad.C)
+			default:
+				bad.B = c.G2.NegAffine(bad.B)
+			}
+			proofs[int(pos)%k] = &bad
+			wantErr = true
+		}
+		// Both the seeded (deterministic) and crypto/rand paths must agree
+		// with the per-proof verdict.
+		for name, err := range map[string]error{
+			"seeded": BatchVerifySeeded(vk, proofs, publics, seed),
+			"crand":  BatchVerify(vk, proofs, publics),
+		} {
+			if wantErr && err == nil {
+				t.Fatalf("%s: batch with corrupted proof accepted (k=%d)", name, k)
+			}
+			if !wantErr && err != nil {
+				t.Fatalf("%s: all-valid batch rejected (k=%d): %v", name, k, err)
+			}
+		}
+	})
+}

@@ -430,25 +430,25 @@ func TestBatchVerify(t *testing.T) {
 		proofs = append(proofs, p)
 		publics = append(publics, []ff.Element{out})
 	}
-	if err := BatchVerify(vk, proofs, publics, 1); err != nil {
+	if err := BatchVerifySeeded(vk, proofs, publics, 1); err != nil {
 		t.Fatalf("valid batch rejected: %v", err)
 	}
 	// One corrupted proof must sink the whole batch.
 	bad := *proofs[1]
 	bad.C = c.G1.NegAffine(bad.C)
-	if err := BatchVerify(vk, []*Proof{proofs[0], &bad, proofs[2]}, publics, 2); err == nil {
+	if err := BatchVerifySeeded(vk, []*Proof{proofs[0], &bad, proofs[2]}, publics, 2); err == nil {
 		t.Fatal("batch with corrupted proof accepted")
 	}
 	// Swapped publics must fail.
 	swapped := [][]ff.Element{publics[1], publics[0], publics[2]}
-	if err := BatchVerify(vk, proofs, swapped, 3); err == nil {
+	if err := BatchVerifySeeded(vk, proofs, swapped, 3); err == nil {
 		t.Fatal("batch with mismatched publics accepted")
 	}
 	// Validation errors.
-	if err := BatchVerify(vk, nil, nil, 4); err == nil {
+	if err := BatchVerifySeeded(vk, nil, nil, 4); err == nil {
 		t.Fatal("empty batch accepted")
 	}
-	if err := BatchVerify(vk, proofs, publics[:2], 5); err == nil {
+	if err := BatchVerifySeeded(vk, proofs, publics[:2], 5); err == nil {
 		t.Fatal("length mismatch accepted")
 	}
 }

@@ -1,0 +1,91 @@
+package msm
+
+import (
+	"context"
+	mrand "math/rand"
+	"testing"
+
+	"gzkp/internal/curve"
+	"gzkp/internal/ff"
+)
+
+// TestComputeManyDifferential checks batched MSMs over shared bases against
+// solo ComputeCtx per slice for the strategies the prover dispatches,
+// including a short (prefix) slice.
+func TestComputeManyDifferential(t *testing.T) {
+	g := curve.Get(curve.BN254).G1
+	points, _ := testVectors(g, 256, 11, 0)
+	rng := mrand.New(mrand.NewSource(12))
+	slices := make([][]ff.Element, 4)
+	for i := range slices {
+		n := len(points)
+		if i == 3 {
+			n = len(points) - 40 // prefix slice: batched K-query shape
+		}
+		s := make([]ff.Element, n)
+		for j := range s {
+			s[j] = g.Fr.Rand(rng)
+		}
+		slices[i] = s
+	}
+	for _, cfg := range []Config{
+		{Strategy: GZKP, SignedBuckets: true},
+		{Strategy: SignedDigitGLV},
+		{Strategy: PippengerWindows},
+	} {
+		got, stats, err := ComputeManyCtx(context.Background(), g, points, slices, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", cfg.Strategy, err)
+		}
+		if len(got) != len(slices) || len(stats) != len(slices) {
+			t.Fatalf("%v: got %d results / %d stats", cfg.Strategy, len(got), len(stats))
+		}
+		for i, s := range slices {
+			want, _, err := ComputeCtx(context.Background(), g, points[:len(s)], s, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !g.EqualAffine(got[i], want) {
+				t.Fatalf("%v: batch slice %d differs from solo MSM", cfg.Strategy, i)
+			}
+		}
+	}
+}
+
+// TestTableComputeMany checks the preprocessed-table batch path (the
+// proving-key shape) against per-slice table computes.
+func TestTableComputeMany(t *testing.T) {
+	g := curve.Get(curve.BLS12381).G1
+	points, _ := testVectors(g, 128, 13, 0)
+	cfg := Config{Strategy: GZKP, SignedBuckets: true}
+	table, err := Preprocess(g, points, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mrand.New(mrand.NewSource(14))
+	slices := make([][]ff.Element, 3)
+	for i := range slices {
+		s := make([]ff.Element, len(points))
+		for j := range s {
+			s[j] = g.Fr.Rand(rng)
+		}
+		slices[i] = s
+	}
+	got, _, err := table.ComputeManyCtx(context.Background(), slices, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range slices {
+		want, _, err := table.ComputeCtx(context.Background(), s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.EqualAffine(got[i], want) {
+			t.Fatalf("table batch slice %d differs", i)
+		}
+	}
+	if _, _, err := ComputeManyCtx(context.Background(), g, points,
+		[][]ff.Element{make([]ff.Element, len(points)+1)}, cfg); err == nil {
+		t.Fatal("oversized batch slice accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package poly
+
+import (
+	"context"
+	mrand "math/rand"
+	"testing"
+
+	"gzkp/internal/curve"
+	"gzkp/internal/ff"
+	"gzkp/internal/ntt"
+)
+
+// TestComputeHBatchDifferential checks the fused batched POLY stage against
+// k solo ComputeHCtx runs on the same inputs, over both curves' scalar
+// fields. The batch path must be bit-identical.
+func TestComputeHBatchDifferential(t *testing.T) {
+	for _, id := range []curve.ID{curve.BN254, curve.BLS12381} {
+		f := curve.Get(id).Fr
+		const n, k = 64, 5
+		dom, err := ntt.NewDomain(f, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := mrand.New(mrand.NewSource(7))
+		avs := make([][]ff.Element, k)
+		bvs := make([][]ff.Element, k)
+		cvs := make([][]ff.Element, k)
+		want := make([][]ff.Element, k)
+		for i := 0; i < k; i++ {
+			a, b, c := f.NewVector(n), f.NewVector(n), f.NewVector(n)
+			for j := 0; j < n; j++ {
+				f.Set(a[j], f.Rand(rng))
+				f.Set(b[j], f.Rand(rng))
+				f.Mul(c[j], a[j], b[j])
+			}
+			avs[i], bvs[i], cvs[i] = f.CopyVector(a), f.CopyVector(b), f.CopyVector(c)
+			res, err := ComputeHCtx(context.Background(), dom, a, b, c, ntt.Config{Strategy: ntt.GZKP})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i] = f.CopyVector(res.H)
+		}
+		batch, err := ComputeHBatchCtx(context.Background(), dom, avs, bvs, cvs, ntt.Config{Strategy: ntt.GZKP})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch.FusedNTTs != NTTCount {
+			t.Fatalf("%s: %d fused launches, want %d", f.Name(), batch.FusedNTTs, NTTCount)
+		}
+		for i := 0; i < k; i++ {
+			if len(batch.H[i]) != n-1 {
+				t.Fatalf("%s: batch H[%d] has %d coeffs", f.Name(), i, len(batch.H[i]))
+			}
+			for j := range want[i] {
+				if !f.Equal(batch.H[i][j], want[i][j]) {
+					t.Fatalf("%s: batch H[%d][%d] differs from solo ComputeH", f.Name(), i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestComputeHBatchValidation(t *testing.T) {
+	f := curve.Get(curve.BN254).Fr
+	dom, _ := ntt.NewDomain(f, 16)
+	if _, err := ComputeHBatchCtx(context.Background(), dom,
+		[][]ff.Element{f.NewVector(16)}, nil, nil, ntt.Config{}); err == nil {
+		t.Fatal("mismatched batch lengths accepted")
+	}
+	if _, err := ComputeHBatchCtx(context.Background(), dom,
+		[][]ff.Element{f.NewVector(8)}, [][]ff.Element{f.NewVector(16)}, [][]ff.Element{f.NewVector(16)}, ntt.Config{}); err == nil {
+		t.Fatal("wrong-size batch vector accepted")
+	}
+	res, err := ComputeHBatchCtx(context.Background(), dom, nil, nil, nil, ntt.Config{})
+	if err != nil || len(res.H) != 0 {
+		t.Fatalf("empty batch should be a no-op: %v", err)
+	}
+}

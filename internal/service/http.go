@@ -18,6 +18,10 @@ import (
 //	GET  /v1/circuits      export registered circuits as (id, spec) pairs
 //	POST /v1/prove         submit a job; ?async=1 returns 202 + job id,
 //	                       otherwise blocks for the proof (or client timeout)
+//	POST /v1/prove-batch   submit k same-circuit jobs atomically; ?sync=1
+//	                       blocks for all proofs, otherwise 202 + job ids
+//	POST /v1/verify-batch  RLC batch-verify k compressed proofs under one
+//	                       registered circuit's verifying key
 //	GET  /v1/jobs/{id}     poll an async job
 //	POST /v1/drain         stop accepting, finish admitted jobs within
 //	                       ?timeout=, return the checkpoint of whatever the
@@ -43,7 +47,18 @@ import (
 const (
 	maxBodyBytes    = 1 << 20
 	maxKeyBodyBytes = 64 << 20
+	// Batch routes carry k proofs/input sets per request.
+	maxBatchBodyBytes = 8 << 20
 )
+
+// batchResponse snapshots every job of a batch submission.
+func batchResponse(jobs []*Job) ProveBatchResponse {
+	resp := ProveBatchResponse{Jobs: make([]JobStatus, len(jobs))}
+	for i, j := range jobs {
+		resp.Jobs[i] = j.Snapshot()
+	}
+	return resp
+}
 
 // ProveRequest is the body of POST /v1/prove. ClientJobID is an optional
 // idempotency key: requests sharing one attach to one job (a cluster
@@ -54,6 +69,36 @@ type ProveRequest struct {
 	Public      []string `json:"public"`
 	Secret      []string `json:"secret"`
 	ClientJobID string   `json:"client_job_id,omitempty"`
+}
+
+// ProveBatchRequest is the body of POST /v1/prove-batch: k same-circuit
+// proofs admitted atomically (all-or-nothing against the queue bound).
+// ClientBatchID dedupes the whole batch across re-submissions.
+type ProveBatchRequest struct {
+	CircuitID     string       `json:"circuit_id"`
+	Proofs        []ProofInput `json:"proofs"`
+	ClientBatchID string       `json:"client_batch_id,omitempty"`
+}
+
+// ProveBatchResponse reports every admitted job. Per-proof results arrive
+// through the job records (poll GET /v1/jobs/{id}, or wait with ?sync=1).
+type ProveBatchResponse struct {
+	Jobs []JobStatus `json:"jobs"`
+}
+
+// VerifyBatchRequest is the body of POST /v1/verify-batch: k compressed
+// proofs (base64 via JSON) plus their public inputs, checked with one RLC
+// pairing check under the circuit's verifying key.
+type VerifyBatchRequest struct {
+	CircuitID string     `json:"circuit_id"`
+	Proofs    [][]byte   `json:"proofs"`
+	Publics   [][]string `json:"publics"`
+}
+
+// VerifyBatchResponse reports a successful batch verification.
+type VerifyBatchResponse struct {
+	OK     bool `json:"ok"`
+	Proofs int  `json:"proofs"`
 }
 
 // DrainResponse is the body of POST /v1/drain: how many jobs finished
@@ -207,6 +252,54 @@ func NewHandler(s *Service) http.Handler {
 			// stays pollable under its id.
 			writeJSON(w, http.StatusAccepted, j.Snapshot())
 		}
+	})
+
+	mux.HandleFunc("POST /v1/prove-batch", func(w http.ResponseWriter, r *http.Request) {
+		var req ProveBatchRequest
+		if err := decodeBody(w, r, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+		jobs, err := s.SubmitBatchTraced(req.ClientBatchID, req.CircuitID, req.Proofs,
+			telemetry.ExtractTrace(r.Header))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		if tid := jobs[0].Snapshot().TraceID; tid != "" {
+			w.Header().Set(telemetry.TraceIDHeader, tid)
+		}
+		if r.URL.Query().Get("sync") != "" {
+			// Block until every job in the batch reaches a terminal state
+			// (or the client goes away — jobs keep running and stay
+			// pollable, mirroring POST /v1/prove).
+			code := http.StatusOK
+		wait:
+			for _, j := range jobs {
+				select {
+				case <-j.Done():
+				case <-r.Context().Done():
+					code = http.StatusAccepted
+					break wait
+				}
+			}
+			writeJSON(w, code, batchResponse(jobs))
+			return
+		}
+		writeJSON(w, http.StatusAccepted, batchResponse(jobs))
+	})
+
+	mux.HandleFunc("POST /v1/verify-batch", func(w http.ResponseWriter, r *http.Request) {
+		var req VerifyBatchRequest
+		if err := decodeBodyLimit(w, r, &req, maxBatchBodyBytes); err != nil {
+			writeError(w, err)
+			return
+		}
+		if err := s.VerifyBatch(req.CircuitID, req.Proofs, req.Publics); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, VerifyBatchResponse{OK: true, Proofs: len(req.Proofs)})
 	})
 
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {

@@ -88,6 +88,52 @@ func (s *scheduler) enqueue(j *Job) bool {
 	return true
 }
 
+// enqueueGroup places a batch submission's jobs contiguously on one queue —
+// the same affinity/shortest-queue choice as enqueue, made once — so the
+// device worker receives them as same-circuit dispatch batches instead of
+// having the group scattered across devices. Returns false when no device
+// survives.
+func (s *scheduler) enqueueGroup(jobs []*Job) bool {
+	if len(jobs) == 0 {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.nAlive == 0 {
+		return false
+	}
+	best, bestLen := -1, int(^uint(0)>>1)
+	for d, q := range s.queues {
+		if !s.alive[d] {
+			continue
+		}
+		if len(q) < bestLen {
+			best, bestLen = d, len(q)
+		}
+	}
+	affinity := -1
+	for d, q := range s.queues {
+		if !s.alive[d] || len(q) > bestLen+s.maxBatch {
+			continue
+		}
+		for _, qj := range q {
+			if qj.CircuitID == jobs[0].CircuitID {
+				affinity = d
+				break
+			}
+		}
+		if affinity >= 0 {
+			break
+		}
+	}
+	if affinity >= 0 {
+		best = affinity
+	}
+	s.queues[best] = append(s.queues[best], jobs...)
+	s.cond.Broadcast()
+	return true
+}
+
 // requeue puts a failed-over job at the front of a survivor's queue so the
 // retry does not pay the whole queue again.
 func (s *scheduler) requeue(j *Job) bool {
